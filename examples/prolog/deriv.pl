@@ -1,0 +1,10 @@
+% Symbolic differentiation with conditional graph expressions written
+% out the long way (the paper's example syntax).
+%   rapwam_run --query 'd((x + 1) * (x * x - 3), x, D)' --pes 4 examples/prolog/deriv.pl
+d(U + V, X, DU + DV) :- !, d(U, X, DU) & d(V, X, DV).
+d(U - V, X, DU - DV) :- !, d(U, X, DU) & d(V, X, DV).
+d(U * V, X, DU * V + U * DV) :- !, d(U, X, DU) & d(V, X, DV).
+d(U / V, X, (DU * V - U * DV) / (V * V)) :- !, d(U, X, DU) & d(V, X, DV).
+d(- U, X, - DU) :- !, d(U, X, DU).
+d(X, X, 1) :- !.
+d(C, _, 0) :- atomic(C).

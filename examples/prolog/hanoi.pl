@@ -1,0 +1,9 @@
+% Towers of Hanoi move counter, a plain program: let the annotator
+% parallelize it.
+%   annotate --run 'hanoi(12, a, b, c, M)' --pes 8 examples/prolog/hanoi.pl
+:- mode hanoi(+, ?, ?, ?, -).
+hanoi(0, _, _, _, 0).
+hanoi(N, A, B, C, M) :-
+    N > 0, N1 is N - 1,
+    hanoi(N1, A, C, B, M1), hanoi(N1, C, B, A, M2),
+    M is M1 + M2 + 1.

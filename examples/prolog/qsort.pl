@@ -1,0 +1,10 @@
+% Difference-list quicksort, the paper's "qsort" benchmark.
+%   rapwam_run --query 'qsort([27,74,17,33,94,18,46,83,65,2,32,53,28,85,99,47,28,82,6,11], S)' --pes 4 examples/prolog/qsort.pl
+qsort(L, S) :- qs(L, S, []).
+qs([], R, R).
+qs([X|L], R, R0) :-
+    partition(L, X, L1, L2),
+    qs(L1, R, [X|R1]) & qs(L2, R1, R0).
+partition([], _, [], []).
+partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).
+partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).

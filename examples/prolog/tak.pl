@@ -1,0 +1,7 @@
+% Takeuchi's function, the paper's "tak" benchmark.
+%   rapwam_run --query 'tak(12, 7, 3, A)' --pes 8 --stats examples/prolog/tak.pl
+tak(X, Y, Z, A) :- X =< Y, !, A = Z.
+tak(X, Y, Z, A) :-
+    X1 is X - 1, Y1 is Y - 1, Z1 is Z - 1,
+    tak(X1, Y, Z, A1) & tak(Y1, Z, X, A2) & tak(Z1, X, Y, A3),
+    tak(A1, A2, A3, A).
