@@ -1,0 +1,1 @@
+bench/experiments.ml: Benchlib Cachesim Format Hashtbl List Printf Queueing Rapwam Stats String Trace Wam

@@ -1,0 +1,1 @@
+bench/perf.ml: Analyze Bechamel Benchlib Benchmark Cachesim Format Hashtbl Instance Lazy List Measure Printf Prolog Queueing Staged Test Time Toolkit Wam

@@ -1,0 +1,793 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation, plus the ablations called out in DESIGN.md.
+
+   Absolute counts depend on inputs the paper does not publish; each
+   experiment prints the paper's reference values next to the measured
+   ones so the *shape* (orderings, thresholds, trends) can be checked.
+   EXPERIMENTS.md records a snapshot of this output. *)
+
+let fig4_sizes = [ 64; 128; 256; 512; 1024; 2048; 4096; 8192 ]
+let fig4_pes = [ 1; 2; 4; 8 ]
+
+type setup = {
+  benchmarks : Benchlib.Programs.benchmark list;
+  fig2_pes : int list;
+}
+
+let full_setup () =
+  {
+    benchmarks = Benchlib.Inputs.default_benchmarks ();
+    fig2_pes = [ 1; 2; 4; 8; 12; 16; 20; 24; 32; 40 ];
+  }
+
+let quick_setup () =
+  {
+    benchmarks = Benchlib.Inputs.small_benchmarks ();
+    fig2_pes = [ 1; 2; 4; 8 ];
+  }
+
+(* Memoized runs: several experiments need the same (bench, pes). *)
+let run_cache : (string * int, Benchlib.Runner.result) Hashtbl.t =
+  Hashtbl.create 64
+
+let rapwam_run bench ~n_pes =
+  let key = (bench.Benchlib.Programs.name, n_pes) in
+  match Hashtbl.find_opt run_cache key with
+  | Some r -> r
+  | None ->
+    let r = Benchlib.Runner.run_rapwam ~n_pes bench in
+    Hashtbl.add run_cache key r;
+    r
+
+let wam_run bench =
+  let key = (bench.Benchlib.Programs.name, 0) in
+  match Hashtbl.find_opt run_cache key with
+  | Some r -> r
+  | None ->
+    let r = Benchlib.Runner.run_wam bench in
+    Hashtbl.add run_cache key r;
+    r
+
+let section title =
+  Format.printf "@.==== %s ====@.@." title
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: storage-object taxonomy (printed from the machine's own   *)
+(* area classification -- the same table that drives the hybrid tags). *)
+
+let table1 _setup =
+  section "Table 1: Characteristics of RAP-WAM Storage Objects";
+  let t =
+    Stats.Table.create ~title:"(machine classification; Code added)"
+      ~headers:[ "Frame type"; "area"; "WAM?"; "lock"; "locality" ]
+      ~aligns:[ Stats.Table.Left; Stats.Table.Left; Stats.Table.Left;
+                Stats.Table.Left; Stats.Table.Left ]
+      ()
+  in
+  List.iter
+    (fun a ->
+      Stats.Table.add_row t
+        [
+          Trace.Area.name a;
+          Trace.Area.region a;
+          (if Trace.Area.in_wam a then "yes" else "no");
+          (if Trace.Area.locked a then "yes" else "no");
+          Trace.Area.locality_name (Trace.Area.locality a);
+        ])
+    (List.filter (fun a -> a <> Trace.Area.Code) Trace.Area.all);
+  Stats.Table.print t;
+  Format.printf
+    "paper: identical rows (Envts./control Local, P.Vars Global, Heap@ \
+     Global, Trail/PDL/CPs/Markers Local, Parcall counts+Goal Frames+@ \
+     Messages locked Global).@."
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: benchmark statistics on 8 PEs.                            *)
+
+let table2 setup =
+  section "Table 2: Statistics for the Benchmarks Used (8 processors)";
+  let t =
+    Stats.Table.create ~title:"measured (data references, as in the paper)"
+      ~headers:
+        [ "parameter"; "deriv"; "tak"; "qsort"; "matrix" ]
+      ~aligns:[ Stats.Table.Left; Stats.Table.Right; Stats.Table.Right;
+                Stats.Table.Right; Stats.Table.Right ]
+      ()
+  in
+  let runs = List.map (fun b -> rapwam_run b ~n_pes:8) setup.benchmarks in
+  let wams = List.map wam_run setup.benchmarks in
+  let row name f = Stats.Table.add_row t (name :: List.map f runs) in
+  row "Instructions executed" (fun r ->
+      string_of_int r.Benchlib.Runner.instructions);
+  row "References (RAP-WAM)" (fun r ->
+      string_of_int r.Benchlib.Runner.data_refs);
+  Stats.Table.add_row t
+    ("References (WAM)"
+    :: List.map (fun r -> string_of_int r.Benchlib.Runner.data_refs) wams);
+  row "Goals actually in //" (fun r ->
+      string_of_int r.Benchlib.Runner.goals_stolen);
+  row "Parcalls" (fun r -> string_of_int r.Benchlib.Runner.parcalls);
+  row "Speedup (vs WAM rounds)" (fun r ->
+      let wam = List.find
+          (fun w -> w.Benchlib.Runner.bench.Benchlib.Programs.name
+                    = r.Benchlib.Runner.bench.Benchlib.Programs.name)
+          wams
+      in
+      Printf.sprintf "%.2f"
+        (float_of_int wam.Benchlib.Runner.instructions
+        /. float_of_int r.Benchlib.Runner.rounds));
+  Stats.Table.print t;
+  Format.printf
+    "paper:   instr 33520 / 75254 / 237884 / 95349;@ refs(RAP) 85477 / \
+     178967 / 502717 / 96013;@ refs(WAM) 82519 / 169599 / 499526 / 95357;@ \
+     goals-in-// 97 / 263 / 97 / 24.@.";
+  (* consistency: every parallel answer must match the WAM answer *)
+  List.iter2
+    (fun r w ->
+      if not (Benchlib.Runner.answers_agree r w) then
+        Format.printf "WARNING: %s parallel answer differs from WAM!@."
+          r.Benchlib.Runner.bench.Benchlib.Programs.name)
+    runs wams
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: RAP-WAM work (%% of WAM) vs number of PEs, for deriv.    *)
+
+let figure2 setup =
+  section "Figure 2: RAP-WAM Overheads for \"deriv\"";
+  let bench =
+    List.find
+      (fun b -> b.Benchlib.Programs.name = "deriv")
+      setup.benchmarks
+  in
+  let wam = wam_run bench in
+  let wam_refs = wam.Benchlib.Runner.data_refs in
+  let work = Stats.Series.create "work(%WAM)" in
+  let speedup = Stats.Series.create "speedup" in
+  let stolen = Stats.Series.create "goals-stolen" in
+  List.iter
+    (fun n ->
+      let r = rapwam_run bench ~n_pes:n in
+      Stats.Series.add work (float_of_int n)
+        (100.0
+        *. float_of_int r.Benchlib.Runner.data_refs
+        /. float_of_int wam_refs);
+      Stats.Series.add speedup (float_of_int n)
+        (float_of_int wam.Benchlib.Runner.instructions
+        /. float_of_int r.Benchlib.Runner.rounds);
+      Stats.Series.add stolen (float_of_int n)
+        (float_of_int r.Benchlib.Runner.goals_stolen))
+    setup.fig2_pes;
+  Format.printf "%a@.@."
+    (fun fmt () -> Stats.Series.render_columns fmt [ work; speedup; stolen ])
+    ();
+  Format.printf "%a@."
+    (fun fmt () -> Stats.Series.render_bars fmt work)
+    ();
+  Format.printf
+    "paper: work rises gently from ~100%% (1 PE) and stays low (order of \
+     15%% overhead up to 40 PEs); speedup grows with PEs.@.\
+     (this model's per-parcall frames are heavier than the authors'@ \
+     microcoded implementation, so the overhead level is higher; the@ \
+     shape -- near-WAM work at 1 PE, slow growth with PEs -- is the@ \
+     reproduced claim).@."
+
+(* Extension: the Figure 2 sweep over all four benchmarks (the paper
+   shows deriv only). *)
+let figure2_all setup =
+  section "Extension: work and speedup vs PEs, all benchmarks";
+  let pes = [ 1; 2; 4; 8; 16 ] in
+  let t =
+    Stats.Table.create ~title:"work as % of WAM refs (speedup)"
+      ~headers:("benchmark" :: List.map (fun n -> Printf.sprintf "%d PE" n) pes)
+      ~aligns:
+        (Stats.Table.Left :: List.map (fun _ -> Stats.Table.Right) pes)
+      ()
+  in
+  List.iter
+    (fun b ->
+      let wam = wam_run b in
+      let cells =
+        List.map
+          (fun n ->
+            let r = rapwam_run b ~n_pes:n in
+            Printf.sprintf "%.0f%% (%.2f)"
+              (100.0
+              *. float_of_int r.Benchlib.Runner.data_refs
+              /. float_of_int wam.Benchlib.Runner.data_refs)
+              (float_of_int wam.Benchlib.Runner.instructions
+              /. float_of_int r.Benchlib.Runner.rounds))
+          pes
+      in
+      Stats.Table.add_row t (b.Benchlib.Programs.name :: cells))
+    setup.benchmarks;
+  Stats.Table.print t;
+  Format.printf
+    "reading: overhead tracks granularity -- matrix (coarse) is nearly free, deriv (fine) pays the most; speedups track the available parallelism.@."
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: fit of the small benchmarks to the large-benchmark        *)
+(* population (sequential copyback caches at 512 and 1024 words).     *)
+
+let table3 _setup =
+  section "Table 3: Fit of Small Benchmarks to Large Benchmarks";
+  let population = Benchlib.Large.population () in
+  let small = [ "deriv"; "tak"; "qsort" ] in
+  let small_benches = List.map Benchlib.Inputs.benchmark small in
+  let ratio buf size =
+    Cachesim.Uni.traffic_ratio ~cache_words:size buf
+  in
+  let pop_traces =
+    List.map
+      (fun b ->
+        let r = wam_run b in
+        (b.Benchlib.Programs.name, r.Benchlib.Runner.trace))
+      population
+  in
+  let small_traces =
+    List.map
+      (fun b ->
+        let r = wam_run b in
+        (b.Benchlib.Programs.name, r.Benchlib.Runner.trace))
+      small_benches
+  in
+  let t =
+    Stats.Table.create ~title:"traffic-ratio z-scores vs population"
+      ~headers:
+        ([ "cache (words)"; "Etr"; "sigma-tr" ]
+        @ small @ [ "mean|z|" ])
+      ()
+  in
+  List.iter
+    (fun size ->
+      let pop = List.map (fun (_, buf) -> ratio buf size) pop_traces in
+      let zs =
+        List.map (fun (_, buf) -> Stats.Fit.z_score ~population:pop (ratio buf size))
+          small_traces
+      in
+      let mean_abs =
+        List.fold_left (fun a z -> a +. abs_float z) 0.0 zs
+        /. float_of_int (List.length zs)
+      in
+      Stats.Table.add_row t
+        ([
+           string_of_int size;
+           Stats.Table.cell_float ~decimals:4 (Stats.Fit.mean pop);
+           Stats.Table.cell_float ~decimals:4 (Stats.Fit.stddev pop);
+         ]
+        @ List.map (fun z -> Stats.Table.cell_float ~decimals:2 z) zs
+        @ [ Stats.Table.cell_float ~decimals:2 mean_abs ]))
+    [ 512; 1024 ];
+  Stats.Table.print t;
+  Format.printf "population (large benchmarks): %s@."
+    (String.concat ", " (List.map fst pop_traces));
+  Format.printf
+    "paper: Etr 0.164/0.108, sigma 0.063/0.057; z-scores deriv 1.1/2.0, \
+     tak -1.9/-1.1, qsort 0.83/1.6; mean 1.3/1.6 -- i.e. |z| of order 1-2, \
+     the small benchmarks sit inside the large-benchmark population.@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: mean traffic ratio of the coherency schemes.             *)
+
+let fig4_protocols =
+  [
+    Cachesim.Protocol.Write_in_broadcast;
+    Cachesim.Protocol.Hybrid;
+    Cachesim.Protocol.Write_through;
+  ]
+
+(* Mean over the benchmarks, with the paper's per-point selection of
+   the allocation policy that yields the lowest traffic. *)
+let mean_traffic setup ~kind ~n_pes ~cache_words =
+  let ratios =
+    List.map
+      (fun b ->
+        let r = rapwam_run b ~n_pes in
+        let stats, _alloc =
+          Cachesim.Multi.simulate_best ~kind ~cache_words
+            ~n_pes:(max n_pes 1) r.Benchlib.Runner.trace
+        in
+        Cachesim.Metrics.traffic_ratio stats)
+      setup.benchmarks
+  in
+  Stats.Fit.mean ratios
+
+let figure4 setup =
+  section "Figure 4: Traffic of Coherency Schemes";
+  Format.printf
+    "mean traffic ratio over the four benchmarks; 4-word lines;@ \
+     allocation policy as in the paper (no-write-allocate for small@ \
+     caches, 512 too for hybrid).@.@.";
+  List.iter
+    (fun kind ->
+      Format.printf "--- %s ---@." (Cachesim.Protocol.kind_name kind);
+      let series =
+        List.map
+          (fun n_pes ->
+            let s =
+              Stats.Series.create (Printf.sprintf "%dPE" n_pes)
+            in
+            List.iter
+              (fun size ->
+                Stats.Series.add s (float_of_int size)
+                  (mean_traffic setup ~kind ~n_pes ~cache_words:size))
+              fig4_sizes;
+            s)
+          fig4_pes
+      in
+      Format.printf "%a@.@."
+        (fun fmt () -> Stats.Series.render_columns fmt series)
+        ())
+    fig4_protocols;
+  (* the paper's write-through-broadcast remark *)
+  let wib = mean_traffic setup ~kind:Cachesim.Protocol.Write_in_broadcast
+      ~n_pes:8 ~cache_words:1024
+  in
+  let wtb =
+    mean_traffic setup ~kind:Cachesim.Protocol.Write_through_broadcast
+      ~n_pes:8 ~cache_words:1024
+  in
+  let cb = mean_traffic setup ~kind:Cachesim.Protocol.Copyback ~n_pes:8
+      ~cache_words:1024
+  in
+  Format.printf
+    "checks (8 PEs, 1024 words): write-in %.3f vs write-through-broadcast \
+     %.3f (paper: almost identical => low communication traffic); \
+     copyback %.3f (paper: copyback does exceedingly well at 1024+).@."
+    wib wtb cb;
+  let wib128 = mean_traffic setup ~kind:Cachesim.Protocol.Write_in_broadcast
+      ~n_pes:8 ~cache_words:128
+  in
+  Format.printf
+    "paper's headline: 8 PEs with >=128-word broadcast caches capture \
+     >70%% of traffic (ratio < 0.3); measured at 128 words: %.3f.@."
+    wib128
+
+(* ------------------------------------------------------------------ *)
+(* Section 3.3: the 2-MLIPS back-of-the-envelope + bus queueing.      *)
+
+let mlips setup =
+  section "Section 3.3: the 2 MLIPS back-of-the-envelope";
+  Format.printf "--- with the paper's assumptions ---@.%a@.@."
+    (fun fmt () -> Queueing.Mlips.pp fmt Queueing.Mlips.paper_assumptions)
+    ();
+  (* measured variant: refs/instruction and instr/inference from the
+     8-PE runs; capture from the write-in broadcast cache at 1024 *)
+  let runs = List.map (fun b -> rapwam_run b ~n_pes:8) setup.benchmarks in
+  let mean f = Stats.Fit.mean (List.map f runs) in
+  let instr_per_inference =
+    mean (fun r ->
+        float_of_int r.Benchlib.Runner.instructions
+        /. float_of_int (max 1 r.Benchlib.Runner.inferences))
+  in
+  let refs_per_instruction =
+    mean (fun r ->
+        float_of_int r.Benchlib.Runner.total_refs
+        /. float_of_int (max 1 r.Benchlib.Runner.instructions))
+  in
+  let traffic =
+    mean_traffic setup ~kind:Cachesim.Protocol.Write_in_broadcast ~n_pes:8
+      ~cache_words:1024
+  in
+  let measured =
+    Queueing.Mlips.of_measurements ~instr_per_inference
+      ~refs_per_instruction ~traffic_ratio:traffic ()
+  in
+  Format.printf "--- with measured parameters ---@.%a@.@."
+    (fun fmt () -> Queueing.Mlips.pp fmt measured)
+    ();
+  Format.printf
+    "paper: 15 instr/LI x 3 refs/instr = 180 bytes/LI; 2 MLIPS = 360 MB/s \
+     processor side; 70%% capture => 108 MB/s bus -- feasible then.@.@.";
+  (* bus-contention model: a plain 1-word/cycle bus versus the paper's
+     "fast bus and interleaved memory" (multiple/overlapped busses,
+     modeled as 4 words per cycle) *)
+  Format.printf "--- bus queueing model (M/G/1) ---@.";
+  let model ?(bus = 1.0) n =
+    Queueing.Busmodel.make ~n_pes:n
+      ~refs_per_cycle:(refs_per_instruction /. 4.0)
+        (* assume 4 cycles per WAM instruction *)
+      ~traffic_ratio:traffic ~bus_words_per_cycle:bus
+  in
+  let t =
+    Stats.Table.create
+      ~title:"PE efficiency under bus contention (slow vs fast bus)"
+      ~headers:
+        [ "PEs"; "util 1w/cyc"; "eff 1w/cyc"; "util 4w/cyc"; "eff 4w/cyc";
+          "effective PEs (fast)" ]
+      ()
+  in
+  List.iter
+    (fun n ->
+      let slow = model n in
+      let fast = model ~bus:4.0 n in
+      Stats.Table.add_row t
+        [
+          string_of_int n;
+          Stats.Table.cell_float ~decimals:2 (Queueing.Busmodel.utilization slow);
+          Stats.Table.cell_float ~decimals:3 (Queueing.Busmodel.pe_efficiency slow);
+          Stats.Table.cell_float ~decimals:2 (Queueing.Busmodel.utilization fast);
+          Stats.Table.cell_float ~decimals:3 (Queueing.Busmodel.pe_efficiency fast);
+          Stats.Table.cell_float ~decimals:2 (Queueing.Busmodel.effective_pes fast);
+        ])
+    [ 1; 2; 4; 8; 12; 16; 24; 32 ];
+  Stats.Table.print t;
+  Format.printf
+    "paper (via Tick's model): a slow bus saturates quickly, but with a \
+     relatively fast bus and interleaved memory shared-memory efficiency \
+     stays high at small-to-medium PE counts -- supporting the 2 MLIPS \
+     claim.@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations.                                                         *)
+
+let ablation_tags setup =
+  section "Ablation: hybrid-protocol tag source";
+  Format.printf
+    "hybrid traffic when the per-reference locality tags are replaced by \
+     all-Global (degenerates towards write-through) or all-Local \
+     (copyback-like but incoherent for shared data):@.@.";
+  let t =
+    Stats.Table.create ~title:"mean traffic ratio, 8 PEs"
+      ~headers:[ "cache"; "hybrid(tags)"; "all-global"; "all-local";
+                 "write-through"; "write-in bcast" ]
+      ()
+  in
+  List.iter
+    (fun size ->
+      let mean_with ?locality_override () =
+        Stats.Fit.mean
+          (List.map
+             (fun b ->
+               let r = rapwam_run b ~n_pes:8 in
+               Cachesim.Metrics.traffic_ratio
+                 (Cachesim.Multi.simulate ?locality_override
+                    ~kind:Cachesim.Protocol.Hybrid ~cache_words:size ~n_pes:8
+                    r.Benchlib.Runner.trace))
+             setup.benchmarks)
+      in
+      Stats.Table.add_row t
+        [
+          string_of_int size;
+          Stats.Table.cell_float (mean_with ());
+          Stats.Table.cell_float (mean_with ~locality_override:true ());
+          Stats.Table.cell_float (mean_with ~locality_override:false ());
+          Stats.Table.cell_float
+            (mean_traffic setup ~kind:Cachesim.Protocol.Write_through
+               ~n_pes:8 ~cache_words:size);
+          Stats.Table.cell_float
+            (mean_traffic setup ~kind:Cachesim.Protocol.Write_in_broadcast
+               ~n_pes:8 ~cache_words:size);
+        ])
+    [ 256; 1024; 4096 ];
+  Stats.Table.print t;
+  Format.printf
+    "expected: tags sit between the extremes; all-global converges to \
+     write-through; all-local approaches copyback traffic (by dropping \
+     coherency for global data -- unsafe, traffic-only yardstick).@."
+
+let ablation_sched setup =
+  section "Ablation: goal scheduling policy";
+  let t =
+    Stats.Table.create ~title:"deriv + qsort on 8 PEs"
+      ~headers:
+        [ "benchmark"; "policy"; "work refs"; "stolen"; "rounds"; "speedup" ]
+      ~aligns:[ Stats.Table.Left; Stats.Table.Left; Stats.Table.Right;
+                Stats.Table.Right; Stats.Table.Right; Stats.Table.Right ]
+      ()
+  in
+  List.iter
+    (fun name ->
+      let bench = Benchlib.Inputs.benchmark name in
+      let wam = wam_run bench in
+      List.iter
+        (fun (pname, steal, allow) ->
+          let r =
+            Benchlib.Runner.run_rapwam ~keep_trace:false ~steal
+              ~allow_steal:allow ~n_pes:8 bench
+          in
+          Stats.Table.add_row t
+            [
+              name;
+              pname;
+              string_of_int r.Benchlib.Runner.data_refs;
+              string_of_int r.Benchlib.Runner.goals_stolen;
+              string_of_int r.Benchlib.Runner.rounds;
+              Printf.sprintf "%.2f"
+                (float_of_int wam.Benchlib.Runner.instructions
+                /. float_of_int r.Benchlib.Runner.rounds);
+            ])
+        [
+          ("steal-oldest", Rapwam.Sim.Steal_oldest, true);
+          ("steal-newest", Rapwam.Sim.Steal_newest, true);
+          ("no-steal", Rapwam.Sim.Steal_oldest, false);
+        ])
+    [ "deriv"; "qsort" ];
+  Stats.Table.print t;
+  ignore setup;
+  Format.printf
+    "observed: both stealing policies reach similar speedups (newest-first \
+     trades a few more steals for slightly better balance here); no-steal \
+     degenerates to sequential speed while still paying the goal-stack \
+     overhead.@."
+
+let ablation_line setup =
+  section "Ablation: line size at 1024-word caches (write-in broadcast)";
+  let t =
+    Stats.Table.create ~title:"mean traffic ratio and miss ratio, 8 PEs"
+      ~headers:[ "line words"; "traffic ratio"; "miss ratio" ]
+      ()
+  in
+  List.iter
+    (fun lw ->
+      let stats =
+        List.map
+          (fun b ->
+            let r = rapwam_run b ~n_pes:8 in
+            Cachesim.Multi.simulate ~line_words:lw
+              ~kind:Cachesim.Protocol.Write_in_broadcast ~cache_words:1024
+              ~n_pes:8 r.Benchlib.Runner.trace)
+          setup.benchmarks
+      in
+      Stats.Table.add_row t
+        [
+          string_of_int lw;
+          Stats.Table.cell_float
+            (Stats.Fit.mean (List.map Cachesim.Metrics.traffic_ratio stats));
+          Stats.Table.cell_float
+            (Stats.Fit.mean (List.map Cachesim.Metrics.miss_ratio stats));
+        ])
+    [ 1; 2; 4; 8; 16 ];
+  Stats.Table.print t;
+  Format.printf
+    "expected: miss ratio falls with longer lines (spatial locality) \
+     while traffic passes through a minimum (long lines move unused \
+     words).@."
+
+let ablation_alloc setup =
+  section "Ablation: write-allocate vs no-write-allocate";
+  let t =
+    Stats.Table.create
+      ~title:"write-in broadcast, 8 PEs (traffic / miss ratios)"
+      ~headers:
+        [ "cache"; "tr alloc"; "tr no-alloc"; "miss alloc"; "miss no-alloc" ]
+      ()
+  in
+  List.iter
+    (fun size ->
+      let run alloc pick =
+        Stats.Fit.mean
+          (List.map
+             (fun b ->
+               let r = rapwam_run b ~n_pes:8 in
+               pick
+                 (Cachesim.Multi.simulate ~write_allocate:alloc
+                    ~kind:Cachesim.Protocol.Write_in_broadcast
+                    ~cache_words:size ~n_pes:8 r.Benchlib.Runner.trace))
+             setup.benchmarks)
+      in
+      Stats.Table.add_row t
+        [
+          string_of_int size;
+          Stats.Table.cell_float (run true Cachesim.Metrics.traffic_ratio);
+          Stats.Table.cell_float (run false Cachesim.Metrics.traffic_ratio);
+          Stats.Table.cell_float (run true Cachesim.Metrics.miss_ratio);
+          Stats.Table.cell_float (run false Cachesim.Metrics.miss_ratio);
+        ])
+    fig4_sizes;
+  Stats.Table.print t;
+  Format.printf
+    "paper: no-write-allocate gives lower traffic for small caches but a \
+     higher miss ratio; write-allocate wins at large sizes.@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: granularity control.  Parallelism below a size threshold  *)
+(* costs more than it buys; the threshold is ordinary source-level     *)
+(* control (an if-then-else choosing the CGE or the sequential body),  *)
+(* the style of annotation the RAP model's later granularity-analysis  *)
+(* work generates automatically.                                       *)
+
+let granularity_src threshold =
+  Printf.sprintf
+    "fib(0, 1).\n\
+     fib(1, 1).\n\
+     fib(N, F) :-\n\
+    \  N > 1, N1 is N - 1, N2 is N - 2,\n\
+    \  ( N > %d -> fib(N1, F1) & fib(N2, F2)\n\
+    \  ; fib(N1, F1), fib(N2, F2) ),\n\
+    \  F is F1 + F2.\n"
+    threshold
+
+let ablation_granularity _setup =
+  section "Ablation: granularity control (parallelize only above a size)";
+  let input = 19 in
+  let seq_prog =
+    Wam.Program.prepare ~parallel:false ~src:(granularity_src 0)
+      ~query:(Printf.sprintf "fib(%d, F)" input) ()
+  in
+  let _, seq_m = Wam.Seq.run ~sink:Trace.Sink.null seq_prog in
+  let seq_instr = Wam.Machine.total_instr seq_m in
+  let t =
+    Stats.Table.create
+      ~title:(Printf.sprintf "fib(%d) on 8 PEs, threshold sweep" input)
+      ~headers:
+        [ "threshold"; "parcalls"; "stolen"; "work refs"; "rounds";
+          "speedup" ]
+      ()
+  in
+  List.iter
+    (fun threshold ->
+      let stats =
+        Trace.Areastats.create ~pe_of_addr:Wam.Layout.pe_of_addr ()
+      in
+      let prog =
+        Wam.Program.prepare ~parallel:true ~src:(granularity_src threshold)
+          ~query:(Printf.sprintf "fib(%d, F)" input) ()
+      in
+      let sim =
+        Rapwam.Sim.create ~sink:(Trace.Areastats.sink stats) ~n_workers:8
+          prog
+      in
+      (match Rapwam.Sim.run_prepared sim prog with
+      | Wam.Seq.Success _ -> ()
+      | Wam.Seq.Failure -> Format.printf "WARNING: fib failed!@.");
+      let m = sim.Rapwam.Sim.m in
+      Stats.Table.add_row t
+        [
+          string_of_int threshold;
+          string_of_int m.Wam.Machine.parcalls;
+          string_of_int m.Wam.Machine.goals_stolen;
+          string_of_int (Trace.Areastats.data_refs stats);
+          string_of_int sim.Rapwam.Sim.rounds;
+          Printf.sprintf "%.2f"
+            (float_of_int seq_instr /. float_of_int sim.Rapwam.Sim.rounds);
+        ])
+    [ 0; 4; 8; 12; 16; 18 ];
+  Stats.Table.print t;
+  Format.printf
+    "expected: a moderate threshold keeps nearly all the speedup while cutting parcalls (and their work) by orders of magnitude; too high a threshold starves the PEs.@."
+
+(* ------------------------------------------------------------------ *)
+(* Extension: end-to-end time estimate (simulation rounds + cache      *)
+(* misses + bus queueing), the analysis the paper defers to Tick's     *)
+(* thesis.                                                             *)
+
+let timing setup =
+  section "Extension: effective speedup with the memory system";
+  Format.printf
+    "estimated cycles = rounds x CPI + bus stalls (M/D/1 queue over the@ \
+     run's bus words; write-in broadcast caches, 1024 words, 4-word@ \
+     lines).  'ideal' ignores memory; 'effective' charges each PE@ \
+     its share of the contended bus.@.@.";
+  let t =
+    Stats.Table.create ~title:"WAM (1 PE) vs RAP-WAM (8 PEs)"
+      ~headers:
+        [ "benchmark"; "ideal speedup"; "eff speedup"; "bus util (8PE)";
+          "mem efficiency" ]
+      ~aligns:
+        [ Stats.Table.Left; Stats.Table.Right; Stats.Table.Right;
+          Stats.Table.Right; Stats.Table.Right ]
+      ()
+  in
+  List.iter
+    (fun b ->
+      let wam = wam_run b in
+      let rap = rapwam_run b ~n_pes:8 in
+      let cache_stats r n =
+        Cachesim.Multi.simulate ~kind:Cachesim.Protocol.Write_in_broadcast
+          ~cache_words:1024 ~n_pes:n r.Benchlib.Runner.trace
+      in
+      let seq_est =
+        Cachesim.Timing.estimate ~rounds:wam.Benchlib.Runner.instructions
+          ~n_pes:1 (cache_stats wam 1)
+      in
+      let par_est =
+        Cachesim.Timing.estimate ~rounds:rap.Benchlib.Runner.rounds ~n_pes:8
+          (cache_stats rap 8)
+      in
+      Stats.Table.add_row t
+        [
+          b.Benchlib.Programs.name;
+          Stats.Table.cell_float ~decimals:2
+            (float_of_int wam.Benchlib.Runner.instructions
+            /. float_of_int rap.Benchlib.Runner.rounds);
+          Stats.Table.cell_float ~decimals:2
+            (Cachesim.Timing.effective_speedup ~seq:seq_est ~par:par_est);
+          Stats.Table.cell_float ~decimals:3
+            par_est.Cachesim.Timing.bus_utilization;
+          Stats.Table.cell_float ~decimals:3
+            par_est.Cachesim.Timing.memory_efficiency;
+        ])
+    setup.benchmarks;
+  Stats.Table.print t;
+  Format.printf
+    "reading: the memory system erodes but does not erase the parallel@ gain -- the paper's overall conclusion that RAP-WAM suits@ small-to-medium shared-memory machines.@."
+
+(* ------------------------------------------------------------------ *)
+(* Extension: the INTEGRATED two-level simulation.  Instead of the     *)
+(* post-hoc analytic bus model, per-PE caches and a serializing bus    *)
+(* run inside the scheduler loop: misses stall their PE, stalls        *)
+(* reshape stealing, and the round count is a contention-aware time.   *)
+
+let timing_integrated setup =
+  section "Extension: integrated two-level simulation (caches in the loop)";
+  Format.printf
+    "write-in broadcast, 1024 words/PE, 4-word lines, 2-cycle memory@      latency; 'slow' bus moves 1 word/cycle, 'fast' 4 words/cycle@      (the paper's multiple/overlapped busses).@.@.";
+  let cfg =
+    Cachesim.Protocol.make ~kind:Cachesim.Protocol.Write_in_broadcast
+      ~cache_words:1024 ()
+  in
+  let t =
+    Stats.Table.create ~title:"speedup of 8 PEs over 1 PE, both with memory"
+      ~headers:
+        [ "benchmark"; "ideal"; "slow bus"; "fast bus"; "slow traffic";
+          "stall share (slow)" ]
+      ~aligns:
+        [ Stats.Table.Left; Stats.Table.Right; Stats.Table.Right;
+          Stats.Table.Right; Stats.Table.Right; Stats.Table.Right ]
+      ()
+  in
+  List.iter
+    (fun b ->
+      let seq_prog =
+        Wam.Program.prepare ~parallel:false ~src:b.Benchlib.Programs.src
+          ~query:b.Benchlib.Programs.query ()
+      in
+      let par_prog () =
+        Wam.Program.prepare ~parallel:true ~src:b.Benchlib.Programs.src
+          ~query:b.Benchlib.Programs.query ()
+      in
+      let run_mem ~bus ~n prog =
+        let mm = Rapwam.Memmodel.create ~bus_words_per_cycle:bus ~n_pes:n cfg in
+        let _, sim = Rapwam.Sim.run ~memory:mm ~n_workers:n prog in
+        (sim, mm)
+      in
+      let seq_slow, _ = run_mem ~bus:1.0 ~n:1 seq_prog in
+      let seq_fast, _ = run_mem ~bus:4.0 ~n:1 seq_prog in
+      let par_slow, mm_slow = run_mem ~bus:1.0 ~n:8 (par_prog ()) in
+      let par_fast, _ = run_mem ~bus:4.0 ~n:8 (par_prog ()) in
+      let ideal =
+        let r = rapwam_run b ~n_pes:8 in
+        float_of_int (wam_run b).Benchlib.Runner.instructions
+        /. float_of_int r.Benchlib.Runner.rounds
+      in
+      Stats.Table.add_row t
+        [
+          b.Benchlib.Programs.name;
+          Stats.Table.cell_float ~decimals:2 ideal;
+          Stats.Table.cell_float ~decimals:2
+            (float_of_int seq_slow.Rapwam.Sim.rounds
+            /. float_of_int par_slow.Rapwam.Sim.rounds);
+          Stats.Table.cell_float ~decimals:2
+            (float_of_int seq_fast.Rapwam.Sim.rounds
+            /. float_of_int par_fast.Rapwam.Sim.rounds);
+          Stats.Table.cell_float ~decimals:3
+            (Cachesim.Metrics.traffic_ratio (Rapwam.Memmodel.stats mm_slow));
+          Stats.Table.cell_float ~decimals:3
+            (Rapwam.Memmodel.total_stalls mm_slow
+            /. float_of_int (8 * par_slow.Rapwam.Sim.rounds));
+        ])
+    setup.benchmarks;
+  Stats.Table.print t;
+  Format.printf
+    "reading: a 1-word/cycle bus saturates and halves the gains; the \
+     fast bus the paper assumes recovers most of the ideal speedup (the \
+     residue is the unavoidable read-miss latency).  This is the \
+     integrated version of the paper's Section 3.3 argument.@."
+
+(* ------------------------------------------------------------------ *)
+
+let all setup =
+  table1 setup;
+  table2 setup;
+  figure2 setup;
+  figure2_all setup;
+  table3 setup;
+  figure4 setup;
+  mlips setup;
+  timing setup;
+  timing_integrated setup;
+  ablation_tags setup;
+  ablation_sched setup;
+  ablation_line setup;
+  ablation_alloc setup;
+  ablation_granularity setup

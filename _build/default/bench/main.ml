@@ -1,0 +1,58 @@
+(* Benchmark harness entry point.
+
+     dune exec bench/main.exe              -- all tables and figures
+     dune exec bench/main.exe -- table2    -- one experiment
+     dune exec bench/main.exe -- --quick   -- smaller inputs
+     dune exec bench/main.exe -- --perf    -- Bechamel micro-benchmarks
+
+   Experiments: table1 table2 table3 figure2 figure4 mlips timing
+                ablation-tags ablation-sched ablation-line ablation-alloc
+                ablation-granularity *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [--quick] [--perf] [table1|table2|table3|figure2|\n\
+    \       figure4|mlips|ablation-tags|ablation-sched|ablation-line|\n\
+    \       ablation-alloc]...";
+  exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let perf = List.mem "--perf" args in
+  let wanted =
+    List.filter (fun a -> a <> "--quick" && a <> "--perf") args
+  in
+  let setup =
+    if quick then Experiments.quick_setup () else Experiments.full_setup ()
+  in
+  if perf then Perf.run ()
+  else begin
+    let dispatch = function
+      | "table1" -> Experiments.table1 setup
+      | "table2" -> Experiments.table2 setup
+      | "table3" -> Experiments.table3 setup
+      | "figure2" -> Experiments.figure2 setup
+      | "figure2-all" -> Experiments.figure2_all setup
+      | "figure4" -> Experiments.figure4 setup
+      | "mlips" -> Experiments.mlips setup
+      | "timing" -> Experiments.timing setup
+      | "timing-integrated" -> Experiments.timing_integrated setup
+      | "ablation-tags" -> Experiments.ablation_tags setup
+      | "ablation-sched" -> Experiments.ablation_sched setup
+      | "ablation-line" -> Experiments.ablation_line setup
+      | "ablation-alloc" -> Experiments.ablation_alloc setup
+      | "ablation-granularity" -> Experiments.ablation_granularity setup
+      | "all" -> Experiments.all setup
+      | other ->
+        Printf.eprintf "unknown experiment %S\n" other;
+        usage ()
+    in
+    match wanted with
+    | [] ->
+      Format.printf
+        "RAP-WAM memory-performance reproduction (Hermenegildo & Tick, \
+         ICPP 1988)@.";
+      Experiments.all setup
+    | names -> List.iter dispatch names
+  end

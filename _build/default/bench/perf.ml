@@ -1,0 +1,108 @@
+(* Bechamel micro-benchmarks: one kernel per experiment, timing the
+   simulator components themselves (parse, compile, sequential run,
+   parallel run, cache sweep).  These measure the speed of this
+   reproduction's machinery, not the paper's simulated metrics. *)
+
+open Bechamel
+open Toolkit
+
+let small_bench name = Benchlib.Inputs.benchmark name
+
+let deriv_small =
+  {
+    Benchlib.Programs.name = "deriv-small";
+    src = Benchlib.Programs.deriv;
+    query = Benchlib.Inputs.deriv_query ~depth:6 ();
+    answer_var = "D";
+  }
+
+let qsort_small =
+  {
+    Benchlib.Programs.name = "qsort-small";
+    src = Benchlib.Programs.qsort;
+    query = Benchlib.Inputs.qsort_query ~n:100 ();
+    answer_var = "S";
+  }
+
+(* Reusable traces for the cache-simulation kernels. *)
+let cache_trace =
+  lazy
+    (Benchlib.Runner.run_rapwam ~n_pes:4 deriv_small).Benchlib.Runner.trace
+
+let seq_trace =
+  lazy (Benchlib.Runner.run_wam deriv_small).Benchlib.Runner.trace
+
+let tests =
+  Test.make_grouped ~name:"rapwam"
+    [
+      (* Table 2 kernel: a full sequential WAM benchmark run *)
+      Test.make ~name:"t2-wam-run"
+        (Staged.stage (fun () ->
+             ignore (Benchlib.Runner.run_wam ~keep_trace:false deriv_small)));
+      (* Figure 2 kernel: a parallel RAP-WAM run on 8 PEs *)
+      Test.make ~name:"f2-rapwam-8pe"
+        (Staged.stage (fun () ->
+             ignore
+               (Benchlib.Runner.run_rapwam ~keep_trace:false ~n_pes:8
+                  deriv_small)));
+      (* Table 3 kernel: a uniprocessor copyback cache pass *)
+      Test.make ~name:"t3-uni-cache"
+        (Staged.stage (fun () ->
+             ignore
+               (Cachesim.Uni.simulate ~cache_words:1024
+                  (Lazy.force seq_trace))));
+      (* Figure 4 kernel: one coherent-cache simulation point *)
+      Test.make ~name:"f4-multi-cache"
+        (Staged.stage (fun () ->
+             ignore
+               (Cachesim.Multi.simulate
+                  ~kind:Cachesim.Protocol.Write_in_broadcast
+                  ~cache_words:1024 ~n_pes:4 (Lazy.force cache_trace))));
+      (* front-end kernels *)
+      Test.make ~name:"parse-qsort"
+        (Staged.stage (fun () ->
+             ignore
+               (Prolog.Parser.clauses_of_string qsort_small.Benchlib.Programs.src)));
+      Test.make ~name:"compile-qsort"
+        (Staged.stage (fun () ->
+             ignore
+               (Wam.Program.prepare ~parallel:true
+                  ~src:qsort_small.Benchlib.Programs.src
+                  ~query:"qsort([3,1,2], S)" ())));
+      (* queueing model *)
+      Test.make ~name:"s33-busmodel"
+        (Staged.stage (fun () ->
+             let b =
+               Queueing.Busmodel.make ~n_pes:16 ~refs_per_cycle:0.7
+                 ~traffic_ratio:0.25 ~bus_words_per_cycle:1.0
+             in
+             ignore (Queueing.Busmodel.pe_efficiency b)));
+    ]
+
+let run () =
+  ignore (small_bench "deriv");
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf "@.==== Bechamel micro-benchmarks (ns/run) ====@.@.";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> Printf.sprintf "%14.1f" e
+        | Some [] | None -> "      (no fit)"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      Format.printf "%-28s %s ns/run   r²=%s@." name est r2)
+    (List.sort compare rows)

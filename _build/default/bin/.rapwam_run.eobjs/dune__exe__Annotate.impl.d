@@ -1,0 +1,1 @@
+bin/annotate.ml: Arg Cmd Cmdliner Format List Prolog Rapwam Term Wam

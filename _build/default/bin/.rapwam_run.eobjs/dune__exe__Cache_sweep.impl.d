@@ -1,0 +1,1 @@
+bin/cache_sweep.ml: Arg Benchlib Cachesim Cmd Cmdliner Format List Printf Stats Term Trace

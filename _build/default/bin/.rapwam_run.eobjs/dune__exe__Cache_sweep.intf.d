@@ -1,0 +1,1 @@
+bin/cache_sweep.mli:

@@ -1,0 +1,1 @@
+bin/rapwam_run.ml: Arg Array Cmd Cmdliner Format List Prolog Rapwam Stats Term Trace Wam

@@ -1,0 +1,1 @@
+bin/rapwam_run.mli:

@@ -1,0 +1,1 @@
+bin/repl.ml: Array Format In_channel List Printexc Prolog Rapwam String Sys Unix Wam

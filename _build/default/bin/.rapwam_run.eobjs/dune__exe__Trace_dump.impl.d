@@ -1,0 +1,1 @@
+bin/trace_dump.ml: Arg Benchlib Cmd Cmdliner List Printf Rapwam Term Trace Wam

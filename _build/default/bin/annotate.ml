@@ -1,0 +1,72 @@
+(* annotate: automatic CGE annotation of a plain Prolog program.
+
+     annotate program.pl                 -- print the &-annotated source
+     annotate --run 'main(X)' program.pl -- annotate, then run on 4 PEs
+
+   Mode declarations (`:- mode f(+, -, ?).`) in the source seed the
+   analysis; predicates without modes are analyzed conservatively. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_cmd src_path run_query pes =
+  let src = read_file src_path in
+  let db = Prolog.Database.of_string src in
+  let annotated = Prolog.Annotate.database db in
+  Format.printf "%a@." Prolog.Annotate.pp_database annotated;
+  Format.eprintf "%% %d parallel call(s) introduced@."
+    (Prolog.Annotate.parallelism_found annotated);
+  match run_query with
+  | None -> ()
+  | Some query ->
+    (* recompile from a fresh annotation: the printed db already holds
+       the query-free program *)
+    let prog =
+      Wam.Program.of_database ~parallel:true
+        (Prolog.Annotate.database (Prolog.Database.of_string src))
+        ~query ()
+    in
+    let sim = Rapwam.Sim.create ~n_workers:pes prog in
+    let result = Rapwam.Sim.run_prepared sim prog in
+    (match result with
+    | Wam.Seq.Failure -> Format.printf "no@."
+    | Wam.Seq.Success [] -> Format.printf "yes@."
+    | Wam.Seq.Success bindings ->
+      List.iter
+        (fun (v, t) ->
+          Format.printf "%s = %s@." v (Prolog.Pretty.to_string t))
+        bindings);
+    Format.eprintf
+      "%% %d PEs: %d rounds, %d parcalls, %d goals stolen@." pes
+      sim.Rapwam.Sim.rounds sim.Rapwam.Sim.m.Wam.Machine.parcalls
+      sim.Rapwam.Sim.m.Wam.Machine.goals_stolen
+
+open Cmdliner
+
+let src_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Plain Prolog source file.")
+
+let run_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "run" ] ~docv:"GOAL" ~doc:"Also run this query in parallel.")
+
+let pes_arg =
+  Arg.(value & opt int 4 & info [ "p"; "pes" ] ~docv:"N" ~doc:"Workers.")
+
+let cmd =
+  let doc = "insert CGE annotations via independence analysis" in
+  Cmd.v
+    (Cmd.info "annotate" ~doc)
+    Term.(const run_cmd $ src_arg $ run_arg $ pes_arg)
+
+let () =
+  match Cmd.eval_value cmd with Ok _ -> () | Error _ -> exit 1

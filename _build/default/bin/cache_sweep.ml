@@ -1,0 +1,111 @@
+(* cache_sweep: run one benchmark's trace through the coherent-cache
+   simulators across protocols and sizes.
+
+     cache_sweep --bench deriv --pes 8
+     cache_sweep --bench qsort --pes 4 --protocol hybrid --line 8       *)
+
+let protocols =
+  [
+    ("write-through", Cachesim.Protocol.Write_through);
+    ("write-in", Cachesim.Protocol.Write_in_broadcast);
+    ("write-through-broadcast", Cachesim.Protocol.Write_through_broadcast);
+    ("hybrid", Cachesim.Protocol.Hybrid);
+    ("copyback", Cachesim.Protocol.Copyback);
+  ]
+
+let run_cmd bench_name pes protocol_name line sizes verbose trace_file =
+  let buf =
+    match trace_file with
+    | Some path ->
+      Printf.eprintf "reading trace %s...\n%!" path;
+      Trace.Tracefile.read path
+    | None ->
+      Printf.eprintf "running %s on %d PEs...\n%!" bench_name pes;
+      let bench = Benchlib.Inputs.benchmark bench_name in
+      (Benchlib.Runner.run_rapwam ~n_pes:pes bench).Benchlib.Runner.trace
+  in
+  Printf.eprintf "trace: %d references\n%!"
+    (Trace.Sink.Buffer_sink.length buf);
+  let selected =
+    match protocol_name with
+    | None -> protocols
+    | Some n -> List.filter (fun (name, _) -> name = n) protocols
+  in
+  let t =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf "%s, %d PEs, %d-word lines (traffic ratio)"
+           bench_name pes line)
+      ~headers:("protocol" :: List.map string_of_int sizes)
+      ~aligns:
+        (Stats.Table.Left :: List.map (fun _ -> Stats.Table.Right) sizes)
+      ()
+  in
+  List.iter
+    (fun (name, kind) ->
+      let cells =
+        List.map
+          (fun size ->
+            let st =
+              Cachesim.Multi.simulate ~line_words:line ~kind
+                ~cache_words:size ~n_pes:pes buf
+            in
+            if verbose then
+              Format.eprintf "%s %d: %a@." name size Cachesim.Metrics.pp st;
+            Stats.Table.cell_float (Cachesim.Metrics.traffic_ratio st))
+          sizes
+      in
+      Stats.Table.add_row t (name :: cells))
+    selected;
+  Stats.Table.print t
+
+open Cmdliner
+
+let bench_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) Benchlib.Programs.all_names))
+        "qsort"
+    & info [ "b"; "bench" ] ~docv:"NAME" ~doc:"Benchmark to trace.")
+
+let pes_arg =
+  Arg.(value & opt int 8 & info [ "p"; "pes" ] ~docv:"N" ~doc:"Workers.")
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt (some (enum (List.map (fun (n, _) -> (n, n)) protocols))) None
+    & info [ "protocol" ] ~docv:"NAME" ~doc:"Only this protocol.")
+
+let line_arg =
+  Arg.(value & opt int 4 & info [ "line" ] ~docv:"WORDS" ~doc:"Line size.")
+
+let sizes_arg =
+  Arg.(
+    value
+    & opt (list int) [ 64; 128; 256; 512; 1024; 2048; 4096; 8192 ]
+    & info [ "sizes" ] ~docv:"LIST" ~doc:"Cache sizes in words.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print full metrics.")
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "trace-file" ] ~docv:"FILE"
+        ~doc:"Sweep a trace written by trace_dump --binary instead of \
+              running a benchmark.")
+
+let cmd =
+  let doc = "sweep cache protocols and sizes over a benchmark trace" in
+  Cmd.v
+    (Cmd.info "cache_sweep" ~doc)
+    Term.(
+      const run_cmd $ bench_arg $ pes_arg $ protocol_arg $ line_arg
+      $ sizes_arg $ verbose_arg $ trace_file_arg)
+
+let () =
+  match Cmd.eval_value cmd with
+  | Ok _ -> ()
+  | Error _ -> exit 1

@@ -1,0 +1,139 @@
+(* rapwam_run: compile and run an annotated Prolog program.
+
+     rapwam_run --query 'main(X)' file.pl
+     rapwam_run --pes 8 --query 'tak(12,7,3,A)' tak.pl
+     rapwam_run --sequential --stats --query ... file.pl
+     rapwam_run --listing --query ... file.pl                          *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_cmd src_path query pes sequential stats listing disasm_only prelude =
+  let src = match src_path with Some p -> read_file p | None -> "" in
+  let src = if prelude then Prolog.Prelude.source ^ "\n" ^ src else src in
+  let prog =
+    Wam.Program.prepare ~parallel:(not sequential) ~src ~query ()
+  in
+  if listing || disasm_only then begin
+    Format.printf "%a@." Wam.Program.pp_listing prog;
+    if disasm_only then exit 0
+  end;
+  let area_stats =
+    Trace.Areastats.create ~pe_of_addr:Wam.Layout.pe_of_addr ()
+  in
+  let sink = Trace.Areastats.sink area_stats in
+  let report_machine m rounds =
+    if stats then begin
+      Format.printf "@.-- statistics --@.";
+      Format.printf "instructions : %d@." (Wam.Machine.total_instr m);
+      Format.printf "inferences   : %d@." m.Wam.Machine.inferences;
+      Format.printf "data refs    : %d@."
+        (Trace.Areastats.data_refs area_stats);
+      Format.printf "total refs   : %d@." (Trace.Areastats.total area_stats);
+      Format.printf "parcalls     : %d@." m.Wam.Machine.parcalls;
+      Format.printf "goals stolen : %d@." m.Wam.Machine.goals_stolen;
+      Format.printf "rounds       : %d@." rounds;
+      Format.printf "%a@." Trace.Areastats.pp area_stats;
+      if Wam.Machine.n_workers m > 1 then begin
+        Format.printf "-- per PE --@.%-4s %10s %10s %10s %10s@." "PE"
+          "instr" "idle" "wait" "heap used";
+        Array.iter
+          (fun w ->
+            Format.printf "%-4d %10d %10d %10d %10d@." w.Wam.Machine.id
+              w.Wam.Machine.instr_count w.Wam.Machine.idle_cycles
+              w.Wam.Machine.wait_cycles (Wam.Machine.heap_used w))
+          m.Wam.Machine.workers
+      end;
+      Format.printf "-- instruction mix --@.%a@."
+        (fun fmt () -> Stats.Freq.pp fmt m.Wam.Machine.opcode_freq)
+        ()
+    end
+  in
+  let print_result result =
+    match result with
+    | Wam.Seq.Failure ->
+      Format.printf "no@.";
+      exit 2
+    | Wam.Seq.Success [] -> Format.printf "yes@."
+    | Wam.Seq.Success bindings ->
+      List.iter
+        (fun (v, t) ->
+          Format.printf "%s = %s@." v (Prolog.Pretty.to_string t))
+        bindings
+  in
+  if sequential || pes = 1 then begin
+    if sequential then begin
+      let result, m = Wam.Seq.run ~sink prog in
+      print_result result;
+      report_machine m m.Wam.Machine.steps
+    end
+    else begin
+      let result, sim = Rapwam.Sim.run ~sink ~n_workers:1 prog in
+      print_result result;
+      report_machine sim.Rapwam.Sim.m sim.Rapwam.Sim.rounds
+    end
+  end
+  else begin
+    let result, sim = Rapwam.Sim.run ~sink ~n_workers:pes prog in
+    print_result result;
+    report_machine sim.Rapwam.Sim.m sim.Rapwam.Sim.rounds
+  end
+
+open Cmdliner
+
+let src_arg =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Annotated Prolog source file (optional).")
+
+let query_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"GOAL" ~doc:"The query to run.")
+
+let pes_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "p"; "pes" ] ~docv:"N" ~doc:"Number of RAP-WAM workers (PEs).")
+
+let seq_arg =
+  Arg.(
+    value & flag
+    & info [ "sequential" ]
+        ~doc:"Compile and run as a plain sequential WAM (CGEs become ',').")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics.")
+
+let listing_arg =
+  Arg.(value & flag & info [ "listing" ] ~doc:"Print the compiled WAM code.")
+
+let disasm_arg =
+  Arg.(
+    value & flag
+    & info [ "disasm-only" ] ~doc:"Print the compiled code and exit.")
+
+let prelude_arg =
+  Arg.(
+    value & flag
+    & info [ "prelude" ]
+        ~doc:"Preload the list/arithmetic prelude (append/3, member/2, ...).")
+
+let cmd =
+  let doc = "run annotated Prolog on the RAP-WAM simulator" in
+  Cmd.v
+    (Cmd.info "rapwam_run" ~doc)
+    Term.(
+      const run_cmd $ src_arg $ query_arg $ pes_arg $ seq_arg $ stats_arg
+      $ listing_arg $ disasm_arg $ prelude_arg)
+
+let () =
+  match Cmd.eval_value cmd with
+  | Ok _ -> ()
+  | Error _ -> exit 1

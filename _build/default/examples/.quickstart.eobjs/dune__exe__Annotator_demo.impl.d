@@ -1,0 +1,1 @@
+examples/annotator_demo.ml: Format List Prolog Rapwam Wam

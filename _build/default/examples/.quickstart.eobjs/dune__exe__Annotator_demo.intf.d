@@ -1,0 +1,1 @@
+examples/annotator_demo.mli:

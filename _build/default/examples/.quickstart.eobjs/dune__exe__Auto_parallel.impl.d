@@ -1,0 +1,1 @@
+examples/auto_parallel.ml: Format List Prolog Rapwam Wam

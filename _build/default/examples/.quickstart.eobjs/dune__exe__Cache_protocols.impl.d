@@ -1,0 +1,1 @@
+examples/cache_protocols.ml: Benchlib Cachesim Format List Stats Trace

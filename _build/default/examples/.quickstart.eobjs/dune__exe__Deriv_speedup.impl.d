@@ -1,0 +1,1 @@
+examples/deriv_speedup.ml: Benchlib Format List Stats String

@@ -1,0 +1,50 @@
+(* CGE semantics demo: conditional graph expressions with run-time
+   ground/indep checks, the sequential fallback, and what the compiler
+   emits for them.
+
+     dune exec examples/annotator_demo.exe                             *)
+
+let program =
+  {|
+    % The paper's own example: g and h can run in parallel when X and
+    % Z share no variable and Y is ground.
+    f(X, Y, Z) :- (indep(X, Z), ground(Y) | g(X, Y) & h(Y, Z)).
+
+    g(X, Y) :- X = g_saw(Y).
+    h(Y, Z) :- Z = h_saw(Y).
+  |}
+
+let run label query =
+  let result, sim = Rapwam.Sim.solve ~n_workers:2 ~src:program ~query () in
+  let m = sim.Rapwam.Sim.m in
+  (match result with
+  | Wam.Seq.Success bindings ->
+    Format.printf "%-34s yes  (parcalls: %d)@." label m.Wam.Machine.parcalls;
+    List.iter
+      (fun (v, t) ->
+        Format.printf "    %s = %s@." v (Prolog.Pretty.to_string t))
+      bindings
+  | Wam.Seq.Failure ->
+    Format.printf "%-34s no   (parcalls: %d)@." label m.Wam.Machine.parcalls)
+
+let () =
+  Format.printf "program:@.%s@." program;
+
+  (* Compiled form: checks, parcall, pushes, join, fallback. *)
+  let prog =
+    Wam.Program.prepare ~parallel:true ~src:program ~query:"f(X, y, Z)" ()
+  in
+  Format.printf "compiled WAM code:@.%a@.@." Wam.Program.pp_listing prog;
+
+  (* 1. checks hold: X, Z free and independent; Y ground *)
+  run "f(X, y, Z) -- checks hold:" "f(X, y, Z)";
+  Format.printf "@.";
+  (* 2. X and Z share a variable: the sequential fallback runs *)
+  run "X = k(V), Z = k(V) -- dependent:" "X = k(V), Z = k(V), f(X, y, Z)";
+  Format.printf "@.";
+  (* 3. Y not ground: fallback again *)
+  run "f(X, W, Z) -- Y unbound:" "f(X, W, Z)";
+  Format.printf
+    "@.With the checks satisfied the parallel branch allocates a parcall;@.\
+     otherwise the compiler's sequential fallback preserves standard@.\
+     Prolog semantics (parcalls stay at 0).@."

@@ -1,0 +1,51 @@
+(* Compare the cache-coherency protocols on one workload: run qsort on
+   8 PEs, feed the tagged trace to each protocol across cache sizes,
+   and show where the hybrid scheme lands between write-through and the
+   broadcast caches -- the paper's Section 3 story on one benchmark.
+
+     dune exec examples/cache_protocols.exe                            *)
+
+let sizes = [ 128; 256; 512; 1024; 2048; 4096 ]
+
+let () =
+  let bench = Benchlib.Inputs.benchmark "qsort" in
+  Format.printf "running qsort on 8 PEs...@.";
+  let r = Benchlib.Runner.run_rapwam ~n_pes:8 bench in
+  Format.printf "trace: %d references (I+D), %d data references@.@."
+    (Trace.Sink.Buffer_sink.length r.Benchlib.Runner.trace)
+    r.Benchlib.Runner.data_refs;
+  let t =
+    Stats.Table.create
+      ~title:"traffic ratio (bus words / reference words), best policy"
+      ~headers:
+        ("protocol"
+        :: List.map (fun s -> string_of_int s ^ "w") sizes)
+      ~aligns:
+        (Stats.Table.Left :: List.map (fun _ -> Stats.Table.Right) sizes)
+      ()
+  in
+  List.iter
+    (fun kind ->
+      let cells =
+        List.map
+          (fun size ->
+            let stats, _ =
+              Cachesim.Multi.simulate_best ~kind ~cache_words:size ~n_pes:8
+                r.Benchlib.Runner.trace
+            in
+            Stats.Table.cell_float (Cachesim.Metrics.traffic_ratio stats))
+          sizes
+      in
+      Stats.Table.add_row t (Cachesim.Protocol.kind_name kind :: cells))
+    Cachesim.Protocol.all_kinds;
+  Stats.Table.print t;
+  (* breakdown for the hybrid protocol at 1024 words *)
+  let stats =
+    Cachesim.Multi.simulate ~kind:Cachesim.Protocol.Hybrid ~cache_words:1024
+      ~n_pes:8 r.Benchlib.Runner.trace
+  in
+  Format.printf "@.hybrid @ 1024 words:@.%a@." Cachesim.Metrics.pp stats;
+  Format.printf
+    "@.Reading: broadcast caches lead, the tag-driven hybrid follows@.\
+     closely at lower hardware cost, conventional write-through trails@.\
+     -- the paper's Section 3 conclusion.@."

@@ -1,0 +1,51 @@
+(* Quickstart: parse an annotated Prolog program, run it on the
+   sequential WAM and on RAP-WAM with 4 PEs, and inspect the answer
+   and the basic statistics.
+
+     dune exec examples/quickstart.exe                                 *)
+
+let program =
+  {|
+    % Fibonacci with the two recursive calls in parallel.
+    fib(0, 1).
+    fib(1, 1).
+    fib(N, F) :-
+        N > 1, N1 is N - 1, N2 is N - 2,
+        fib(N1, F1) & fib(N2, F2),
+        F is F1 + F2.
+  |}
+
+let query = "fib(17, F)"
+
+let () =
+  Format.printf "program:@.%s@.query: ?- %s.@.@." program query;
+
+  (* 1. Sequential WAM: the '&' reads as a plain conjunction. *)
+  let seq_result, seq_machine = Wam.Seq.solve ~src:program ~query () in
+  (match seq_result with
+  | Wam.Seq.Success bindings ->
+    List.iter
+      (fun (v, t) ->
+        Format.printf "WAM      : %s = %s@." v (Prolog.Pretty.to_string t))
+      bindings
+  | Wam.Seq.Failure -> Format.printf "WAM      : no@.");
+  Format.printf "           %d instructions, %d inferences@.@."
+    (Wam.Machine.total_instr seq_machine)
+    seq_machine.Wam.Machine.inferences;
+
+  (* 2. RAP-WAM on 4 PEs: goals are pushed, stolen and joined. *)
+  let par_result, sim = Rapwam.Sim.solve ~n_workers:4 ~src:program ~query () in
+  (match par_result with
+  | Wam.Seq.Success bindings ->
+    List.iter
+      (fun (v, t) ->
+        Format.printf "RAP-WAM  : %s = %s@." v (Prolog.Pretty.to_string t))
+      bindings
+  | Wam.Seq.Failure -> Format.printf "RAP-WAM  : no@.");
+  let m = sim.Rapwam.Sim.m in
+  Format.printf
+    "           4 PEs, %d parcalls, %d goals stolen, %d rounds@."
+    m.Wam.Machine.parcalls m.Wam.Machine.goals_stolen sim.Rapwam.Sim.rounds;
+  Format.printf "           speedup estimate: %.2fx@."
+    (float_of_int (Wam.Machine.total_instr seq_machine)
+    /. float_of_int sim.Rapwam.Sim.rounds)

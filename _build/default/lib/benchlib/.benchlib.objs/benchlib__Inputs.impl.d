@@ -1,0 +1,1 @@
+lib/benchlib/inputs.ml: List Printf Programs String

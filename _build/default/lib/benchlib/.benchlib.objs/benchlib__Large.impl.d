@@ -1,0 +1,1 @@
+lib/benchlib/large.ml: Inputs List Printf Programs String

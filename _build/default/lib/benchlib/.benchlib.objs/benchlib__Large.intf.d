@@ -1,0 +1,1 @@
+lib/benchlib/large.mli: Programs

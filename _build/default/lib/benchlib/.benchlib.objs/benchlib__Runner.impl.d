@@ -1,0 +1,1 @@
+lib/benchlib/runner.ml: Array List Programs Prolog Rapwam Trace Wam

@@ -1,0 +1,135 @@
+(* The "large benchmark" population for Table 3.
+
+   The paper z-scores its small benchmarks against the sequential
+   traffic ratios of Tick's large Prolog programs (compilers, theorem
+   provers) -- a proprietary trace set.  As a substitute, this module
+   bundles a population of classic sequential Prolog programs with
+   varied referencing behaviour (deterministic recursion, heavy
+   backtracking, structure building, arithmetic): nrev, queens, query,
+   primes and serialise.  They play the same statistical role: an
+   external population against which the small benchmarks' locality is
+   compared. *)
+
+let nrev =
+  "app([], L, L).\n\
+   app([H|T], L, [H|R]) :- app(T, L, R).\n\
+   nrev([], []).\n\
+   nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).\n"
+
+let queens =
+  "queens(N, Qs) :- range(1, N, Ns), place(Ns, [], Qs).\n\
+   place([], Qs, Qs).\n\
+   place(Unplaced, Safe, Qs) :-\n\
+  \    selectq(Q, Unplaced, Rest),\n\
+  \    \\+ attack(Q, Safe),\n\
+  \    place(Rest, [Q|Safe], Qs).\n\
+   attack(X, Xs) :- attack3(X, 1, Xs).\n\
+   attack3(X, N, [Y|_]) :- X is Y + N.\n\
+   attack3(X, N, [Y|_]) :- X is Y - N.\n\
+   attack3(X, N, [_|Ys]) :- N1 is N + 1, attack3(X, N1, Ys).\n\
+   selectq(X, [X|Xs], Xs).\n\
+   selectq(X, [Y|Ys], [Y|Zs]) :- selectq(X, Ys, Zs).\n\
+   range(N, N, [N]) :- !.\n\
+   range(M, N, [M|Ns]) :- M < N, M1 is M + 1, range(M1, N, Ns).\n"
+
+let query =
+  "query([C1, D1, C2, D2]) :-\n\
+  \    density(C1, D1), density(C2, D2),\n\
+  \    D1 > D2, T1 is 20 * D1, T2 is 21 * D2, T1 < T2.\n\
+   density(C, D) :- pop(C, P), area(C, A), D is P * 100 // A.\n\
+   pop(china, 8250). area(china, 3380).\n\
+   pop(india, 5863). area(india, 1139).\n\
+   pop(ussr, 2521). area(ussr, 8708).\n\
+   pop(usa, 2119). area(usa, 3609).\n\
+   pop(indonesia, 1276). area(indonesia, 570).\n\
+   pop(japan, 1097). area(japan, 148).\n\
+   pop(brazil, 1042). area(brazil, 3288).\n\
+   pop(bangladesh, 750). area(bangladesh, 55).\n\
+   pop(pakistan, 682). area(pakistan, 311).\n\
+   pop(w_germany, 620). area(w_germany, 96).\n\
+   pop(nigeria, 613). area(nigeria, 373).\n\
+   pop(mexico, 581). area(mexico, 764).\n\
+   pop(uk, 559). area(uk, 86).\n\
+   pop(italy, 554). area(italy, 116).\n\
+   pop(france, 525). area(france, 213).\n\
+   pop(philippines, 415). area(philippines, 90).\n\
+   pop(thailand, 410). area(thailand, 200).\n\
+   pop(turkey, 383). area(turkey, 296).\n\
+   pop(egypt, 364). area(egypt, 386).\n\
+   pop(spain, 352). area(spain, 190).\n\
+   pop(poland, 337). area(poland, 121).\n\
+   pop(s_korea, 335). area(s_korea, 37).\n\
+   pop(iran, 320). area(iran, 628).\n\
+   pop(ethiopia, 272). area(ethiopia, 350).\n\
+   pop(argentina, 251). area(argentina, 1080).\n"
+
+let primes =
+  "primes(Limit, Ps) :- integers(2, Limit, Is), sift(Is, Ps).\n\
+   integers(Low, High, [Low|Rest]) :-\n\
+  \    Low =< High, !, M is Low + 1, integers(M, High, Rest).\n\
+   integers(_, _, []).\n\
+   sift([], []).\n\
+   sift([I|Is], [I|Ps]) :- remove(I, Is, New), sift(New, Ps).\n\
+   remove(_, [], []).\n\
+   remove(P, [I|Is], Nis) :- I mod P =:= 0, !, remove(P, Is, Nis).\n\
+   remove(P, [I|Is], [I|Nis]) :- remove(P, Is, Nis).\n"
+
+let serialise =
+  "serialise(L, R) :- pairlists(L, R, A), arrange(A, T), numbered(T, 1, _).\n\
+   pairlists([X|L], [Y|R], [pair(X, Y)|A]) :- pairlists(L, R, A).\n\
+   pairlists([], [], []).\n\
+   arrange([X|L], tree(T1, X, T2)) :-\n\
+  \    split(L, X, L1, L2), arrange(L1, T1), arrange(L2, T2).\n\
+   arrange([], void).\n\
+   split([X|L], X, L1, L2) :- !, split(L, X, L1, L2).\n\
+   split([X|L], Y, [X|L1], L2) :- before(X, Y), !, split(L, Y, L1, L2).\n\
+   split([X|L], Y, L1, [X|L2]) :- before(Y, X), !, split(L, Y, L1, L2).\n\
+   split([], _, [], []).\n\
+   before(pair(X1, _), pair(X2, _)) :- X1 < X2.\n\
+   numbered(tree(T1, pair(_, N1), T2), N0, N) :-\n\
+  \    numbered(T1, N0, N1), N2 is N1 + 1, numbered(T2, N2, N).\n\
+   numbered(void, N, N).\n"
+
+(* The population, with inputs sized for six-figure reference counts. *)
+let population () =
+  let nrev_input =
+    Printf.sprintf "[%s]"
+      (String.concat ", " (List.init 220 string_of_int))
+  in
+  let serialise_input =
+    let rnd = Inputs.lcg 11 in
+    Printf.sprintf "[%s]"
+      (String.concat ", " (List.init 120 (fun _ -> string_of_int (rnd 64))))
+  in
+  [
+    {
+      Programs.name = "nrev";
+      src = nrev;
+      query = Printf.sprintf "nrev(%s, R)" nrev_input;
+      answer_var = "R";
+    };
+    {
+      Programs.name = "queens";
+      src = queens;
+      query = "queens(9, Qs)";
+      answer_var = "Qs";
+    };
+    {
+      Programs.name = "query";
+      src = query;
+      query = "query(Answer)";
+      answer_var = "Answer";
+    };
+    {
+      Programs.name = "primes";
+      src = primes;
+      query = "primes(900, Ps)";
+      answer_var = "Ps";
+    };
+    {
+      Programs.name = "serialise";
+      src = serialise;
+      query = Printf.sprintf "serialise(%s, R)" serialise_input;
+      answer_var = "R";
+    };
+  ]

@@ -1,0 +1,16 @@
+(** The "large benchmark" population for Table 3.
+
+    Substitutes for Tick's proprietary trace set: a population of
+    classic sequential Prolog programs with varied referencing
+    behaviour, against which the small benchmarks' locality is
+    z-scored. *)
+
+val nrev : string
+val queens : string
+val query : string
+val primes : string
+val serialise : string
+
+val population : unit -> Programs.benchmark list
+(** The five programs with inputs sized for six-figure reference
+    counts. *)

@@ -1,0 +1,77 @@
+(* The paper's four benchmarks (§3.2), as annotated &-Prolog sources.
+
+   deriv   symbolic differentiation; independent subderivations run in
+           parallel (fine granularity: worst-case management overhead)
+   tak     Takeuchi's function; the three recursive calls in parallel
+   qsort   quicksort with difference lists; the two recursive sorts in
+           parallel (non-strictly independent: only one goal binds the
+           shared difference-list tail)
+   matrix  naive matrix multiplication; one parallel goal per result
+           row (coarse granularity)
+
+   Each program also has a natural sequential reading: compiling with
+   [parallel = false] turns every '&' into ','. *)
+
+let deriv =
+  "% symbolic differentiation (Warren's deriv, &-annotated).\n\
+   % The benchmark harness iterates the derivation with a\n\
+   % failure-driven driver (dbench), the classic way Prolog\n\
+   % benchmarks of the period reused storage; the cuts make each\n\
+   % derivation step deterministic on both machines.\n\
+   d(U + V, X, DU + DV) :- !, d(U, X, DU) & d(V, X, DV).\n\
+   d(U - V, X, DU - DV) :- !, d(U, X, DU) & d(V, X, DV).\n\
+   d(U * V, X, DU * V + U * DV) :- !, d(U, X, DU) & d(V, X, DV).\n\
+   d(U / V, X, (DU * V - U * DV) / (V * V)) :- !, d(U, X, DU) & d(V, X, DV).\n\
+   d(U ^ N, X, DU * N * U ^ N1) :- integer(N), !, N1 is N - 1, d(U, X, DU).\n\
+   d(- U, X, - DU) :- !, d(U, X, DU).\n\
+   d(exp(U), X, exp(U) * DU) :- !, d(U, X, DU).\n\
+   d(log(U), X, DU / U) :- !, d(U, X, DU).\n\
+   d(X, X, 1) :- !.\n\
+   d(C, _, 0) :- atomic(C).\n\
+   dbench(_, 0).\n\
+   dbench(E, N) :- once_d(E), N1 is N - 1, dbench(E, N1).\n\
+   once_d(E) :- d(E, x, _D), fail.\n\
+   once_d(_).\n"
+
+let tak =
+  "% Takeuchi's function, the three recursive calls in parallel\n\
+   tak(X, Y, Z, A) :- X =< Y, !, A = Z.\n\
+   tak(X, Y, Z, A) :-\n\
+  \    X1 is X - 1, Y1 is Y - 1, Z1 is Z - 1,\n\
+  \    tak(X1, Y, Z, A1) & tak(Y1, Z, X, A2) & tak(Z1, X, Y, A3),\n\
+  \    tak(A1, A2, A3, A).\n"
+
+let qsort =
+  "% quicksort with difference lists, recursive sorts in parallel\n\
+   qsort(L, S) :- qs(L, S, []).\n\
+   qs([], R, R).\n\
+   qs([X|L], R, R0) :-\n\
+  \    partition(L, X, L1, L2),\n\
+  \    qs(L1, R, [X|R1]) & qs(L2, R1, R0).\n\
+   partition([], _, [], []).\n\
+   partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).\n\
+   partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).\n"
+
+let matrix =
+  "% naive matrix multiplication, one parallel goal per row\n\
+   matrix(A, B, C) :- transpose(B, Bt), mmult(A, Bt, C).\n\
+   mmult([], _, []).\n\
+   mmult([R|Rs], Cs, [X|Xs]) :- multrow(Cs, R, X) & mmult(Rs, Cs, Xs).\n\
+   multrow([], _, []).\n\
+   multrow([C|Cs], R, [X|Xs]) :- dotprod(R, C, 0, X), multrow(Cs, R, Xs).\n\
+   dotprod([], [], A, A).\n\
+   dotprod([X|Xs], [Y|Ys], A0, A) :- A1 is A0 + X * Y, dotprod(Xs, Ys, A1, A).\n\
+   transpose([], []).\n\
+   transpose([[]|_], []).\n\
+   transpose(M, [Col|Cols]) :- heads_tails(M, Col, Rest), transpose(Rest, Cols).\n\
+   heads_tails([], [], []).\n\
+   heads_tails([[X|Xs]|Rs], [X|Col], [Xs|Rest]) :- heads_tails(Rs, Col, Rest).\n"
+
+type benchmark = {
+  name : string;
+  src : string;
+  query : string; (* built from the generated input *)
+  answer_var : string; (* variable holding the result *)
+}
+
+let all_names = [ "deriv"; "tak"; "qsort"; "matrix" ]

@@ -1,0 +1,28 @@
+(** The paper's four benchmarks (§3.2), as annotated &-Prolog sources.
+
+    {ul
+    {- [deriv]: symbolic differentiation; independent subderivations in
+       parallel (fine granularity, the paper's worst case), iterated
+       through a failure-driven driver that reuses storage;}
+    {- [tak]: Takeuchi's function, three recursive calls in parallel;}
+    {- [qsort]: difference-list quicksort, the two recursive sorts in
+       parallel (non-strictly independent);}
+    {- [matrix]: naive matrix multiplication, one goal per row (coarse
+       granularity).}}
+
+    Compiling with [parallel = false] turns every ['&'] into [','] -- the
+    sequential reading. *)
+
+val deriv : string
+val tak : string
+val qsort : string
+val matrix : string
+
+type benchmark = {
+  name : string;
+  src : string;
+  query : string;  (** built from the generated input *)
+  answer_var : string;  (** variable holding the result ("" if none) *)
+}
+
+val all_names : string list

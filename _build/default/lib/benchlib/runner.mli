@@ -1,0 +1,40 @@
+(** Benchmark execution: compile and run a benchmark sequentially
+    (WAM) or in parallel (RAP-WAM), collecting statistics and the
+    tagged reference trace.
+
+    Traces are unified I+D (instruction fetches included, tagged
+    Code); [data_refs] excludes fetches and matches the paper's
+    Table 2 "references". *)
+
+type result = {
+  bench : Programs.benchmark;
+  n_pes : int;  (** 0 = sequential WAM *)
+  succeeded : bool;
+  answer : Prolog.Term.t option;  (** the [answer_var] binding, if any *)
+  instructions : int;
+  data_refs : int;
+  total_refs : int;  (** including instruction fetches *)
+  rounds : int;  (** simulated time (parallel runs) *)
+  inferences : int;
+  parcalls : int;
+  goals_stolen : int;
+  idle_cycles : int;
+  wait_cycles : int;
+  trace : Trace.Sink.Buffer_sink.t;  (** packed references (I+D) *)
+  area_stats : Trace.Areastats.t;
+  opcode_freq : int array;
+  heap_words : int;  (** high-water marks, summed over PEs *)
+  local_words : int;
+  control_words : int;
+  trail_words : int;
+}
+
+val run_wam : ?keep_trace:bool -> Programs.benchmark -> result
+(** Sequential WAM run (the paper's baseline). *)
+
+val run_rapwam :
+  ?keep_trace:bool -> ?steal:Rapwam.Sim.steal_policy -> ?allow_steal:bool ->
+  n_pes:int -> Programs.benchmark -> result
+
+val answers_agree : result -> result -> bool
+(** Same outcome and same [answer_var] binding. *)

@@ -1,0 +1,1 @@
+lib/cachesim/multi.ml: Array Cache Hashtbl Metrics Printf Protocol Trace

@@ -1,0 +1,1 @@
+lib/cachesim/multi.mli: Metrics Protocol Trace

@@ -1,0 +1,1 @@
+lib/cachesim/timing.mli: Metrics

@@ -1,0 +1,1 @@
+lib/cachesim/uni.ml: Metrics Multi Protocol

@@ -1,0 +1,1 @@
+lib/cachesim/uni.mli: Metrics Trace

@@ -1,0 +1,57 @@
+(* Cache-simulation counters and derived ratios.
+
+   [bus_words] counts every word moved over the shared bus: line fills,
+   write-backs of dirty victims, write-through words, and the one-word
+   address cycles of invalidation/update broadcasts.  The paper's
+   traffic ratio is bus words divided by processor reference words
+   (one word per reference), i.e. the fraction of processor traffic
+   that the caches fail to absorb. *)
+
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable read_misses : int;
+  mutable write_misses : int;
+  mutable fills : int; (* line fetches *)
+  mutable writebacks : int; (* dirty-victim write-backs *)
+  mutable wt_words : int; (* single-word write-throughs / updates *)
+  mutable invalidations : int; (* explicit invalidate broadcasts *)
+  mutable updates : int; (* update broadcasts to remote caches *)
+  mutable bus_words : int;
+}
+
+let create () =
+  {
+    reads = 0;
+    writes = 0;
+    read_misses = 0;
+    write_misses = 0;
+    fills = 0;
+    writebacks = 0;
+    wt_words = 0;
+    invalidations = 0;
+    updates = 0;
+    bus_words = 0;
+  }
+
+let refs t = t.reads + t.writes
+let misses t = t.read_misses + t.write_misses
+
+let traffic_ratio t =
+  if refs t = 0 then 0.0 else float_of_int t.bus_words /. float_of_int (refs t)
+
+let miss_ratio t =
+  if refs t = 0 then 0.0 else float_of_int (misses t) /. float_of_int (refs t)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>refs        %10d (%d r / %d w)@,\
+     misses      %10d (ratio %.4f)@,\
+     fills       %10d@,\
+     writebacks  %10d@,\
+     wt words    %10d@,\
+     invalidates %10d@,\
+     updates     %10d@,\
+     bus words   %10d (traffic ratio %.4f)@]"
+    (refs t) t.reads t.writes (misses t) (miss_ratio t) t.fills t.writebacks
+    t.wt_words t.invalidations t.updates t.bus_words (traffic_ratio t)

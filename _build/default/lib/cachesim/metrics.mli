@@ -1,0 +1,27 @@
+(** Cache-simulation counters and derived ratios.
+
+    [bus_words] counts every word moved over the shared bus: line
+    fills, write-backs of dirty victims, write-through words, and the
+    one-word address cycles of invalidation/update broadcasts.  The
+    paper's {e traffic ratio} is bus words divided by processor
+    reference words. *)
+
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable read_misses : int;
+  mutable write_misses : int;
+  mutable fills : int;  (** line fetches *)
+  mutable writebacks : int;  (** dirty-victim write-backs and flushes *)
+  mutable wt_words : int;  (** single-word write-throughs *)
+  mutable invalidations : int;  (** explicit invalidate broadcasts *)
+  mutable updates : int;  (** update broadcasts to remote caches *)
+  mutable bus_words : int;
+}
+
+val create : unit -> t
+val refs : t -> int
+val misses : t -> int
+val traffic_ratio : t -> float
+val miss_ratio : t -> float
+val pp : Format.formatter -> t -> unit

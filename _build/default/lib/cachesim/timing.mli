@@ -1,0 +1,24 @@
+(** Execution-time estimation for the two-level organization: combines
+    the interleaved simulation's rounds, a protocol's bus words and an
+    M/D/1 bus queue into an estimated cycle count (the analysis the
+    paper defers to Tick's queueing model in §3.3). *)
+
+type estimate = {
+  cycles : float;  (** estimated execution time *)
+  ideal_cycles : float;  (** without memory stalls *)
+  bus_utilization : float;
+  memory_efficiency : float;  (** ideal / estimated *)
+  stall_cycles : float;
+}
+
+val default_cpi : float
+val default_bus_words_per_cycle : float
+val default_miss_penalty : float
+
+val estimate :
+  ?cpi:float -> ?bus_words_per_cycle:float -> ?miss_penalty:float ->
+  rounds:int -> n_pes:int -> Metrics.t -> estimate
+(** Solve [T = rounds*cpi + (bus_words/n_pes) * (response(T) +
+    miss_penalty)] by bisection. *)
+
+val effective_speedup : seq:estimate -> par:estimate -> float

@@ -1,0 +1,14 @@
+(* Uniprocessor cache runs: plain copyback caches over sequential
+   (1-PE) traces, as used for the Table 3 locality comparison against
+   large benchmarks (and Tick's sequential Prolog cache studies). *)
+
+let simulate ?(line_words = 4) ?write_allocate ~cache_words buf =
+  Multi.simulate ~line_words ?write_allocate ~kind:Protocol.Copyback
+    ~cache_words ~n_pes:1 buf
+
+let traffic_ratio ?line_words ?write_allocate ~cache_words buf =
+  Metrics.traffic_ratio
+    (simulate ?line_words ?write_allocate ~cache_words buf)
+
+let miss_ratio ?line_words ?write_allocate ~cache_words buf =
+  Metrics.miss_ratio (simulate ?line_words ?write_allocate ~cache_words buf)

@@ -1,0 +1,14 @@
+(** Uniprocessor cache runs: plain copyback caches over sequential
+    traces, as used for the Table 3 locality comparison. *)
+
+val simulate :
+  ?line_words:int -> ?write_allocate:bool -> cache_words:int ->
+  Trace.Sink.Buffer_sink.t -> Metrics.t
+
+val traffic_ratio :
+  ?line_words:int -> ?write_allocate:bool -> cache_words:int ->
+  Trace.Sink.Buffer_sink.t -> float
+
+val miss_ratio :
+  ?line_words:int -> ?write_allocate:bool -> cache_words:int ->
+  Trace.Sink.Buffer_sink.t -> float

@@ -1,0 +1,1 @@
+lib/core/goal_frame.ml: Array Cell Layout Machine Memory Trace Wam

@@ -1,0 +1,1 @@
+lib/core/goal_frame.mli: Wam

@@ -1,0 +1,1 @@
+lib/core/marker.ml: Cell Layout Machine Memory Trace Wam

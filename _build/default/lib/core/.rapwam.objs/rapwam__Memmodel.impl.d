@@ -1,0 +1,1 @@
+lib/core/memmodel.ml: Array Cachesim Float Trace

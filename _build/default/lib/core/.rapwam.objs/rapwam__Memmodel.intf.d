@@ -1,0 +1,1 @@
+lib/core/memmodel.mli: Cachesim Trace

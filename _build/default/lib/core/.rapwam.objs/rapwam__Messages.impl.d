@@ -1,0 +1,1 @@
+lib/core/messages.ml: Array Cell Layout Machine Memory Trace Wam

@@ -1,0 +1,1 @@
+lib/core/parcall.ml: Cell Layout Machine Memory Trace Wam

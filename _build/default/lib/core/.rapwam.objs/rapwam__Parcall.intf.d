@@ -1,0 +1,1 @@
+lib/core/parcall.mli: Wam

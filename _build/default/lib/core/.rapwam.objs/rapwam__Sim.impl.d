@@ -1,0 +1,1 @@
+lib/core/sim.ml: Array Cell Code Compile Exec Goal_frame Instr List Machine Marker Memmodel Memory Messages Parcall Program Seq Symbols Trace Wam

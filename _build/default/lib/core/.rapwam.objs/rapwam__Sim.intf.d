@@ -1,0 +1,1 @@
+lib/core/sim.mli: Format Memmodel Messages Trace Wam

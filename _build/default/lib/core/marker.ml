@@ -1,0 +1,82 @@
+(* Input markers.
+
+   A marker delimits a stack section: it is pushed on the executing
+   worker's control stack when a parallel goal starts and records the
+   machine state to restore when the goal completes, fails, or is
+   unwound.  Completed sections stay on the stack (their heap holds the
+   goal's results); the marker bounds the trail segment that selective
+   unwinding replays.
+
+   Layout (base M):
+     M+0  kind (0 = input marker)     M+8  saved HB
+     M+1  parcall frame               M+9  saved E
+     M+2  slot                        M+10 saved CP
+     M+3  saved B (barrier)           M+11 resume P (-1 = back to idle)
+     M+4  saved TR                    M+12 saved PF
+     M+5  saved H                     M+13 saved cst floor
+     M+6  saved LST                   M+14 saved lst floor
+     M+7  saved prot LST              M+15 (spare)                     *)
+
+open Wam
+
+let size = 16
+let area = Trace.Area.Marker
+
+let rd m (w : Machine.worker) addr = Memory.read m.Machine.mem ~pe:w.id ~area addr
+let wr m (w : Machine.worker) addr v = Memory.write m.Machine.mem ~pe:w.id ~area addr v
+
+(* Push an input marker recording the current state; returns its base.
+   [resume_p] is the code address to resume at when the goal finishes
+   (the parent's par_join) or -1 for a stolen goal (back to Idle). *)
+let push m (w : Machine.worker) ~pf ~slot ~resume_p =
+  let base = w.cst in
+  if base + size > Layout.control_limit w.id then
+    Machine.runtime_error "control stack overflow (marker, PE %d)" w.id;
+  let f off v = wr m w (base + off) (Cell.raw v) in
+  f 0 0;
+  f 1 pf;
+  f 2 slot;
+  f 3 w.b;
+  f 4 w.tr;
+  f 5 w.h;
+  f 6 w.lst;
+  f 7 w.prot_lst;
+  f 8 w.hb;
+  f 9 w.e;
+  f 10 w.cp;
+  f 11 resume_p;
+  f 12 w.pf;
+  f 13 w.cst_floor;
+  f 14 w.lst_floor;
+  f 15 w.barrier;
+  w.cst <- base + size;
+  Machine.note_high_water w;
+  base
+
+let field m w base off = Cell.payload (rd m w (base + off))
+
+let saved_b m w base = field m w base 3
+let saved_tr m w base = field m w base 4
+let saved_h m w base = field m w base 5
+let saved_lst m w base = field m w base 6
+let saved_prot_lst m w base = field m w base 7
+let saved_hb m w base = field m w base 8
+let saved_e m w base = field m w base 9
+let saved_cp m w base = field m w base 10
+let resume_p m w base = field m w base 11
+let saved_pf m w base = field m w base 12
+let saved_cst_floor m w base = field m w base 13
+let saved_lst_floor m w base = field m w base 14
+let saved_barrier m w base = field m w base 15
+
+(* Restore the pre-goal continuation state (shared by the completion
+   and failure paths); stack pointers are restored only on failure. *)
+let restore_continuation m (w : Machine.worker) base =
+  w.e <- saved_e m w base;
+  w.cp <- saved_cp m w base;
+  w.pf <- saved_pf m w base;
+  w.cst_floor <- saved_cst_floor m w base;
+  w.lst_floor <- saved_lst_floor m w base;
+  w.barrier <- saved_barrier m w base;
+  w.hb <- saved_hb m w base;
+  w.prot_lst <- saved_prot_lst m w base

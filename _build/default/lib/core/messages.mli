@@ -1,0 +1,26 @@
+(** Message buffers (paper, Table 1 "Messages").
+
+    Backward execution across PEs is message-driven: a failing parcall
+    asks the PEs that executed sibling goals to unwind their sections
+    (selective trail replay) and acknowledge; the optional eager-kill
+    mode aborts still-running siblings.  Each PE has a locked message
+    region; messages are fixed three-word records. *)
+
+type kind = Unwind | Kill
+
+type t = { kind : kind; pf : int; slot : int }
+
+type queues
+(** OCaml-side mirror of the per-PE queue pointers (the memory words
+    carry the traffic). *)
+
+val create_queues : int -> queues
+
+val send :
+  Wam.Machine.t -> queues -> Wam.Machine.worker -> target:int -> t -> unit
+
+val pending : queues -> Wam.Machine.worker -> bool
+(** Untraced poll. *)
+
+val receive : Wam.Machine.t -> queues -> Wam.Machine.worker -> t
+(** Dequeue the next message (traced; call only when [pending]). *)

@@ -1,0 +1,1 @@
+lib/prolog/annotate.ml: Cge Database Format Hashtbl List Modes Pretty Term

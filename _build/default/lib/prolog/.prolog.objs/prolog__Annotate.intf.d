@@ -1,0 +1,1 @@
+lib/prolog/annotate.mli: Database Format Modes

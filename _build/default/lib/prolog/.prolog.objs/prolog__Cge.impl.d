@@ -1,0 +1,1 @@
+lib/prolog/cge.ml: Format List Pretty Printf Term

@@ -1,0 +1,1 @@
+lib/prolog/cge.mli: Format Term

@@ -1,0 +1,1 @@
+lib/prolog/database.ml: Cge Hashtbl List Parser Printf Term

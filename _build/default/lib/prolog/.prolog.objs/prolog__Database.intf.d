@@ -1,0 +1,1 @@
+lib/prolog/database.mli: Cge Ops Term

@@ -1,0 +1,1 @@
+lib/prolog/modes.ml: Database Hashtbl List Printf Term

@@ -1,0 +1,1 @@
+lib/prolog/modes.mli: Database Term

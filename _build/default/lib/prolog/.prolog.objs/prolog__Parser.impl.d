@@ -1,0 +1,1 @@
+lib/prolog/parser.ml: Lexer List Ops Printf Term

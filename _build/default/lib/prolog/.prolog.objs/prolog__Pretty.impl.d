@@ -1,0 +1,1 @@
+lib/prolog/pretty.ml: Format Lexer Ops String Term

@@ -1,0 +1,1 @@
+lib/prolog/pretty.mli: Format Ops Term

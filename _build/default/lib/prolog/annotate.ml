@@ -1,0 +1,308 @@
+(* Automatic CGE annotation.
+
+   The paper notes that CGEs "can be generated automatically by the
+   compiler, through a combination of local and global analysis which
+   often makes run-time independence checks unnecessary" (its reference
+   [17]).  This module implements the local part: a mode-driven
+   groundness/independence analysis that rewrites plain clause bodies
+   into parallel groups, inserting ground/indep run-time checks exactly
+   where the analysis is inconclusive.
+
+   Abstract state per variable:
+     G  definitely ground
+     F  definitely free and unaliased (first occurrence of an output)
+     A  unknown (possibly aliased, possibly partially instantiated)
+
+   Two goals can run in parallel when every variable they share is G
+   (strict goal independence); a shared A variable yields a ground/1
+   check, and a pair of distinct possibly-aliased variables yields an
+   indep/2 check.  F variables are freshly introduced and cannot alias
+   one another, so distinct F variables are independent.  If a group
+   would need more than [max_checks] run-time checks the goals are left
+   sequential (checks would eat the parallel gain). *)
+
+type abs = G | F | A
+
+type decision = Independent | Conditional of Cge.check list | Dependent
+
+let max_checks = 4
+
+(* ------------------------------------------------------------------ *)
+(* Abstract state.                                                    *)
+
+type state = (string, abs) Hashtbl.t
+
+(* A variable with no entry has never been mentioned: it is fresh,
+   hence free and unaliased. *)
+let get (st : state) v =
+  match Hashtbl.find_opt st v with Some a -> a | None -> F
+
+(* Ground is stable: no later goal can unbind a ground variable. *)
+let set (st : state) v a =
+  match Hashtbl.find_opt st v with
+  | Some G -> ()
+  | Some _ | None -> Hashtbl.replace st v a
+
+let term_ground st t = List.for_all (fun v -> get st v = G) (Term.vars t)
+
+(* Seed the state from the head and its mode. *)
+let seed_from_head modes head st =
+  let name, args =
+    match head with
+    | Term.Atom n -> (n, [])
+    | Term.Struct (n, a) -> (n, a)
+    | Term.Int _ | Term.Var _ -> ("", [])
+  in
+  let arg_modes =
+    match Modes.lookup modes ~name ~arity:(List.length args) with
+    | Some ms -> ms
+    | None -> List.map (fun _ -> Modes.Unknown) args
+  in
+  List.iter2
+    (fun arg m ->
+      match m with
+      | Modes.Ground_in -> List.iter (fun v -> set st v G) (Term.vars arg)
+      | Modes.Free_in_ground_out -> begin
+        match arg with
+        | Term.Var v -> if not (Hashtbl.mem st v) then set st v F
+        | Term.Atom _ | Term.Int _ | Term.Struct _ ->
+          List.iter
+            (fun v -> if not (Hashtbl.mem st v) then set st v A)
+            (Term.vars arg)
+      end
+      | Modes.Unknown ->
+        List.iter
+          (fun v -> if not (Hashtbl.mem st v) then set st v A)
+          (Term.vars arg))
+    args arg_modes
+
+(* ------------------------------------------------------------------ *)
+(* Success effect of one goal.                                        *)
+
+let goal_spec g =
+  match g with
+  | Term.Atom n -> (n, [])
+  | Term.Struct (n, a) -> (n, a)
+  | Term.Int _ | Term.Var _ -> ("", [])
+
+let goal_modes modes g =
+  let name, args = goal_spec g in
+  let arity = List.length args in
+  match Modes.builtin_modes name arity with
+  | Some ms -> Some ms
+  | None -> Modes.lookup modes ~name ~arity
+
+let apply_effect modes st g =
+  let name, args = goal_spec g in
+  match (name, args) with
+  | "=", [ a; b ] ->
+    (* unification: groundness flows across; otherwise both sides
+       become unknown (aliased) *)
+    if term_ground st a then List.iter (fun v -> set st v G) (Term.vars b)
+    else if term_ground st b then
+      List.iter (fun v -> set st v G) (Term.vars a)
+    else
+      List.iter (fun v -> set st v A) (Term.vars a @ Term.vars b)
+  | _ -> begin
+    match goal_modes modes g with
+    | Some ms ->
+      List.iter2
+        (fun arg m ->
+          match m with
+          | Modes.Ground_in | Modes.Free_in_ground_out ->
+            List.iter (fun v -> set st v G) (Term.vars arg)
+          | Modes.Unknown -> List.iter (fun v -> set st v A) (Term.vars arg))
+        args ms
+    | None ->
+      (* unknown predicate: everything it touches may be aliased *)
+      List.iter (fun v -> set st v A) (List.concat_map Term.vars args)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pairwise independence at a given state.                            *)
+
+let dedup_checks checks =
+  List.fold_left
+    (fun acc c -> if List.mem c acc then acc else acc @ [ c ])
+    [] checks
+
+let pair_decision st g h =
+  let vg = Term.vars (Term.Struct ("$", snd (goal_spec g))) in
+  let vh = Term.vars (Term.Struct ("$", snd (goal_spec h))) in
+  let shared = List.filter (fun v -> List.mem v vh) vg in
+  let checks = ref [] in
+  let dependent = ref false in
+  (* shared variables: ground is enough *)
+  List.iter
+    (fun v ->
+      match get st v with
+      | G -> ()
+      | F -> dependent := true (* a free variable both would bind/read *)
+      | A -> checks := Cge.Ground (Term.Var v) :: !checks)
+    shared;
+  (* distinct possibly-aliased pairs: indep/2 checks.  F variables are
+     fresh and unaliased, so only A-A and A-F pairs matter; a fresh F
+     cannot alias an A that existed before it was introduced either,
+     which leaves A-A pairs. *)
+  let a_vars vs = List.filter (fun v -> get st v = A) vs in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          if x <> y && not (List.mem y shared) && not (List.mem x shared)
+          then checks := Cge.Indep (Term.Var x, Term.Var y) :: !checks)
+        (a_vars vh))
+    (a_vars vg);
+  if !dependent then Dependent
+  else begin
+    match dedup_checks (List.rev !checks) with
+    | [] -> Independent
+    | cs -> Conditional cs
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Body rewriting.                                                    *)
+
+(* Goals eligible for parallel arms: user predicate calls. *)
+let parallelizable db g =
+  match g with
+  | Term.Atom ("!" | "true" | "fail") -> false
+  | Term.Atom name -> Database.has_predicate db (name, 0)
+  | Term.Struct (name, args) ->
+    Database.has_predicate db (name, List.length args)
+  | Term.Int _ | Term.Var _ -> false
+
+type group = {
+  mutable goals : Term.t list; (* reverse order *)
+  mutable checks : Cge.check list;
+  entry : state; (* snapshot at group start *)
+}
+
+let flush_group modes st group out =
+  match group with
+  | None -> ()
+  | Some g ->
+    let goals = List.rev g.goals in
+    (match goals with
+    | [] -> ()
+    | [ single ] -> out (Cge.Lit single)
+    | _ :: _ :: _ ->
+      out (Cge.Par { checks = dedup_checks g.checks; arms = goals }));
+    (* effects of the group's goals apply at the join *)
+    List.iter (apply_effect modes st) goals
+
+let annotate_body modes db st body =
+  let items = ref [] in
+  let out item = items := item :: !items in
+  let group : group option ref = ref None in
+  let flush () =
+    flush_group modes st !group out;
+    group := None
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Cge.Par _ ->
+        (* already annotated by the programmer: keep, after a flush *)
+        flush ();
+        out item;
+        (match item with
+        | Cge.Par { arms; _ } -> List.iter (apply_effect modes st) arms
+        | Cge.Lit _ -> ())
+      | Cge.Lit g ->
+        if not (parallelizable db g) then begin
+          flush ();
+          apply_effect modes st g;
+          out (Cge.Lit g)
+        end
+        else begin
+          match !group with
+          | None ->
+            let entry = Hashtbl.copy st in
+            group := Some { goals = [ g ]; checks = []; entry }
+          | Some grp -> begin
+            (* g joins if compatible with every member, judged at the
+               group-entry state *)
+            let decisions =
+              List.map (fun h -> pair_decision grp.entry g h) grp.goals
+            in
+            let combined =
+              List.fold_left
+                (fun acc d ->
+                  match (acc, d) with
+                  | Dependent, _ | _, Dependent -> Dependent
+                  | Independent, x -> x
+                  | x, Independent -> x
+                  | Conditional a, Conditional b -> Conditional (a @ b))
+                Independent decisions
+            in
+            match combined with
+            | Independent -> grp.goals <- g :: grp.goals
+            | Conditional cs
+              when List.length (dedup_checks (grp.checks @ cs))
+                   <= max_checks ->
+              grp.goals <- g :: grp.goals;
+              grp.checks <- dedup_checks (grp.checks @ cs)
+            | Conditional _ | Dependent ->
+              flush ();
+              let entry = Hashtbl.copy st in
+              group := Some { goals = [ g ]; checks = []; entry }
+          end
+        end)
+    body;
+  flush ();
+  List.rev !items
+
+(* ------------------------------------------------------------------ *)
+
+(* Annotate every clause of [db]; returns a new database (the original
+   is untouched).  Modes come from the database's `:- mode ...`
+   directives unless supplied explicitly. *)
+let database ?modes db =
+  let modes = match modes with Some m -> m | None -> Modes.of_database db in
+  let out = Database.create () in
+  List.iter
+    (fun key ->
+      List.iter
+        (fun (clause : Database.clause) ->
+          let st : state = Hashtbl.create 16 in
+          seed_from_head modes clause.Database.head st;
+          let body = annotate_body modes db st clause.Database.body in
+          Database.add_clause out { Database.head = clause.head; body })
+        (Database.clauses db key))
+    (Database.predicates db);
+  out
+
+(* Count the parallel goals introduced (for reporting). *)
+let parallelism_found db = Database.parallel_call_count db
+
+(* Render an annotated clause back to concrete &-Prolog syntax. *)
+let pp_clause fmt (clause : Database.clause) =
+  let pp_body fmt body =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ")
+      (fun fmt item ->
+        match item with
+        | Cge.Lit g -> Pretty.pp fmt g
+        | Cge.Par { checks = []; arms } ->
+          Format.fprintf fmt "(%a)"
+            (Format.pp_print_list
+               ~pp_sep:(fun fmt () -> Format.fprintf fmt " &@ ")
+               (fun fmt g -> Pretty.pp fmt g))
+            arms
+        | Cge.Par _ -> Cge.pp_item fmt item)
+      fmt body
+  in
+  match clause.Database.body with
+  | [] -> Format.fprintf fmt "%a." (Pretty.pp ?ops:None) clause.Database.head
+  | body ->
+    Format.fprintf fmt "@[<hv 4>%a :-@ %a.@]" (Pretty.pp ?ops:None)
+      clause.Database.head pp_body body
+
+let pp_database fmt db =
+  List.iter
+    (fun key ->
+      List.iter
+        (fun clause -> Format.fprintf fmt "%a@." pp_clause clause)
+        (Database.clauses db key))
+    (Database.predicates db)

@@ -1,0 +1,29 @@
+(** Automatic CGE annotation by mode-driven independence analysis.
+
+    Implements the local analysis the paper alludes to (its reference
+    [17]): clause bodies are rewritten so that consecutive user-goal
+    calls proven independent run under an unconditional ['&'], goals
+    whose independence is input-dependent get a conditional CGE with
+    [ground/1] / [indep/2] run-time checks, and dependent goals stay
+    sequential.
+
+    The abstract state per variable is: ground, free-and-unaliased
+    (fresh), or unknown/aliased.  Two goals are strictly independent
+    when every shared variable is ground and no pair of their
+    possibly-aliased variables may share structure. *)
+
+val database : ?modes:Modes.t -> Database.t -> Database.t
+(** Annotate every clause; returns a new database (the input is not
+    modified).  Modes default to the database's [:- mode ...]
+    directives. *)
+
+val parallelism_found : Database.t -> int
+(** Number of parallel calls in an (annotated) database. *)
+
+val max_checks : int
+(** Groups needing more run-time checks than this stay sequential. *)
+
+val pp_clause : Format.formatter -> Database.clause -> unit
+(** Render a clause back to concrete &-Prolog syntax. *)
+
+val pp_database : Format.formatter -> Database.t -> unit

@@ -1,0 +1,38 @@
+(** Conditional Graph Expressions and the normalized clause-body form.
+
+    A body is a sequence of items; each item is either an ordinary
+    literal or a parallel call (CGE).  Source syntax accepted:
+    {[
+      ( ground(Y), indep(X,Z) | g(X,Y) & h(Y,Z) )   % paper's CGE form
+      ( Cond => g & h )                             % DeGroot-style
+      g(X,Y) & h(Y,Z)                               % unconditional
+    ]} *)
+
+type check =
+  | Ground of Term.t  (** [ground(X)]: X bound to a ground term *)
+  | Indep of Term.t * Term.t  (** [indep(X,Y)]: no shared variable *)
+
+type item =
+  | Lit of Term.t  (** an ordinary goal *)
+  | Par of { checks : check list; arms : Term.t list }
+      (** a parallel call; [checks = []] means unconditional *)
+
+type body = item list
+
+exception Ill_formed of string
+
+val items_of_term : Term.t -> body
+(** Translate a parsed body term into items.
+    @raise Ill_formed on unsupported CGE conditions. *)
+
+val checks_of_term : Term.t -> check list
+(** Parse a CGE condition (conjunction of [ground/1] and [indep/2]). *)
+
+val has_par : Term.t -> bool
+(** Does a parallel conjunction appear at the top of this term? *)
+
+val item_vars : item -> string list
+(** Variables mentioned by an item. *)
+
+val pp_check : Format.formatter -> check -> unit
+val pp_item : Format.formatter -> item -> unit

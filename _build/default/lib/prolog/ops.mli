@@ -1,0 +1,24 @@
+(** Operator table for the reader and printer.
+
+    {!default} holds the standard Prolog operators plus the &-Prolog
+    extensions used by RAP-WAM sources: ['&'] (parallel conjunction,
+    binding tighter than [','] as in &-Prolog/Ciao), ['|'] / ['=>'] for
+    conditional graph expressions, and [mode] for declarations. *)
+
+type assoc = Xfx | Xfy | Yfx
+type pre_assoc = Fy | Fx
+
+type t
+
+val default : unit -> t
+(** A fresh table with the standard operators. *)
+
+val add_infix : t -> string -> int -> assoc -> unit
+val add_prefix : t -> string -> int -> pre_assoc -> unit
+
+val lookup_infix : t -> string -> (int * assoc) option
+val lookup_prefix : t -> string -> (int * pre_assoc) option
+
+val arg_prios : int -> assoc -> int * int
+(** [arg_prios prio assoc] is the maximum priority allowed for the
+    (left, right) arguments of an infix operator. *)

@@ -1,0 +1,1 @@
+lib/queueing/busmodel.mli: Mg1

@@ -1,0 +1,1 @@
+lib/queueing/mlips.mli: Format

@@ -1,0 +1,29 @@
+(** Shared-bus contention model for the two-level organization: N PEs
+    each generating word references, a cache capturing their share,
+    the remainder on the bus. *)
+
+type t = {
+  n_pes : int;
+  refs_per_cycle : float;  (** per-PE word references per cycle *)
+  traffic_ratio : float;  (** fraction of references reaching the bus *)
+  bus_words_per_cycle : float;  (** bus bandwidth *)
+}
+
+val make :
+  n_pes:int -> refs_per_cycle:float -> traffic_ratio:float ->
+  bus_words_per_cycle:float -> t
+
+val demand : t -> float
+(** Aggregate bus demand, words per cycle. *)
+
+val utilization : t -> float
+val queue : t -> Mg1.t
+
+val pe_efficiency : t -> float
+(** Efficiency of each PE once bus stalls are charged to it. *)
+
+val effective_pes : t -> float
+(** [n_pes * pe_efficiency]. *)
+
+val max_pes_at_efficiency : threshold:float -> t -> int
+(** Largest PE count keeping efficiency above [threshold]. *)

@@ -1,0 +1,43 @@
+(* M/G/1 queueing approximation for the shared bus (the model the
+   paper defers to Tick's thesis for, used in the Section 3.3
+   discussion of shared-memory efficiency).
+
+   Requests arrive at rate lambda (bus transactions per cycle,
+   aggregated over the PEs); the bus serves one transaction in S
+   cycles (deterministic service -> M/D/1 is the cs=0 case).  The
+   Pollaczek-Khinchine formula gives the mean waiting time. *)
+
+type t = {
+  lambda : float; (* arrival rate, transactions/cycle *)
+  service : float; (* mean service time, cycles *)
+  cs2 : float; (* squared coefficient of variation of service *)
+}
+
+let make ?(cs2 = 0.0) ~lambda ~service () =
+  if lambda < 0.0 || service <= 0.0 then invalid_arg "Mg1.make";
+  { lambda; service; cs2 }
+
+let utilization t = t.lambda *. t.service
+
+let is_stable t = utilization t < 1.0
+
+(* Mean waiting time in the queue (Pollaczek-Khinchine). *)
+let mean_wait t =
+  let rho = utilization t in
+  if rho >= 1.0 then infinity
+  else rho *. t.service *. (1.0 +. t.cs2) /. (2.0 *. (1.0 -. rho))
+
+(* Mean response time (wait + service). *)
+let mean_response t = mean_wait t +. t.service
+
+(* Effective slowdown of a PE that would spend [miss_fraction] of its
+   references on the bus: each bus reference takes response time
+   instead of the ideal service time. *)
+let pe_efficiency t ~refs_per_cycle =
+  let rho = utilization t in
+  if rho >= 1.0 then 0.0
+  else begin
+    (* extra stall cycles per cycle of useful work *)
+    let stall = refs_per_cycle *. mean_wait t in
+    1.0 /. (1.0 +. stall)
+  end

@@ -1,0 +1,22 @@
+(** M/G/1 queueing approximation for the shared bus (Pollaczek-
+    Khinchine); [cs2 = 0] gives M/D/1 (deterministic service). *)
+
+type t = {
+  lambda : float;  (** arrival rate, transactions/cycle *)
+  service : float;  (** mean service time, cycles *)
+  cs2 : float;  (** squared coefficient of variation of service *)
+}
+
+val make : ?cs2:float -> lambda:float -> service:float -> unit -> t
+val utilization : t -> float
+val is_stable : t -> bool
+
+val mean_wait : t -> float
+(** Mean waiting time in the queue ([infinity] when saturated). *)
+
+val mean_response : t -> float
+(** Wait + service. *)
+
+val pe_efficiency : t -> refs_per_cycle:float -> float
+(** Efficiency of a PE issuing [refs_per_cycle] bus references, once
+    each is charged the queueing delay. *)

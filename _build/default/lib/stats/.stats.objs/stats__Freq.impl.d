@@ -1,0 +1,1 @@
+lib/stats/freq.ml: Array Format List Wam

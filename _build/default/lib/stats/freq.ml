@@ -1,0 +1,31 @@
+(* Instruction-frequency reporting from the machine's opcode counters. *)
+
+type entry = { opcode : int; name : string; count : int; percent : float }
+
+let of_counts counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  let entries = ref [] in
+  Array.iteri
+    (fun opcode count ->
+      if count > 0 then
+        entries :=
+          {
+            opcode;
+            name = Wam.Instr.opcode_name opcode;
+            count;
+            percent =
+              (if total = 0 then 0.0
+               else 100.0 *. float_of_int count /. float_of_int total);
+          }
+          :: !entries)
+    counts;
+  List.sort (fun a b -> compare b.count a.count) !entries
+
+let pp fmt counts =
+  let entries = of_counts counts in
+  Format.fprintf fmt "@[<v>%-24s %10s %7s@," "instruction" "count" "%";
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "%-24s %10d %6.2f%%@," e.name e.count e.percent)
+    entries;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,9 @@
+(** Instruction-frequency reporting from the machine's opcode
+    counters. *)
+
+type entry = { opcode : int; name : string; count : int; percent : float }
+
+val of_counts : int array -> entry list
+(** Non-zero opcodes sorted by descending count. *)
+
+val pp : Format.formatter -> int array -> unit

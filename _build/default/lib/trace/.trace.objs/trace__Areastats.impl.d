@@ -1,0 +1,1 @@
+lib/trace/areastats.ml: Area Array Format List Ref_record Sink

@@ -1,0 +1,1 @@
+lib/trace/areastats.mli: Area Format Ref_record Sink

@@ -1,0 +1,1 @@
+lib/trace/ref_record.ml: Area Format

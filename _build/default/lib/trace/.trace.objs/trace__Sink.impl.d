@@ -1,0 +1,1 @@
+lib/trace/sink.ml: Area Array Ref_record

@@ -1,0 +1,1 @@
+lib/trace/tracefile.ml: Bytes Fun Int64 Printf Ref_record Sink String

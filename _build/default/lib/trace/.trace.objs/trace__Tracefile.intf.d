@@ -1,0 +1,1 @@
+lib/trace/tracefile.mli: Sink

@@ -1,0 +1,39 @@
+(* Memory-reference records.
+
+   A record is (pe, address, area tag, read/write), packed into one
+   OCaml int so multi-hundred-thousand-reference traces stay compact:
+
+     bit 0      : 1 = write
+     bits 1-5   : area tag
+     bits 6-13  : issuing PE id (up to 255)
+     bits 14-.. : word address                                         *)
+
+type op = Read | Write
+
+type t = { pe : int; addr : int; area : Area.t; op : op }
+
+let addr_bits_shift = 14
+let max_pe = 255
+
+let pack { pe; addr; area; op } =
+  assert (pe >= 0 && pe <= max_pe);
+  assert (addr >= 0);
+  (addr lsl addr_bits_shift)
+  lor (pe lsl 6)
+  lor (Area.to_int area lsl 1)
+  lor (match op with Write -> 1 | Read -> 0)
+
+let unpack word =
+  {
+    pe = (word lsr 6) land 0xff;
+    addr = word lsr addr_bits_shift;
+    area = Area.of_int ((word lsr 1) land 0x1f);
+    op = (if word land 1 = 1 then Write else Read);
+  }
+
+let is_write t = t.op = Write
+
+let pp fmt t =
+  Format.fprintf fmt "PE%d %s %s @%d" t.pe
+    (match t.op with Read -> "R" | Write -> "W")
+    (Area.name t.area) t.addr

@@ -1,0 +1,18 @@
+(** Memory-reference records: (PE, address, area tag, read/write),
+    packed into a single OCaml [int] so large traces stay compact. *)
+
+type op = Read | Write
+
+type t = { pe : int; addr : int; area : Area.t; op : op }
+
+val max_pe : int
+(** Largest representable PE id (255). *)
+
+val addr_bits_shift : int
+(** Bit offset of the address field in the packed word. *)
+
+val pack : t -> int
+val unpack : int -> t
+
+val is_write : t -> bool
+val pp : Format.formatter -> t -> unit

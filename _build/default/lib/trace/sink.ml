@@ -1,0 +1,66 @@
+(* Trace sinks: consumers of memory-reference records.
+
+   The abstract machine emits every reference to a sink.  [counting]
+   keeps only aggregate statistics (cheap, used for work/overhead
+   measurements); [buffer] retains the full packed trace for the cache
+   simulators; [tee] feeds two sinks; [null] drops everything. *)
+
+type t = { emit : Ref_record.t -> unit }
+
+let emit t r = t.emit r
+
+let null = { emit = (fun _ -> ()) }
+
+let tee a b = { emit = (fun r -> a.emit r; b.emit r) }
+
+let filter pred inner = { emit = (fun r -> if pred r then inner.emit r) }
+
+(* Drop instruction fetches: the paper's reference counts and cache
+   traces are for data references. *)
+let data_only inner =
+  filter (fun r -> r.Ref_record.area <> Area.Code) inner
+
+(* ------------------------------------------------------------------ *)
+
+module Buffer_sink = struct
+  type sink = t
+
+  type t = {
+    mutable data : int array;
+    mutable len : int;
+  }
+
+  let create ?(capacity = 4096) () = { data = Array.make capacity 0; len = 0 }
+
+  let length b = b.len
+
+  let push b word =
+    if b.len = Array.length b.data then begin
+      let bigger = Array.make (2 * Array.length b.data) 0 in
+      Array.blit b.data 0 bigger 0 b.len;
+      b.data <- bigger
+    end;
+    b.data.(b.len) <- word;
+    b.len <- b.len + 1
+
+  let sink b : sink = { emit = (fun r -> push b (Ref_record.pack r)) }
+
+  let get b i =
+    if i < 0 || i >= b.len then invalid_arg "Buffer_sink.get";
+    Ref_record.unpack b.data.(i)
+
+  let iter f b =
+    for i = 0 to b.len - 1 do
+      f (Ref_record.unpack b.data.(i))
+    done
+
+  (* Iterate raw packed words (hot path for the cache simulator). *)
+  let iter_packed f b =
+    for i = 0 to b.len - 1 do
+      f b.data.(i)
+    done
+
+  let clear b = b.len <- 0
+end
+
+let buffer = Buffer_sink.sink

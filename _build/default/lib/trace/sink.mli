@@ -1,0 +1,44 @@
+(** Trace sinks: consumers of memory-reference records.
+
+    The abstract machine emits every reference to a sink; sinks
+    compose ({!tee}, {!filter}) and either aggregate ({!Areastats}) or
+    retain the packed trace ({!Buffer_sink}) for the cache
+    simulators. *)
+
+type t = { emit : Ref_record.t -> unit }
+
+val emit : t -> Ref_record.t -> unit
+
+val null : t
+(** Drops everything. *)
+
+val tee : t -> t -> t
+(** Feed two sinks. *)
+
+val filter : (Ref_record.t -> bool) -> t -> t
+(** Keep only records satisfying the predicate. *)
+
+val data_only : t -> t
+(** Drop instruction fetches (Code-area reads). *)
+
+(** In-memory packed trace buffer. *)
+module Buffer_sink : sig
+  type sink := t
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val sink : t -> sink
+  (** The sink that appends to this buffer. *)
+
+  val length : t -> int
+  val get : t -> int -> Ref_record.t
+  val iter : (Ref_record.t -> unit) -> t -> unit
+
+  val iter_packed : (int -> unit) -> t -> unit
+  (** Iterate raw packed words (hot path for the cache simulator). *)
+
+  val clear : t -> unit
+end
+
+val buffer : Buffer_sink.t -> t
+(** [buffer b] = [Buffer_sink.sink b]. *)

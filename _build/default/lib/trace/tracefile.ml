@@ -1,0 +1,60 @@
+(* Binary trace files.
+
+   The paper's pipeline stores the emulator's tagged reference trace
+   in files consumed by the cache simulators; this module provides the
+   equivalent persistent format so traces can be generated once and
+   swept many times (or inspected offline).
+
+   Format: an 8-byte magic, a format version, the record count, then
+   one packed reference word (see Ref_record) per record, all 64-bit
+   little-endian. *)
+
+let magic = "RAPWAMTR"
+let version = 1
+
+exception Bad_file of string
+
+let write_channel oc (buf : Sink.Buffer_sink.t) =
+  output_string oc magic;
+  let b8 = Bytes.create 8 in
+  let put64 v =
+    Bytes.set_int64_le b8 0 (Int64.of_int v);
+    output_bytes oc b8
+  in
+  put64 version;
+  put64 (Sink.Buffer_sink.length buf);
+  Sink.Buffer_sink.iter_packed put64 buf
+
+let write path buf =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> write_channel oc buf)
+
+let read_channel ic =
+  let m = really_input_string ic (String.length magic) in
+  if m <> magic then raise (Bad_file "not a RAP-WAM trace file");
+  let b8 = Bytes.create 8 in
+  let get64 () =
+    really_input ic b8 0 8;
+    Int64.to_int (Bytes.get_int64_le b8 0)
+  in
+  let v = get64 () in
+  if v <> version then
+    raise (Bad_file (Printf.sprintf "unsupported trace version %d" v));
+  let count = get64 () in
+  if count < 0 then raise (Bad_file "negative record count");
+  let buf = Sink.Buffer_sink.create ~capacity:(max 16 count) () in
+  let sink = Sink.buffer buf in
+  (try
+     for _ = 1 to count do
+       sink.Sink.emit (Ref_record.unpack (get64 ()))
+     done
+   with End_of_file -> raise (Bad_file "truncated trace file"));
+  buf
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> read_channel ic)

@@ -1,0 +1,14 @@
+(** Binary trace files: persist a packed reference trace so it can be
+    generated once and swept by the cache simulators many times. *)
+
+exception Bad_file of string
+
+val magic : string
+val version : int
+
+val write : string -> Sink.Buffer_sink.t -> unit
+val read : string -> Sink.Buffer_sink.t
+(** @raise Bad_file on malformed input. *)
+
+val write_channel : out_channel -> Sink.Buffer_sink.t -> unit
+val read_channel : in_channel -> Sink.Buffer_sink.t

@@ -1,0 +1,1 @@
+lib/wam/builtin.ml: List Printf

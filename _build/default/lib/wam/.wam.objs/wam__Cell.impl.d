@@ -1,0 +1,1 @@
+lib/wam/cell.ml: Printf

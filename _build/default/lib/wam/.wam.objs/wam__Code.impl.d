@@ -1,0 +1,1 @@
+lib/wam/code.ml: Format Hashtbl Instr Layout Symbols Vec

@@ -1,0 +1,1 @@
+lib/wam/code.mli: Format Instr Symbols

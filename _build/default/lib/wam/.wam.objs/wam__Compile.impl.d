@@ -1,0 +1,1 @@
+lib/wam/compile.ml: Array Builtin Code Hashtbl Instr List Printf Prolog Queue Symbols

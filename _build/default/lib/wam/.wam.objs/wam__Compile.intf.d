@@ -1,0 +1,1 @@
+lib/wam/compile.mli: Code Prolog Symbols

@@ -1,0 +1,1 @@
+lib/wam/exec.ml: Array Builtin Cell Code Format Hashtbl Instr Layout List Machine Memory Printf Prolog Symbols Trace

@@ -1,0 +1,1 @@
+lib/wam/exec.mli: Builtin Hashtbl Instr Machine Prolog Trace

@@ -1,0 +1,1 @@
+lib/wam/instr.ml: Array Builtin Format Printf String

@@ -1,0 +1,1 @@
+lib/wam/layout.mli: Trace

@@ -1,0 +1,1 @@
+lib/wam/machine.ml: Array Code Format Instr Layout Memory Printf Symbols Trace

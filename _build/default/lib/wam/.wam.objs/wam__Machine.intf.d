@@ -1,0 +1,1 @@
+lib/wam/machine.mli: Code Format Memory Symbols Trace

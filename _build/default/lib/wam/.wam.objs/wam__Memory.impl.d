@@ -1,0 +1,1 @@
+lib/wam/memory.ml: Array Layout Trace

@@ -1,0 +1,1 @@
+lib/wam/program.ml: Code Compile List Prolog Symbols

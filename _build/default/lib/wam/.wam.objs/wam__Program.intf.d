@@ -1,0 +1,1 @@
+lib/wam/program.mli: Code Format Prolog Symbols

@@ -1,0 +1,1 @@
+lib/wam/seq.ml: Array Cell Compile Exec List Machine Memory Program Prolog Trace

@@ -1,0 +1,1 @@
+lib/wam/seq.mli: Format Machine Program Prolog Trace

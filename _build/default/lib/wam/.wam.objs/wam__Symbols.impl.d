@@ -1,0 +1,1 @@
+lib/wam/symbols.ml: Format Hashtbl Printf Vec

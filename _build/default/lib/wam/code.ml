@@ -1,0 +1,52 @@
+(* The code area: a growable instruction table with a predicate entry
+   map and backpatching support for forward labels.
+
+   Instruction "addresses" are indices into the table; for tracing they
+   map to the shared read-only code region at [Layout.code_base]. *)
+
+type t = {
+  instrs : Instr.t Vec.t;
+  entries : (int, int) Hashtbl.t; (* predicate functor id -> address *)
+  blocks : (int * int) Vec.t; (* (start address, functor id), for listing *)
+}
+
+let create () =
+  {
+    instrs = Vec.create ~dummy:Instr.Proceed;
+    entries = Hashtbl.create 64;
+    blocks = Vec.create ~dummy:(0, 0);
+  }
+
+let here t = Vec.length t.instrs
+
+let emit t i =
+  let addr = here t in
+  Vec.add t.instrs i;
+  addr
+
+let patch t addr i = Vec.set t.instrs addr i
+
+let fetch t addr = Vec.get t.instrs addr
+
+let length t = Vec.length t.instrs
+
+let set_entry t fid addr =
+  Hashtbl.replace t.entries fid addr;
+  Vec.add t.blocks (addr, fid)
+
+let entry t fid = Hashtbl.find_opt t.entries fid
+
+let trace_addr addr = Layout.code_base + addr
+
+(* Disassembly listing, for debugging and documentation. *)
+let pp symbols fmt t =
+  let block_starts = Hashtbl.create 64 in
+  Vec.iter (fun (addr, fid) -> Hashtbl.replace block_starts addr fid) t.blocks;
+  Vec.iteri
+    (fun addr i ->
+      (match Hashtbl.find_opt block_starts addr with
+      | Some fid ->
+        Format.fprintf fmt "@,%s:@," (Symbols.spec_string symbols fid)
+      | None -> ());
+      Format.fprintf fmt "  %4d  %a@," addr Instr.pp i)
+    t.instrs

@@ -1,0 +1,32 @@
+(** The code area: a growable instruction table with a predicate entry
+    map and backpatching support for forward labels.
+
+    Instruction "addresses" are indices into the table; for tracing
+    they map into the shared read-only code region. *)
+
+type t
+
+val create : unit -> t
+
+val here : t -> int
+(** Address of the next instruction to be emitted. *)
+
+val emit : t -> Instr.t -> int
+(** Append an instruction; returns its address. *)
+
+val patch : t -> int -> Instr.t -> unit
+(** Replace the instruction at an address (label backpatching). *)
+
+val fetch : t -> int -> Instr.t
+val length : t -> int
+
+val set_entry : t -> int -> int -> unit
+(** Bind a predicate (functor id) to its entry address. *)
+
+val entry : t -> int -> int option
+
+val trace_addr : int -> int
+(** Code-region address of an instruction, for trace records. *)
+
+val pp : Symbols.t -> Format.formatter -> t -> unit
+(** Disassembly listing. *)

@@ -1,0 +1,825 @@
+(* Prolog-to-WAM compiler.
+
+   Implements the standard WAM compilation scheme: chunk-based
+   permanent-variable analysis (head and first goal share a chunk),
+   argument/temporary X-register allocation with scratch reuse for
+   structure building, first-argument indexing (switch_on_term plus
+   constant/structure sub-switches and try/retry/trust chains), last
+   call optimization, neck and deep cut, and unsafe-value handling
+   (conservative: put_unsafe_value for any permanent variable whose
+   first occurrence was not a top-level head argument, and
+   unify_local_value for all repeat variable occurrences inside
+   structures).
+
+   RAP-WAM extensions: a CGE item compiles to its run-time checks
+   (jumping to a compiled sequential version when they fail), an
+   alloc_parcall, one put+push_goal sequence per arm, and a par_join.
+   Arms that are builtins get a synthetic one-instruction predicate so
+   goal frames always carry a real code entry. *)
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Variable classification.                                           *)
+
+type var_info = {
+  mutable occurrences : int;
+  mutable chunks : int list; (* chunk ids, most recent first *)
+  mutable head_arg : bool; (* first occurrence is a top-level head arg *)
+  mutable reg : Instr.reg option;
+}
+
+type clause_ctx = {
+  symbols : Symbols.t;
+  code : Code.t;
+  vars : (string, var_info) Hashtbl.t;
+  mutable next_temp : int;
+  mutable free_temps : int list; (* recycled structure-building scratch *)
+  mutable cut_level : int option; (* Y register holding B0 *)
+}
+
+let var_info ctx v =
+  match Hashtbl.find_opt ctx.vars v with
+  | Some info -> info
+  | None ->
+    let info = { occurrences = 0; chunks = []; head_arg = false; reg = None } in
+    Hashtbl.add ctx.vars v info;
+    info
+
+let note_var ctx v ~chunk ~head_arg =
+  let info = var_info ctx v in
+  if info.occurrences = 0 && head_arg then info.head_arg <- true;
+  info.occurrences <- info.occurrences + 1;
+  match info.chunks with
+  | c :: _ when c = chunk -> ()
+  | _ -> info.chunks <- chunk :: info.chunks
+
+let rec note_term ctx ~chunk ~top t =
+  match t with
+  | Prolog.Term.Var v -> note_var ctx v ~chunk ~head_arg:top
+  | Prolog.Term.Atom _ | Prolog.Term.Int _ -> ()
+  | Prolog.Term.Struct (_, args) ->
+    List.iter (note_term ctx ~chunk ~top:false) args
+
+(* ------------------------------------------------------------------ *)
+(* Goal shapes.                                                       *)
+
+let goal_parts = function
+  | Prolog.Term.Atom name -> (name, [])
+  | Prolog.Term.Struct (name, args) -> (name, args)
+  | (Prolog.Term.Int _ | Prolog.Term.Var _) as t ->
+    error "goal is not callable: %s" (Prolog.Pretty.to_string t)
+
+type goal_kind =
+  | G_cut
+  | G_true
+  | G_builtin of Builtin.t
+  | G_user (* user-defined predicate call *)
+
+let goal_kind db g =
+  let name, args = goal_parts g in
+  let arity = List.length args in
+  match name with
+  | "!" when arity = 0 -> G_cut
+  | "true" when arity = 0 -> G_true
+  | _ ->
+    if Prolog.Database.has_predicate db (name, arity) then G_user
+    else begin
+      match Builtin.lookup name arity with
+      | Some b -> G_builtin b
+      | None -> G_user (* unknown predicate: fails at run time *)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Register allocation.                                               *)
+
+let alloc_temp ctx =
+  match ctx.free_temps with
+  | t :: rest ->
+    ctx.free_temps <- rest;
+    t
+  | [] ->
+    let t = ctx.next_temp in
+    ctx.next_temp <- t + 1;
+    t
+
+let free_temp ctx t = ctx.free_temps <- t :: ctx.free_temps
+
+(* Assign Y registers to permanent variables (order of first
+   occurrence) and dedicated X registers to the temporaries.  Returns
+   the permanent count. *)
+let assign_registers ctx order =
+  let n_perm = ref (match ctx.cut_level with Some _ -> 1 | None -> 0) in
+  List.iter
+    (fun v ->
+      let info = Hashtbl.find ctx.vars v in
+      if info.reg = None then
+        if List.length info.chunks > 1 then begin
+          info.reg <- Some (Instr.Y !n_perm);
+          incr n_perm
+        end
+        else info.reg <- Some (Instr.X (alloc_temp ctx)))
+    order;
+  !n_perm
+
+let reg_of ctx v =
+  match (Hashtbl.find ctx.vars v).reg with
+  | Some r -> r
+  | None -> error "variable %s has no register" v
+
+let is_void ctx v = (Hashtbl.find ctx.vars v).occurrences = 1
+
+(* ------------------------------------------------------------------ *)
+(* Head compilation.                                                  *)
+
+(* Structures nested inside head arguments are processed breadth-first
+   through a queue of (temp register, term) pairs, as in the WAM. *)
+let compile_head ctx head =
+  let emit i = ignore (Code.emit ctx.code i) in
+  let seen = Hashtbl.create 16 in
+  let first_occ v =
+    if Hashtbl.mem seen v then false
+    else begin
+      Hashtbl.add seen v ();
+      true
+    end
+  in
+  let queue = Queue.create () in
+  let unify_arg t =
+    match t with
+    | Prolog.Term.Var v ->
+      if is_void ctx v then emit (Instr.Unify_void 1)
+      else if first_occ v then emit (Instr.Unify_variable (reg_of ctx v))
+      else emit (Instr.Unify_local_value (reg_of ctx v))
+    | Prolog.Term.Int n -> emit (Instr.Unify_integer n)
+    | Prolog.Term.Atom "[]" -> emit Instr.Unify_nil
+    | Prolog.Term.Atom a ->
+      emit (Instr.Unify_constant (Symbols.atom ctx.symbols a))
+    | Prolog.Term.Struct _ ->
+      let t_reg = alloc_temp ctx in
+      emit (Instr.Unify_variable (Instr.X t_reg));
+      Queue.add (t_reg, t) queue
+  in
+  let get_term ~into t =
+    match t with
+    | Prolog.Term.Var v ->
+      (* A void head argument needs no instruction. *)
+      if not (is_void ctx v) then
+        if first_occ v then emit (Instr.Get_variable (reg_of ctx v, into))
+        else emit (Instr.Get_value (reg_of ctx v, into))
+    | Prolog.Term.Int n -> emit (Instr.Get_integer (n, into))
+    | Prolog.Term.Atom "[]" -> emit (Instr.Get_nil into)
+    | Prolog.Term.Atom a ->
+      emit (Instr.Get_constant (Symbols.atom ctx.symbols a, into))
+    | Prolog.Term.Struct (".", [ h; tl ]) ->
+      emit (Instr.Get_list into);
+      unify_arg h;
+      unify_arg tl
+    | Prolog.Term.Struct (f, args) ->
+      emit
+        (Instr.Get_structure
+           (Symbols.functor_ ctx.symbols f (List.length args), into));
+      List.iter unify_arg args
+  in
+  let _, head_args = goal_parts head in
+  List.iteri (fun i arg -> get_term ~into:(i + 1) arg) head_args;
+  (* Drain nested structures. *)
+  let rec drain () =
+    if not (Queue.is_empty queue) then begin
+      let t_reg, t = Queue.take queue in
+      get_term ~into:t_reg t;
+      free_temp ctx t_reg;
+      drain ()
+    end
+  in
+  drain ()
+
+(* ------------------------------------------------------------------ *)
+(* Body argument loading (put group).                                 *)
+
+(* Build a structure bottom-up into a register; returns the register
+   holding it plus the scratch to release afterwards.  A child's
+   scratch register is consumed by the parent's unify instruction, so
+   it is released as soon as that instruction is emitted: live scratch
+   stays proportional to the term's depth, not its size. *)
+let rec build_struct ctx seen t =
+  let emit i = ignore (Code.emit ctx.code i) in
+  match t with
+  | Prolog.Term.Struct (f, args) ->
+    let prepared = List.map (prepare_unify_arg ctx seen) args in
+    let dest = alloc_temp ctx in
+    (match t with
+    | Prolog.Term.Struct (".", [ _; _ ]) -> emit (Instr.Put_list dest)
+    | _ ->
+      emit
+        (Instr.Put_structure
+           (Symbols.functor_ ctx.symbols f (List.length args), dest)));
+    List.iter
+      (fun (instr, sub_scratch) ->
+        emit instr;
+        List.iter (free_temp ctx) sub_scratch)
+      prepared;
+    (dest, [ dest ])
+  | Prolog.Term.Var _ | Prolog.Term.Atom _ | Prolog.Term.Int _ ->
+    error "build_struct: not a structure"
+
+(* Decide the unify_* instruction for one argument of a structure being
+   built; nested structures are built first (bottom-up). *)
+and prepare_unify_arg ctx seen t =
+  match t with
+  | Prolog.Term.Var v ->
+    if is_void ctx v then (Instr.Unify_void 1, [])
+    else if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      (Instr.Unify_variable (reg_of ctx v), [])
+    end
+    else (Instr.Unify_local_value (reg_of ctx v), [])
+  | Prolog.Term.Int n -> (Instr.Unify_integer n, [])
+  | Prolog.Term.Atom "[]" -> (Instr.Unify_nil, [])
+  | Prolog.Term.Atom a ->
+    (Instr.Unify_constant (Symbols.atom ctx.symbols a), [])
+  | Prolog.Term.Struct _ ->
+    let reg, scratch = build_struct ctx seen t in
+    (Instr.Unify_value (Instr.X reg), scratch)
+
+(* [put_args ctx seen ~last args] loads [args] into A1..An.  [seen]
+   tracks variables already materialized in this clause (head pass plus
+   previous goals).  [last] switches permanent-variable puts to
+   put_unsafe_value when the variable's first occurrence was not a
+   top-level head argument. *)
+let put_args ctx seen ~last args =
+  let emit i = ignore (Code.emit ctx.code i) in
+  let put_one i t =
+    let into = i + 1 in
+    match t with
+    | Prolog.Term.Var v ->
+      let info = Hashtbl.find ctx.vars v in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        emit (Instr.Put_variable (reg_of ctx v, into))
+      end
+      else begin
+        match reg_of ctx v with
+        | Instr.Y y when last && not info.head_arg ->
+          emit (Instr.Put_unsafe_value (y, into))
+        | reg -> emit (Instr.Put_value (reg, into))
+      end
+    | Prolog.Term.Int n -> emit (Instr.Put_integer (n, into))
+    | Prolog.Term.Atom "[]" -> emit (Instr.Put_nil into)
+    | Prolog.Term.Atom a ->
+      emit (Instr.Put_constant (Symbols.atom ctx.symbols a, into))
+    | Prolog.Term.Struct _ ->
+      let reg, scratch = build_struct ctx seen t in
+      emit (Instr.Put_value (Instr.X reg, into));
+      List.iter (free_temp ctx) scratch
+  in
+  List.iteri put_one args
+
+(* ------------------------------------------------------------------ *)
+(* Clause compilation.                                                *)
+
+type pred_entry_alloc = {
+  mutable synth_count : int; (* synthetic predicates for builtin arms *)
+  mutable pending : (int * Builtin.t * int) list; (* fid, builtin, arity *)
+}
+
+(* A builtin appearing as a parallel arm needs a real code entry for
+   its goal frame; the one-instruction predicate is emitted after the
+   current clause (entries resolve at run time). *)
+let synth_builtin_pred ctx alloc b arity =
+  alloc.synth_count <- alloc.synth_count + 1;
+  let name = Printf.sprintf "$builtin_arm_%d" alloc.synth_count in
+  let fid = Symbols.functor_ ctx.symbols name arity in
+  alloc.pending <- (fid, b, arity) :: alloc.pending;
+  fid
+
+let flush_synth code alloc =
+  List.iter
+    (fun (fid, b, arity) ->
+      let addr = Code.here code in
+      ignore (Code.emit code (Instr.Builtin (b, arity)));
+      ignore (Code.emit code Instr.Proceed);
+      Code.set_entry code fid addr)
+    (List.rev alloc.pending);
+  alloc.pending <- []
+
+(* Count of body items that transfer control to user code. *)
+let body_needs_env items ~has_deep_cut ~n_perm db =
+  if n_perm > 0 || has_deep_cut then true
+  else begin
+    let rec scan = function
+      | [] -> false
+      | [ Prolog.Cge.Lit g ] -> begin
+        (* A user call in final position runs under LCO: no env needed. *)
+        match goal_kind db g with
+        | G_user -> false
+        | G_cut | G_true | G_builtin _ -> false
+      end
+      | [ Prolog.Cge.Par _ ] -> true
+      | item :: rest -> begin
+        match item with
+        | Prolog.Cge.Par _ -> true
+        | Prolog.Cge.Lit g -> begin
+          match goal_kind db g with
+          | G_user -> true (* non-final call: CP must survive *)
+          | G_cut | G_true | G_builtin _ -> scan rest
+        end
+      end
+    in
+    scan items
+  end
+
+let check_var_reg ctx t =
+  match t with
+  | Prolog.Term.Var v -> reg_of ctx v
+  | Prolog.Term.Atom _ | Prolog.Term.Int _ | Prolog.Term.Struct _ ->
+    error "CGE check argument must be a variable: %s"
+      (Prolog.Pretty.to_string t)
+
+(* Compile one clause; returns its start address.  With
+   [parallel = false] every CGE degrades to its sequential reading
+   (plain calls in textual order, no checks): this is the WAM-baseline
+   compilation mode. *)
+let compile_clause ~parallel symbols code db alloc
+    (clause : Prolog.Database.clause) =
+  let ctx =
+    {
+      symbols;
+      code;
+      vars = Hashtbl.create 16;
+      next_temp = 0;
+      free_temps = [];
+      cut_level = None;
+    }
+  in
+  let emit i = ignore (Code.emit code i) in
+  let { Prolog.Database.head; body } = clause in
+  let body =
+    if parallel then body
+    else
+      List.concat_map
+        (function
+          | Prolog.Cge.Par { arms; _ } ->
+            List.map (fun arm -> Prolog.Cge.Lit arm) arms
+          | Prolog.Cge.Lit _ as item -> [ item ])
+        body
+  in
+  (* --- analysis ---------------------------------------------------- *)
+  let _, head_args = goal_parts head in
+  let max_arity =
+    List.fold_left
+      (fun m item ->
+        match item with
+        | Prolog.Cge.Lit g -> max m (List.length (snd (goal_parts g)))
+        | Prolog.Cge.Par { arms; _ } ->
+          List.fold_left
+            (fun m g -> max m (List.length (snd (goal_parts g))))
+            m arms)
+      (List.length head_args) body
+  in
+  ctx.next_temp <- max_arity + 1;
+  (* Chunks: a chunk ends with each user call (or parcall); the call's
+     own arguments belong to the chunk it terminates.  Head and inline
+     builtins before the first call share chunk 0. *)
+  let chunk = ref 0 in
+  let started_calls = ref 0 in
+  List.iter (note_term ctx ~chunk:0 ~top:true) head_args;
+  let has_deep_cut = ref false in
+  List.iter
+    (fun item ->
+      (match item with
+      | Prolog.Cge.Lit g -> begin
+        match goal_kind db g with
+        | G_cut -> if !started_calls > 0 then has_deep_cut := true
+        | G_true -> ()
+        | G_builtin _ ->
+          List.iter (note_term ctx ~chunk:!chunk ~top:false)
+            (snd (goal_parts g))
+        | G_user ->
+          incr started_calls;
+          List.iter (note_term ctx ~chunk:!chunk ~top:false)
+            (snd (goal_parts g));
+          incr chunk
+      end
+      | Prolog.Cge.Par { checks; arms } ->
+        incr started_calls;
+        List.iter
+          (fun check ->
+            match check with
+            | Prolog.Cge.Ground x -> note_term ctx ~chunk:!chunk ~top:false x
+            | Prolog.Cge.Indep (x, y) ->
+              note_term ctx ~chunk:!chunk ~top:false x;
+              note_term ctx ~chunk:!chunk ~top:false y)
+          checks;
+        (* With run-time checks the compiler also emits a sequential
+           fallback in which the arms are separate calls, so each arm
+           must be its own chunk; an unconditional CGE reads all arm
+           arguments before any control transfer (one chunk). *)
+        if checks = [] then begin
+          List.iter
+            (fun arm ->
+              List.iter (note_term ctx ~chunk:!chunk ~top:false)
+                (snd (goal_parts arm)))
+            arms;
+          incr chunk
+        end
+        else
+          List.iter
+            (fun arm ->
+              List.iter (note_term ctx ~chunk:!chunk ~top:false)
+                (snd (goal_parts arm));
+              incr chunk)
+            arms))
+    body;
+  if !has_deep_cut then ctx.cut_level <- Some 0;
+  (* Register assignment in order of first occurrence. *)
+  let order =
+    let seen = Hashtbl.create 16 in
+    let out = ref [] in
+    let rec collect t =
+      match t with
+      | Prolog.Term.Var v ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          out := v :: !out
+        end
+      | Prolog.Term.Atom _ | Prolog.Term.Int _ -> ()
+      | Prolog.Term.Struct (_, args) -> List.iter collect args
+    in
+    List.iter collect head_args;
+    List.iter
+      (fun item ->
+        match item with
+        | Prolog.Cge.Lit g -> List.iter collect (snd (goal_parts g))
+        | Prolog.Cge.Par { checks; arms } ->
+          List.iter
+            (function
+              | Prolog.Cge.Ground x -> collect x
+              | Prolog.Cge.Indep (x, y) ->
+                collect x;
+                collect y)
+            checks;
+          List.iter (fun arm -> List.iter collect (snd (goal_parts arm))) arms)
+      body;
+    List.rev !out
+  in
+  let n_perm = assign_registers ctx order in
+  let needs_env =
+    body_needs_env body ~has_deep_cut:!has_deep_cut ~n_perm db
+  in
+  (* --- emission ---------------------------------------------------- *)
+  let start = Code.here code in
+  if needs_env then emit (Instr.Allocate n_perm);
+  (match ctx.cut_level with
+  | Some y -> emit (Instr.Get_level y)
+  | None -> ());
+  let seen = Hashtbl.create 16 in
+  (* Head variables that received registers are now materialized. *)
+  let rec mark_seen t =
+    match t with
+    | Prolog.Term.Var v -> if not (is_void ctx v) then Hashtbl.replace seen v ()
+    | Prolog.Term.Atom _ | Prolog.Term.Int _ -> ()
+    | Prolog.Term.Struct (_, args) -> List.iter mark_seen args
+  in
+  List.iter mark_seen head_args;
+  compile_head ctx head;
+  (* Body items. *)
+  let n_items = List.length body in
+  let calls_emitted = ref 0 in
+  let rec emit_items idx items =
+    match items with
+    | [] ->
+      if needs_env then emit Instr.Deallocate;
+      emit Instr.Proceed
+    | item :: rest -> begin
+      let is_last = idx = n_items - 1 in
+      match item with
+      | Prolog.Cge.Lit g -> begin
+        let name, args = goal_parts g in
+        let arity = List.length args in
+        match goal_kind db g with
+        | G_true -> emit_items (idx + 1) rest
+        | G_cut ->
+          (if !calls_emitted = 0 then emit Instr.Neck_cut
+           else
+             match ctx.cut_level with
+             | Some y -> emit (Instr.Cut_to y)
+             | None -> error "deep cut without saved level");
+          emit_items (idx + 1) rest
+        | G_builtin b ->
+          put_args ctx seen ~last:is_last args;
+          emit (Instr.Builtin (b, arity));
+          emit_items (idx + 1) rest
+        | G_user ->
+          let fid = Symbols.functor_ ctx.symbols name arity in
+          put_args ctx seen ~last:is_last args;
+          if is_last then begin
+            if needs_env then emit Instr.Deallocate;
+            emit (Instr.Execute fid)
+          end
+          else begin
+            emit (Instr.Call fid);
+            incr calls_emitted;
+            emit_items (idx + 1) rest
+          end
+      end
+      | Prolog.Cge.Par { checks; arms } ->
+        let k = List.length arms in
+        (* Run-time checks jump to the sequential version on failure.
+           A check variable whose first occurrence is the check itself
+           must be materialized first (an unbound variable is trivially
+           non-ground / independent, but the register must hold a real
+           cell, not stack garbage). *)
+        let materialize t =
+          match t with
+          | Prolog.Term.Var v when not (Hashtbl.mem seen v) ->
+            Hashtbl.replace seen v ();
+            let a = alloc_temp ctx in
+            emit (Instr.Put_variable (reg_of ctx v, a));
+            free_temp ctx a
+          | Prolog.Term.Var _ | Prolog.Term.Atom _ | Prolog.Term.Int _
+          | Prolog.Term.Struct _ ->
+            ()
+        in
+        List.iter
+          (fun check ->
+            match check with
+            | Prolog.Cge.Ground x -> materialize x
+            | Prolog.Cge.Indep (x, y) ->
+              materialize x;
+              materialize y)
+          checks;
+        let check_patch_addrs =
+          List.map
+            (fun check ->
+              match check with
+              | Prolog.Cge.Ground x ->
+                Code.emit code (Instr.Check_ground (check_var_reg ctx x, -1))
+              | Prolog.Cge.Indep (x, y) ->
+                Code.emit code
+                  (Instr.Check_indep
+                     (check_var_reg ctx x, check_var_reg ctx y, -1)))
+            checks
+        in
+        (* Both branches (parallel and sequential fallback) must
+           materialize the variables first occurring inside this item,
+           so the fallback compiles against a snapshot of [seen]. *)
+        let seen_before = Hashtbl.copy seen in
+        (* The parent pushes arms 2..k for other PEs (and itself) and
+           executes the first arm inline -- the RAP-WAM scheme, which
+           keeps 1-PE behaviour close to the sequential WAM. *)
+        let alloc_addr = Code.emit code (Instr.Alloc_parcall (k - 1, -1)) in
+        let inline_arm, pushed_arms =
+          match arms with
+          | inline :: rest -> (inline, rest)
+          | [] -> error "empty parallel conjunction"
+        in
+        List.iteri
+          (fun slot arm ->
+            let name, args = goal_parts arm in
+            let arity = List.length args in
+            let fid =
+              match goal_kind db arm with
+              | G_user -> Symbols.functor_ ctx.symbols name arity
+              | G_builtin b -> synth_builtin_pred ctx alloc b arity
+              | G_cut | G_true ->
+                error "cut/true cannot be a parallel goal"
+            in
+            put_args ctx seen ~last:false args;
+            emit (Instr.Push_goal (slot, fid, arity)))
+          pushed_arms;
+        (let name, args = goal_parts inline_arm in
+         let arity = List.length args in
+         match goal_kind db inline_arm with
+         | G_builtin b ->
+           put_args ctx seen ~last:false args;
+           emit (Instr.Builtin (b, arity))
+         | G_user ->
+           let fid = Symbols.functor_ ctx.symbols name arity in
+           put_args ctx seen ~last:false args;
+           emit (Instr.Call fid)
+         | G_cut | G_true -> error "cut/true cannot be a parallel goal");
+        let join = Code.emit code Instr.Par_join in
+        Code.patch code alloc_addr (Instr.Alloc_parcall (k - 1, join));
+        incr calls_emitted;
+        if checks = [] then emit_items (idx + 1) rest
+        else begin
+          (* jump over the sequential fallback *)
+          let jump_addr = Code.emit code (Instr.Jump (-1)) in
+          let seq_start = Code.here code in
+          List.iter2
+            (fun check patch_addr ->
+              match (check, Code.fetch code patch_addr) with
+              | Prolog.Cge.Ground _, Instr.Check_ground (r, _) ->
+                Code.patch code patch_addr (Instr.Check_ground (r, seq_start))
+              | Prolog.Cge.Indep _, Instr.Check_indep (r1, r2, _) ->
+                Code.patch code patch_addr
+                  (Instr.Check_indep (r1, r2, seq_start))
+              | _, _ -> error "check backpatch mismatch")
+            checks check_patch_addrs;
+          (* Sequential fallback: plain calls in textual order,
+             compiled against the pre-parcall [seen] snapshot. *)
+          List.iter
+            (fun arm ->
+              let name, args = goal_parts arm in
+              let arity = List.length args in
+              match goal_kind db arm with
+              | G_builtin b ->
+                put_args ctx seen_before ~last:false args;
+                emit (Instr.Builtin (b, arity))
+              | G_user ->
+                let fid = Symbols.functor_ ctx.symbols name arity in
+                put_args ctx seen_before ~last:false args;
+                emit (Instr.Call fid)
+              | G_cut | G_true -> error "cut/true cannot be a parallel goal")
+            arms;
+          let after = Code.emit code (Instr.Jump (-1)) in
+          ignore after;
+          let cont = Code.here code in
+          Code.patch code jump_addr (Instr.Jump cont);
+          Code.patch code after (Instr.Jump cont);
+          emit_items (idx + 1) rest
+        end
+    end
+  in
+  emit_items 0 body;
+  start
+
+(* ------------------------------------------------------------------ *)
+(* Predicate compilation with first-argument indexing.                *)
+
+type first_arg = FA_var | FA_con of int | FA_int of int | FA_lis | FA_str of int
+
+let first_arg_of symbols (clause : Prolog.Database.clause) =
+  match clause.head with
+  | Prolog.Term.Atom _ -> FA_var
+  | Prolog.Term.Struct (_, arg :: _) -> begin
+    match arg with
+    | Prolog.Term.Var _ -> FA_var
+    | Prolog.Term.Atom a -> FA_con (Symbols.atom symbols a)
+    | Prolog.Term.Int n -> FA_int n
+    | Prolog.Term.Struct (".", [ _; _ ]) -> FA_lis
+    | Prolog.Term.Struct (f, args) ->
+      FA_str (Symbols.functor_ symbols f (List.length args))
+  end
+  | Prolog.Term.Struct (_, []) | Prolog.Term.Int _ | Prolog.Term.Var _ ->
+    FA_var
+
+(* Emit a try/retry/trust chain over clause addresses.  A single
+   address needs no chain. *)
+let emit_chain code addrs =
+  match addrs with
+  | [] -> -1
+  | [ a ] -> a
+  | first :: rest ->
+    let start = Code.here code in
+    ignore (Code.emit code (Instr.Try first));
+    let rec go = function
+      | [] -> ()
+      | [ last ] -> ignore (Code.emit code (Instr.Trust last))
+      | a :: more ->
+        ignore (Code.emit code (Instr.Retry a));
+        go more
+    in
+    go rest;
+    start
+
+let compile_predicate ~parallel symbols code db alloc key =
+  let clauses = Prolog.Database.clauses db key in
+  let name, arity = key in
+  let fid = Symbols.functor_ symbols name arity in
+  match clauses with
+  | [] -> ()
+  | [ clause ] ->
+    let addr = compile_clause ~parallel symbols code db alloc clause in
+    Code.set_entry code fid addr
+  | clauses ->
+    let fas = List.map (first_arg_of symbols) clauses in
+    let indexable =
+      arity > 0 && List.exists (fun fa -> fa <> FA_var) fas
+    in
+    if not indexable then begin
+      (* Reserve the chain, compile clauses, patch the chain. *)
+      let entry = Code.here code in
+      List.iteri
+        (fun i _ ->
+          ignore
+            (Code.emit code
+               (if i = 0 then Instr.Try (-1)
+                else if i = List.length clauses - 1 then Instr.Trust (-1)
+                else Instr.Retry (-1))))
+        clauses;
+      let addrs =
+        List.map (fun c -> compile_clause ~parallel symbols code db alloc c) clauses
+      in
+      List.iteri
+        (fun i addr ->
+          Code.patch code (entry + i)
+            (if i = 0 then Instr.Try addr
+             else if i = List.length clauses - 1 then Instr.Trust addr
+             else Instr.Retry addr))
+        addrs;
+      Code.set_entry code fid entry
+    end
+    else begin
+      (* Standard two-level first-argument indexing.  A bucket for a
+         key holds, in source order, the clauses whose first head
+         argument matches that key plus every variable-headed clause
+         (which matches anything); the sub-switch default handles keys
+         absent from the table (variable-headed clauses only). *)
+      let entry =
+        Code.emit code
+          (Instr.Switch_on_term
+             { var_l = -1; con_l = -1; int_l = -1; lis_l = -1; str_l = -1 })
+      in
+      let addrs =
+        List.map (fun c -> compile_clause ~parallel symbols code db alloc c) clauses
+      in
+      let tagged = List.combine fas addrs in
+      let bucket pred =
+        List.filter_map
+          (fun (fa, a) -> if fa = FA_var || pred fa then Some a else None)
+          tagged
+      in
+      let var_l = emit_chain code (List.map snd tagged) in
+      let lis_l = emit_chain code (bucket (fun fa -> fa = FA_lis)) in
+      (* Distinct keys of one shape, in first-appearance order. *)
+      let keys_of extract =
+        List.fold_left
+          (fun keys (fa, _) ->
+            match extract fa with
+            | Some k when not (List.mem k keys) -> keys @ [ k ]
+            | Some _ | None -> keys)
+          [] tagged
+      in
+      (* the default (unknown key) runs the variable-headed clauses *)
+      let var_only =
+        List.filter_map
+          (fun (fa, a) -> if fa = FA_var then Some a else None)
+          tagged
+      in
+      let var_only_l = emit_chain code var_only in
+      let sub extract instr_of has_any =
+        if not has_any then
+          (* no clause with this shape: unknown keys fall back to the
+             variable-headed clauses (possibly fail) *)
+          var_only_l
+        else begin
+          let keys = keys_of extract in
+          let groups =
+            List.map
+              (fun k -> (k, emit_chain code (bucket (fun fa -> extract fa = Some k))))
+              keys
+          in
+          match groups with
+          | [] -> var_only_l
+          | [ (_, a) ] when var_only_l = -1 ->
+            (* single key, no variable clauses: heads re-verify *)
+            a
+          | _ :: _ ->
+            Code.emit code (instr_of (Array.of_list groups, var_only_l))
+        end
+      in
+      let has shape = List.exists (fun fa -> shape fa) fas in
+      let con_l =
+        sub
+          (function FA_con c -> Some c | FA_var | FA_int _ | FA_lis | FA_str _ -> None)
+          (fun (g, d) -> Instr.Switch_on_constant (g, d))
+          (has (function FA_con _ -> true | _ -> false))
+      in
+      let int_l =
+        sub
+          (function FA_int n -> Some n | FA_var | FA_con _ | FA_lis | FA_str _ -> None)
+          (fun (g, d) -> Instr.Switch_on_integer (g, d))
+          (has (function FA_int _ -> true | _ -> false))
+      in
+      let str_l =
+        sub
+          (function FA_str f -> Some f | FA_var | FA_con _ | FA_int _ | FA_lis -> None)
+          (fun (g, d) -> Instr.Switch_on_structure (g, d))
+          (has (function FA_str _ -> true | _ -> false))
+      in
+      let lis_l = if lis_l = -1 then var_only_l else lis_l in
+      Code.patch code entry
+        (Instr.Switch_on_term { var_l; con_l; int_l; lis_l; str_l });
+      Code.set_entry code fid entry
+    end
+
+(* ------------------------------------------------------------------ *)
+
+(* Fixed low addresses for the two return points. *)
+let halt_addr = 0
+let goal_done_addr = 1
+
+let compile_db ?(parallel = true) symbols db =
+  let code = Code.create () in
+  assert (Code.emit code Instr.Halt_ok = halt_addr);
+  assert (Code.emit code Instr.Goal_done = goal_done_addr);
+  let alloc = { synth_count = 0; pending = [] } in
+  List.iter
+    (fun key -> compile_predicate ~parallel symbols code db alloc key)
+    (Prolog.Database.predicates db);
+  flush_synth code alloc;
+  code

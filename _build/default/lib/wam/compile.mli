@@ -1,0 +1,28 @@
+(** Prolog-to-WAM compiler.
+
+    Standard WAM compilation: chunk-based permanent-variable analysis
+    (head and first goal share a chunk; a conditional CGE's arms are
+    separate chunks because the fallback calls them sequentially),
+    argument/temporary register allocation with scratch reuse,
+    first-argument indexing (switch_on_term, constant/structure
+    sub-switches with variable-clause buckets, try/retry/trust
+    chains), last call optimization, neck and deep cut, conservative
+    unsafe-value handling.
+
+    RAP-WAM extensions: a CGE compiles to its run-time checks (jumping
+    to a compiled sequential fallback when they fail), an
+    alloc_parcall, push_goal for goals 2..k, an inline call of the
+    first goal, and a par_join whose address is patched into the
+    alloc. *)
+
+exception Error of string
+
+val halt_addr : int
+(** Address of the query-success return point (instruction 0). *)
+
+val goal_done_addr : int
+(** Return point of parallel goals (instruction 1). *)
+
+val compile_db : ?parallel:bool -> Symbols.t -> Prolog.Database.t -> Code.t
+(** Compile every predicate.  [parallel = false] flattens CGEs into
+    plain conjunctions (the sequential WAM baseline). *)

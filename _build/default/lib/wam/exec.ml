@@ -1,0 +1,1015 @@
+(* The WAM execution core: dereferencing, binding, trailing,
+   unification, arithmetic, builtins, backtracking and the sequential
+   instruction semantics.
+
+   All memory accesses go through [Memory] and are traced.  The
+   parallel instructions (alloc_parcall, push_goal, par_join,
+   goal_done) are not handled here; the RAP-WAM simulator intercepts
+   them before delegating to [step_core].
+
+   Choice-point frame layout (base B, n = saved arity):
+     B+0          nargs
+     B+1..B+n     argument registers
+     B+n+1..n+8   e, cp, prev_b, next_alt, tr, h, b0, saved_lst
+   Total size n+9 words, all tagged Choice_point.  (HB and the
+   local-stack protection for the previous choice point are re-read
+   from that frame when a trust pops this one, saving two words per
+   frame in the common cut/commit case.) *)
+
+open Machine
+
+exception No_more_choices of worker
+(* Raised by [fail] when backtracking reaches the execution barrier:
+   query failure for the root context, goal failure inside a parallel
+   goal. *)
+
+let cp_extra = 9
+
+(* ------------------------------------------------------------------ *)
+(* Memory access helpers (pe = issuing worker).                       *)
+
+let rd m (w : worker) ~area addr = Memory.read m.mem ~pe:w.id ~area addr
+let wr m (w : worker) ~area addr cell = Memory.write m.mem ~pe:w.id ~area addr cell
+let rd_auto m (w : worker) addr = Memory.read_auto m.mem ~pe:w.id addr
+let wr_auto m (w : worker) addr cell = Memory.write_auto m.mem ~pe:w.id addr cell
+
+let fetch_traced m (w : worker) =
+  (* Instruction fetch: one code-region read. *)
+  m.mem.Memory.sink.Trace.Sink.emit
+    {
+      Trace.Ref_record.pe = w.id;
+      addr = Code.trace_addr w.p;
+      area = Trace.Area.Code;
+      op = Trace.Ref_record.Read;
+    };
+  Code.fetch m.code w.p
+
+(* ------------------------------------------------------------------ *)
+(* Dereferencing, trailing, binding.                                  *)
+
+let rec deref m w cell =
+  if Cell.is_ref cell then begin
+    let a = Cell.payload cell in
+    let v = rd_auto m w a in
+    if v = cell then cell else deref m w v
+  end
+  else cell
+
+let trail_push m (w : worker) addr =
+  if w.tr >= Layout.trail_limit w.id then
+    runtime_error "trail overflow (PE %d)" w.id;
+  wr m w ~area:Trace.Area.Trail w.tr (Cell.raw addr);
+  w.tr <- w.tr + 1;
+  if w.tr > w.max_tr then w.max_tr <- w.tr
+
+(* Trail condition: bindings to this worker's own cells younger than
+   the newest choice point (heap above HB, local stack above the
+   protection floor) need no trail entry; everything else -- older
+   cells and every cross-PE binding -- is trailed. *)
+let must_trail (w : worker) addr =
+  if Layout.pe_of_addr addr <> w.id then true
+  else if Layout.is_heap_addr addr then addr < w.hb
+  else if Layout.is_local_stack_addr addr then addr < w.prot_lst
+  else true
+
+let bind m w addr cell =
+  wr_auto m w addr cell;
+  if must_trail w addr then trail_push m w addr
+
+(* Bind two unbound variables: stack variables point at heap variables
+   (stack cells die first); between same-kind cells the younger (higher
+   address) points at the older. *)
+let bind_vars m w a1 a2 =
+  let s1 = Layout.is_local_stack_addr a1 in
+  let s2 = Layout.is_local_stack_addr a2 in
+  if s1 && not s2 then bind m w a1 (Cell.ref_ a2)
+  else if s2 && not s1 then bind m w a2 (Cell.ref_ a1)
+  else if a1 < a2 then bind m w a2 (Cell.ref_ a1)
+  else bind m w a1 (Cell.ref_ a2)
+
+(* ------------------------------------------------------------------ *)
+(* Heap allocation.                                                   *)
+
+let hpush m (w : worker) cell =
+  if w.h >= Layout.heap_limit w.id then
+    runtime_error "heap overflow (PE %d)" w.id;
+  wr m w ~area:Trace.Area.Heap w.h cell;
+  let a = w.h in
+  w.h <- w.h + 1;
+  if w.h > w.max_h then w.max_h <- w.h;
+  a
+
+let fresh_heap_var m w =
+  let a = w.h in
+  ignore (hpush m w (Cell.ref_ a));
+  a
+
+(* ------------------------------------------------------------------ *)
+(* Unification (PDL-based).                                           *)
+
+let pdl_push m (w : worker) c1 c2 =
+  if w.pdl + 2 > Layout.pdl_limit w.id then
+    runtime_error "PDL overflow (PE %d)" w.id;
+  wr m w ~area:Trace.Area.Pdl w.pdl c1;
+  wr m w ~area:Trace.Area.Pdl (w.pdl + 1) c2;
+  w.pdl <- w.pdl + 2
+
+let pdl_pop m (w : worker) =
+  w.pdl <- w.pdl - 2;
+  let c1 = rd m w ~area:Trace.Area.Pdl w.pdl in
+  let c2 = rd m w ~area:Trace.Area.Pdl (w.pdl + 1) in
+  (c1, c2)
+
+(* General unification.  The current pair is kept in registers (as in
+   real WAM implementations); the PDL holds only the extra sub-pairs of
+   compound terms, so trivial unifications generate no PDL traffic. *)
+let unify m (w : worker) c1 c2 =
+  let base = w.pdl in
+  let rec next ok =
+    if not ok then begin
+      w.pdl <- base;
+      false
+    end
+    else if w.pdl = base then true
+    else begin
+      let c1, c2 = pdl_pop m w in
+      pair c1 c2
+    end
+  and pair c1 c2 =
+    let d1 = deref m w c1 in
+    let d2 = deref m w c2 in
+    if d1 = d2 then next true
+    else begin
+      match (Cell.view d1, Cell.view d2) with
+      | Cell.Ref a1, Cell.Ref a2 ->
+        bind_vars m w a1 a2;
+        next true
+      | ( Cell.Ref a,
+          ( Cell.Str _ | Cell.Lis _ | Cell.Con _ | Cell.Num _ | Cell.Fun _
+          | Cell.Raw _ ) ) ->
+        bind m w a d2;
+        next true
+      | ( ( Cell.Str _ | Cell.Lis _ | Cell.Con _ | Cell.Num _ | Cell.Fun _
+          | Cell.Raw _ ),
+          Cell.Ref a ) ->
+        bind m w a d1;
+        next true
+      | Cell.Lis a1, Cell.Lis a2 ->
+        (* tails go to the PDL; continue with the heads *)
+        pdl_push m w (rd_auto m w (a1 + 1)) (rd_auto m w (a2 + 1));
+        pair (rd_auto m w a1) (rd_auto m w a2)
+      | Cell.Str a1, Cell.Str a2 ->
+        let f1 = rd_auto m w a1 in
+        let f2 = rd_auto m w a2 in
+        if f1 <> f2 then next false
+        else begin
+          let arity = Symbols.functor_arity m.symbols (Cell.payload f1) in
+          if arity = 0 then next true
+          else begin
+            for i = 2 to arity do
+              pdl_push m w (rd_auto m w (a1 + i)) (rd_auto m w (a2 + i))
+            done;
+            pair (rd_auto m w (a1 + 1)) (rd_auto m w (a2 + 1))
+          end
+        end
+      | ( ( Cell.Str _ | Cell.Lis _ | Cell.Con _ | Cell.Num _ | Cell.Fun _
+          | Cell.Raw _ ),
+          _ ) ->
+        next false
+    end
+  in
+  pair c1 c2
+
+(* ------------------------------------------------------------------ *)
+(* Backtracking.                                                      *)
+
+let untrail_to m (w : worker) saved_tr =
+  while w.tr > saved_tr do
+    w.tr <- w.tr - 1;
+    let entry = rd m w ~area:Trace.Area.Trail w.tr in
+    let a = Cell.payload entry in
+    wr_auto m w a (Cell.ref_ a)
+  done
+
+let fail m (w : worker) =
+  if w.b = -1 || w.b <= w.barrier then raise (No_more_choices w)
+  else begin
+    let b = w.b in
+    let f off = rd m w ~area:Trace.Area.Choice_point (b + off) in
+    let n = Cell.payload (f 0) in
+    for i = 1 to n do
+      w.x.(i) <- f i
+    done;
+    w.nargs <- n;
+    w.e <- Cell.payload (f (n + 1));
+    w.cp <- Cell.payload (f (n + 2));
+    let next_alt = Cell.payload (f (n + 4)) in
+    untrail_to m w (Cell.payload (f (n + 5)));
+    let saved_h = Cell.payload (f (n + 6)) in
+    w.h <- saved_h;
+    w.hb <- saved_h;
+    w.b0 <- Cell.payload (f (n + 7));
+    let saved_lst = Cell.payload (f (n + 8)) in
+    w.lst <- saved_lst;
+    w.prot_lst <- saved_lst;
+    w.cst <- b + n + cp_extra;
+    w.p <- next_alt
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Registers.                                                         *)
+
+let get_reg m (w : worker) = function
+  | Instr.X n -> w.x.(n)
+  | Instr.Y n -> rd m w ~area:Trace.Area.Env_pvar (w.e + 3 + n)
+
+let set_reg m (w : worker) r cell =
+  match r with
+  | Instr.X n -> w.x.(n) <- cell
+  | Instr.Y n -> wr m w ~area:Trace.Area.Env_pvar (w.e + 3 + n) cell
+
+(* ------------------------------------------------------------------ *)
+(* Term predicates and arithmetic.                                    *)
+
+let functor_cell m w addr =
+  match Cell.view (rd_auto m w addr) with
+  | Cell.Fun fid -> fid
+  | Cell.Ref _ | Cell.Str _ | Cell.Lis _ | Cell.Con _ | Cell.Num _
+  | Cell.Raw _ ->
+    runtime_error "corrupt structure at address %d" addr
+
+let rec is_ground m w cell =
+  match Cell.view (deref m w cell) with
+  | Cell.Ref _ -> false
+  | Cell.Con _ | Cell.Num _ -> true
+  | Cell.Lis a ->
+    is_ground m w (rd_auto m w a) && is_ground m w (rd_auto m w (a + 1))
+  | Cell.Str a ->
+    let fid = functor_cell m w a in
+    let arity = Symbols.functor_arity m.symbols fid in
+    let rec go i =
+      i > arity || (is_ground m w (rd_auto m w (a + i)) && go (i + 1))
+    in
+    go 1
+  | Cell.Fun _ | Cell.Raw _ -> runtime_error "is_ground: raw cell"
+
+(* Collect the addresses of the unbound variables of a term. *)
+let collect_vars m w cell tbl =
+  let rec go cell =
+    match Cell.view (deref m w cell) with
+    | Cell.Ref a -> Hashtbl.replace tbl a ()
+    | Cell.Con _ | Cell.Num _ -> ()
+    | Cell.Lis a ->
+      go (rd_auto m w a);
+      go (rd_auto m w (a + 1))
+    | Cell.Str a ->
+      let fid = functor_cell m w a in
+      for i = 1 to Symbols.functor_arity m.symbols fid do
+        go (rd_auto m w (a + i))
+      done
+    | Cell.Fun _ | Cell.Raw _ -> runtime_error "collect_vars: raw cell"
+  in
+  go cell
+
+(* Goal independence: the two terms share no unbound variable. *)
+let independent m w c1 c2 =
+  let tbl = Hashtbl.create 16 in
+  collect_vars m w c1 tbl;
+  let shared = ref false in
+  let rec go cell =
+    if not !shared then begin
+      match Cell.view (deref m w cell) with
+      | Cell.Ref a -> if Hashtbl.mem tbl a then shared := true
+      | Cell.Con _ | Cell.Num _ -> ()
+      | Cell.Lis a ->
+        go (rd_auto m w a);
+        go (rd_auto m w (a + 1))
+      | Cell.Str a ->
+        let fid = functor_cell m w a in
+        for i = 1 to Symbols.functor_arity m.symbols fid do
+          go (rd_auto m w (a + i))
+        done
+      | Cell.Fun _ | Cell.Raw _ -> runtime_error "independent: raw cell"
+    end
+  in
+  go c2;
+  not !shared
+
+(* Standard order: Var < Num < Atom < Compound. *)
+let rec compare_terms m w c1 c2 =
+  let d1 = deref m w c1 in
+  let d2 = deref m w c2 in
+  if d1 = d2 then 0
+  else begin
+    let rank c =
+      match Cell.view c with
+      | Cell.Ref _ -> 0
+      | Cell.Num _ -> 1
+      | Cell.Con _ -> 2
+      | Cell.Lis _ | Cell.Str _ -> 3
+      | Cell.Fun _ | Cell.Raw _ -> runtime_error "compare: raw cell"
+    in
+    let r1 = rank d1 and r2 = rank d2 in
+    if r1 <> r2 then compare r1 r2
+    else begin
+      match (Cell.view d1, Cell.view d2) with
+      | Cell.Ref a1, Cell.Ref a2 -> compare a1 a2
+      | Cell.Num n1, Cell.Num n2 -> compare n1 n2
+      | Cell.Con a1, Cell.Con a2 ->
+        compare (Symbols.atom_name m.symbols a1) (Symbols.atom_name m.symbols a2)
+      | (Cell.Lis _ | Cell.Str _), (Cell.Lis _ | Cell.Str _) ->
+        let spec c =
+          match Cell.view c with
+          | Cell.Lis a -> (2, ".", a, true)
+          | Cell.Str a ->
+            let fid = functor_cell m w a in
+            ( Symbols.functor_arity m.symbols fid,
+              Symbols.functor_name m.symbols fid,
+              a,
+              false )
+          | Cell.Ref _ | Cell.Con _ | Cell.Num _ | Cell.Fun _ | Cell.Raw _ ->
+            assert false
+        in
+        let n1, f1, a1, l1 = spec d1 in
+        let n2, f2, a2, l2 = spec d2 in
+        if n1 <> n2 then compare n1 n2
+        else if f1 <> f2 then compare f1 f2
+        else begin
+          (* argument base: list pairs start at a, structures at a+1 *)
+          let base1 = if l1 then a1 - 1 else a1 in
+          let base2 = if l2 then a2 - 1 else a2 in
+          let rec args i =
+            if i > n1 then 0
+            else begin
+              let c =
+                compare_terms m w
+                  (rd_auto m w (base1 + i))
+                  (rd_auto m w (base2 + i))
+              in
+              if c <> 0 then c else args (i + 1)
+            end
+          in
+          args 1
+        end
+      | ( ( Cell.Ref _ | Cell.Num _ | Cell.Con _ | Cell.Lis _ | Cell.Str _
+          | Cell.Fun _ | Cell.Raw _ ),
+          _ ) ->
+        assert false
+    end
+  end
+
+let rec eval_arith m w cell =
+  match Cell.view (deref m w cell) with
+  | Cell.Num n -> n
+  | Cell.Str a -> begin
+    let fid = functor_cell m w a in
+    let name = Symbols.functor_name m.symbols fid in
+    let arity = Symbols.functor_arity m.symbols fid in
+    let arg i = eval_arith m w (rd_auto m w (a + i)) in
+    match (name, arity) with
+    | "+", 2 -> arg 1 + arg 2
+    | "-", 2 -> arg 1 - arg 2
+    | "*", 2 -> arg 1 * arg 2
+    | "//", 2 | "/", 2 ->
+      let d = arg 2 in
+      if d = 0 then runtime_error "zero divisor" else arg 1 / d
+    | "mod", 2 ->
+      let d = arg 2 in
+      if d = 0 then runtime_error "zero divisor"
+      else begin
+        let r = arg 1 mod d in
+        if (r < 0 && d > 0) || (r > 0 && d < 0) then r + d else r
+      end
+    | "rem", 2 -> arg 1 mod arg 2
+    | "min", 2 -> min (arg 1) (arg 2)
+    | "max", 2 -> max (arg 1) (arg 2)
+    | ">>", 2 -> arg 1 asr arg 2
+    | "<<", 2 -> arg 1 lsl arg 2
+    | "/\\", 2 -> arg 1 land arg 2
+    | "\\/", 2 -> arg 1 lor arg 2
+    | "-", 1 -> -arg 1
+    | "+", 1 -> arg 1
+    | "abs", 1 -> abs (arg 1)
+    | "sign", 1 -> compare (arg 1) 0
+    | _, _ -> runtime_error "not evaluable: %s/%d" name arity
+  end
+  | Cell.Con c ->
+    runtime_error "not evaluable: %s/0" (Symbols.atom_name m.symbols c)
+  | Cell.Ref _ -> runtime_error "is/2: argument insufficiently instantiated"
+  | Cell.Lis _ -> runtime_error "is/2: list is not evaluable"
+  | Cell.Fun _ | Cell.Raw _ -> runtime_error "eval: raw cell"
+
+(* ------------------------------------------------------------------ *)
+(* Answer decoding (untraced; used by write/1 and the drivers).       *)
+
+let rec decode m w cell =
+  let cell =
+    (* untraced deref *)
+    let rec go c =
+      if Cell.is_ref c then begin
+        let v = Memory.peek m.mem (Cell.payload c) in
+        if v = c then c else go v
+      end
+      else c
+    in
+    go cell
+  in
+  match Cell.view cell with
+  | Cell.Ref a -> Prolog.Term.Var (Printf.sprintf "_%d" a)
+  | Cell.Num n -> Prolog.Term.Int n
+  | Cell.Con c -> Prolog.Term.Atom (Symbols.atom_name m.symbols c)
+  | Cell.Lis a ->
+    Prolog.Term.Struct
+      ( ".",
+        [ decode m w (Memory.peek m.mem a); decode m w (Memory.peek m.mem (a + 1)) ] )
+  | Cell.Str a -> begin
+    match Cell.view (Memory.peek m.mem a) with
+    | Cell.Fun fid ->
+      let name = Symbols.functor_name m.symbols fid in
+      let arity = Symbols.functor_arity m.symbols fid in
+      Prolog.Term.Struct
+        (name, List.init arity (fun i -> decode m w (Memory.peek m.mem (a + 1 + i))))
+    | Cell.Ref _ | Cell.Str _ | Cell.Lis _ | Cell.Con _ | Cell.Num _
+    | Cell.Raw _ ->
+      runtime_error "decode: corrupt structure"
+  end
+  | Cell.Fun _ | Cell.Raw _ -> runtime_error "decode: raw cell"
+
+(* Encode a ground-or-variable source term onto a worker's heap;
+   variables share bindings through [env] (name -> heap address). *)
+let rec encode m w env t =
+  match t with
+  | Prolog.Term.Int n -> Cell.num n
+  | Prolog.Term.Atom a -> Cell.con (Symbols.atom m.symbols a)
+  | Prolog.Term.Var v -> begin
+    match Hashtbl.find_opt env v with
+    | Some a -> Cell.ref_ a
+    | None ->
+      let a = fresh_heap_var m w in
+      Hashtbl.add env v a;
+      Cell.ref_ a
+  end
+  | Prolog.Term.Struct (".", [ hd; tl ]) ->
+    let c_hd = encode m w env hd in
+    let c_tl = encode m w env tl in
+    let a = hpush m w c_hd in
+    ignore (hpush m w c_tl);
+    Cell.lis a
+  | Prolog.Term.Struct (f, args) ->
+    let cells = List.map (encode m w env) args in
+    let fid = Symbols.functor_ m.symbols f (List.length args) in
+    let a = hpush m w (Cell.fun_ fid) in
+    List.iter (fun c -> ignore (hpush m w c)) cells;
+    Cell.str a
+
+(* ------------------------------------------------------------------ *)
+(* Builtins.  Each returns [true] on success; [false] triggers fail.  *)
+
+let list_of_cells m w cells =
+  let nil = Cell.con m.nil_atom in
+  List.fold_right
+    (fun c acc ->
+      let a = hpush m w c in
+      ignore (hpush m w acc);
+      Cell.lis a)
+    cells nil
+
+let exec_builtin m (w : worker) b _arity =
+  let a i = w.x.(i) in
+  match b with
+  | Builtin.True_b -> true
+  | Builtin.Fail_b -> false
+  | Builtin.Unify -> unify m w (a 1) (a 2)
+  | Builtin.Is ->
+    let v = eval_arith m w (a 2) in
+    unify m w (a 1) (Cell.num v)
+  | Builtin.Lt -> eval_arith m w (a 1) < eval_arith m w (a 2)
+  | Builtin.Gt -> eval_arith m w (a 1) > eval_arith m w (a 2)
+  | Builtin.Le -> eval_arith m w (a 1) <= eval_arith m w (a 2)
+  | Builtin.Ge -> eval_arith m w (a 1) >= eval_arith m w (a 2)
+  | Builtin.Arith_eq -> eval_arith m w (a 1) = eval_arith m w (a 2)
+  | Builtin.Arith_ne -> eval_arith m w (a 1) <> eval_arith m w (a 2)
+  | Builtin.Not_unify ->
+    (* Trial unification with full trailing, then undo. *)
+    let saved_hb = w.hb in
+    let saved_tr = w.tr in
+    w.hb <- w.h;
+    let ok = unify m w (a 1) (a 2) in
+    untrail_to m w saved_tr;
+    w.hb <- saved_hb;
+    not ok
+  | Builtin.Term_eq -> compare_terms m w (a 1) (a 2) = 0
+  | Builtin.Term_ne -> compare_terms m w (a 1) (a 2) <> 0
+  | Builtin.Term_lt -> compare_terms m w (a 1) (a 2) < 0
+  | Builtin.Term_gt -> compare_terms m w (a 1) (a 2) > 0
+  | Builtin.Term_le -> compare_terms m w (a 1) (a 2) <= 0
+  | Builtin.Term_ge -> compare_terms m w (a 1) (a 2) >= 0
+  | Builtin.Var_p -> Cell.is_ref (deref m w (a 1))
+  | Builtin.Nonvar_p -> not (Cell.is_ref (deref m w (a 1)))
+  | Builtin.Atom_p -> begin
+    match Cell.view (deref m w (a 1)) with
+    | Cell.Con _ -> true
+    | Cell.Ref _ | Cell.Str _ | Cell.Lis _ | Cell.Num _ | Cell.Fun _
+    | Cell.Raw _ ->
+      false
+  end
+  | Builtin.Integer_p -> begin
+    match Cell.view (deref m w (a 1)) with
+    | Cell.Num _ -> true
+    | Cell.Ref _ | Cell.Str _ | Cell.Lis _ | Cell.Con _ | Cell.Fun _
+    | Cell.Raw _ ->
+      false
+  end
+  | Builtin.Atomic_p -> begin
+    match Cell.view (deref m w (a 1)) with
+    | Cell.Con _ | Cell.Num _ -> true
+    | Cell.Ref _ | Cell.Str _ | Cell.Lis _ | Cell.Fun _ | Cell.Raw _ -> false
+  end
+  | Builtin.Compound_p -> begin
+    match Cell.view (deref m w (a 1)) with
+    | Cell.Str _ | Cell.Lis _ -> true
+    | Cell.Ref _ | Cell.Con _ | Cell.Num _ | Cell.Fun _ | Cell.Raw _ -> false
+  end
+  | Builtin.Ground_p -> is_ground m w (a 1)
+  | Builtin.Indep_p -> independent m w (a 1) (a 2)
+  | Builtin.Write_t | Builtin.Print_t ->
+    Format.fprintf m.out "%a" (Prolog.Pretty.pp ?ops:None) (decode m w (a 1));
+    true
+  | Builtin.Nl ->
+    Format.fprintf m.out "@.";
+    true
+  | Builtin.Halt_b ->
+    m.halted <- true;
+    w.status <- Halted;
+    true
+  | Builtin.Functor_b -> begin
+    match Cell.view (deref m w (a 1)) with
+    | Cell.Con c ->
+      unify m w (a 2) (Cell.con c) && unify m w (a 3) (Cell.num 0)
+    | Cell.Num n ->
+      unify m w (a 2) (Cell.num n) && unify m w (a 3) (Cell.num 0)
+    | Cell.Lis _ ->
+      unify m w (a 2) (Cell.con (Symbols.atom m.symbols "."))
+      && unify m w (a 3) (Cell.num 2)
+    | Cell.Str addr ->
+      let fid = functor_cell m w addr in
+      let aid, arity = Symbols.functor_def m.symbols fid in
+      unify m w (a 2) (Cell.con aid) && unify m w (a 3) (Cell.num arity)
+    | Cell.Ref _ -> begin
+      (* Construction mode. *)
+      match (Cell.view (deref m w (a 2)), Cell.view (deref m w (a 3))) with
+      | Cell.Con c, Cell.Num 0 -> unify m w (a 1) (Cell.con c)
+      | Cell.Num n, Cell.Num 0 -> unify m w (a 1) (Cell.num n)
+      | Cell.Con c, Cell.Num n when n > 0 ->
+        let name = Symbols.atom_name m.symbols c in
+        if name = "." && n = 2 then begin
+          let addr = fresh_heap_var m w in
+          ignore (fresh_heap_var m w);
+          unify m w (a 1) (Cell.lis addr)
+        end
+        else begin
+          let fid = Symbols.functor_ m.symbols name n in
+          let addr = hpush m w (Cell.fun_ fid) in
+          for _ = 1 to n do
+            ignore (fresh_heap_var m w)
+          done;
+          unify m w (a 1) (Cell.str addr)
+        end
+      | _, _ -> runtime_error "functor/3: bad construction arguments"
+    end
+    | Cell.Fun _ | Cell.Raw _ -> runtime_error "functor/3: raw cell"
+  end
+  | Builtin.Arg_b -> begin
+    match (Cell.view (deref m w (a 1)), Cell.view (deref m w (a 2))) with
+    | Cell.Num n, Cell.Str addr ->
+      let fid = functor_cell m w addr in
+      let arity = Symbols.functor_arity m.symbols fid in
+      if n >= 1 && n <= arity then
+        unify m w (a 3) (rd_auto m w (addr + n))
+      else false
+    | Cell.Num n, Cell.Lis addr ->
+      if n = 1 then unify m w (a 3) (rd_auto m w addr)
+      else if n = 2 then unify m w (a 3) (rd_auto m w (addr + 1))
+      else false
+    | _, _ -> runtime_error "arg/3: bad arguments"
+  end
+  | Builtin.Univ -> begin
+    match Cell.view (deref m w (a 1)) with
+    | Cell.Con _ | Cell.Num _ ->
+      unify m w (a 2) (list_of_cells m w [ deref m w (a 1) ])
+    | Cell.Lis addr ->
+      unify m w (a 2)
+        (list_of_cells m w
+           [
+             Cell.con (Symbols.atom m.symbols ".");
+             rd_auto m w addr;
+             rd_auto m w (addr + 1);
+           ])
+    | Cell.Str addr ->
+      let fid = functor_cell m w addr in
+      let aid, arity = Symbols.functor_def m.symbols fid in
+      let args = List.init arity (fun i -> rd_auto m w (addr + 1 + i)) in
+      unify m w (a 2) (list_of_cells m w (Cell.con aid :: args))
+    | Cell.Ref _ -> begin
+      (* Construction: collect the list elements. *)
+      let rec elements cell acc =
+        match Cell.view (deref m w cell) with
+        | Cell.Con c when c = m.nil_atom -> List.rev acc
+        | Cell.Lis addr ->
+          elements (rd_auto m w (addr + 1)) (rd_auto m w addr :: acc)
+        | Cell.Ref _ | Cell.Str _ | Cell.Con _ | Cell.Num _ | Cell.Fun _
+        | Cell.Raw _ ->
+          runtime_error "=../2: second argument must be a proper list"
+      in
+      match elements (a 2) [] with
+      | [] -> runtime_error "=../2: empty list"
+      | [ single ] -> unify m w (a 1) (deref m w single)
+      | head :: args -> begin
+        match Cell.view (deref m w head) with
+        | Cell.Con c ->
+          let name = Symbols.atom_name m.symbols c in
+          let n = List.length args in
+          if name = "." && n = 2 then begin
+            match args with
+            | [ hd; tl ] ->
+              let addr = hpush m w hd in
+              ignore (hpush m w tl);
+              unify m w (a 1) (Cell.lis addr)
+            | _ -> assert false
+          end
+          else begin
+            let fid = Symbols.functor_ m.symbols name n in
+            let addr = hpush m w (Cell.fun_ fid) in
+            List.iter (fun c -> ignore (hpush m w c)) args;
+            unify m w (a 1) (Cell.str addr)
+          end
+        | Cell.Ref _ | Cell.Str _ | Cell.Lis _ | Cell.Num _ | Cell.Fun _
+        | Cell.Raw _ ->
+          runtime_error "=../2: list head must be an atom"
+      end
+    end
+    | Cell.Fun _ | Cell.Raw _ -> runtime_error "=../2: raw cell"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Choice points.                                                     *)
+
+let push_choice_point m (w : worker) ~next_alt =
+  let n = w.nargs in
+  let base = w.cst in
+  if base + n + cp_extra > Layout.control_limit w.id then
+    runtime_error "control stack overflow (PE %d)" w.id;
+  let cp_wr off cell = wr m w ~area:Trace.Area.Choice_point (base + off) cell in
+  cp_wr 0 (Cell.raw n);
+  for i = 1 to n do
+    cp_wr i w.x.(i)
+  done;
+  cp_wr (n + 1) (Cell.raw w.e);
+  cp_wr (n + 2) (Cell.raw w.cp);
+  cp_wr (n + 3) (Cell.raw w.b);
+  cp_wr (n + 4) (Cell.raw next_alt);
+  cp_wr (n + 5) (Cell.raw w.tr);
+  cp_wr (n + 6) (Cell.raw w.h);
+  cp_wr (n + 7) (Cell.raw w.b0);
+  cp_wr (n + 8) (Cell.raw w.lst);
+  w.b <- base;
+  w.cst <- base + n + cp_extra;
+  w.hb <- w.h;
+  w.prot_lst <- w.lst;
+  note_high_water w
+
+(* Discard choice points down to [target] (a saved B value or -1),
+   resetting the control-stack top and local-stack protection. *)
+let cut_to_level m (w : worker) target =
+  if w.b <> target && (target = -1 || w.b > target) then begin
+    w.b <- target;
+    if target = -1 || target < w.cst_floor then begin
+      w.cst <- w.cst_floor;
+      w.prot_lst <- w.lst_floor
+    end
+    else begin
+      let n = Cell.payload (rd m w ~area:Trace.Area.Choice_point target) in
+      w.cst <- target + n + cp_extra;
+      w.prot_lst <-
+        Cell.payload (rd m w ~area:Trace.Area.Choice_point (target + n + 8))
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Environments.                                                      *)
+
+let allocate_env m (w : worker) n =
+  let base = max w.lst w.prot_lst in
+  if base + 3 + n > Layout.local_limit w.id then
+    runtime_error "local stack overflow (PE %d)" w.id;
+  wr m w ~area:Trace.Area.Env_control base (Cell.raw w.e);
+  wr m w ~area:Trace.Area.Env_control (base + 1) (Cell.raw w.cp);
+  wr m w ~area:Trace.Area.Env_control (base + 2) (Cell.raw n);
+  w.e <- base;
+  w.lst <- base + 3 + n;
+  note_high_water w
+
+let deallocate_env m (w : worker) =
+  w.cp <- Cell.payload (rd m w ~area:Trace.Area.Env_control (w.e + 1));
+  let ce = Cell.payload (rd m w ~area:Trace.Area.Env_control w.e) in
+  w.lst <- w.e;
+  w.e <- ce
+
+(* ------------------------------------------------------------------ *)
+(* The sequential instruction semantics.  [w.p] has already been
+   advanced past the instruction; control transfers overwrite it.     *)
+
+exception Parallel_instr of Instr.t
+(* Raised for RAP-WAM instructions; the parallel simulator intercepts
+   them before calling [step_core], the sequential driver treats them
+   as an error. *)
+
+let call_entry m (w : worker) fid ~tail =
+  m.inferences <- m.inferences + 1;
+  match Code.entry m.code fid with
+  | None ->
+    runtime_error "undefined predicate %s" (Symbols.spec_string m.symbols fid)
+  | Some entry ->
+    if not tail then w.cp <- w.p;
+    w.nargs <- Symbols.functor_arity m.symbols fid;
+    w.b0 <- w.b;
+    w.p <- entry
+
+let step_core m (w : worker) instr =
+  match instr with
+  (* ---- put ---- *)
+  | Instr.Put_variable (Instr.X n, ai) ->
+    let a = fresh_heap_var m w in
+    w.x.(n) <- Cell.ref_ a;
+    w.x.(ai) <- Cell.ref_ a
+  | Instr.Put_variable (Instr.Y n, ai) ->
+    let addr = w.e + 3 + n in
+    wr m w ~area:Trace.Area.Env_pvar addr (Cell.ref_ addr);
+    w.x.(ai) <- Cell.ref_ addr
+  | Instr.Put_value (r, ai) -> w.x.(ai) <- get_reg m w r
+  | Instr.Put_unsafe_value (y, ai) -> begin
+    let v = deref m w (rd m w ~area:Trace.Area.Env_pvar (w.e + 3 + y)) in
+    match Cell.view v with
+    | Cell.Ref a when Layout.is_local_stack_addr a ->
+      let ha = fresh_heap_var m w in
+      bind m w a (Cell.ref_ ha);
+      w.x.(ai) <- Cell.ref_ ha
+    | Cell.Ref _ | Cell.Str _ | Cell.Lis _ | Cell.Con _ | Cell.Num _
+    | Cell.Fun _ | Cell.Raw _ ->
+      w.x.(ai) <- v
+  end
+  | Instr.Put_constant (c, ai) -> w.x.(ai) <- Cell.con c
+  | Instr.Put_integer (n, ai) -> w.x.(ai) <- Cell.num n
+  | Instr.Put_nil ai -> w.x.(ai) <- Cell.con m.nil_atom
+  | Instr.Put_structure (f, ai) ->
+    let a = hpush m w (Cell.fun_ f) in
+    w.x.(ai) <- Cell.str a;
+    w.mode_write <- true
+  | Instr.Put_list ai ->
+    w.x.(ai) <- Cell.lis w.h;
+    w.mode_write <- true
+  (* ---- get ---- *)
+  | Instr.Get_variable (r, ai) -> set_reg m w r w.x.(ai)
+  | Instr.Get_value (r, ai) ->
+    if not (unify m w (get_reg m w r) w.x.(ai)) then fail m w
+  | Instr.Get_constant (c, ai) -> begin
+    match Cell.view (deref m w w.x.(ai)) with
+    | Cell.Ref a -> bind m w a (Cell.con c)
+    | Cell.Con c' when c' = c -> ()
+    | Cell.Con _ | Cell.Str _ | Cell.Lis _ | Cell.Num _ | Cell.Fun _
+    | Cell.Raw _ ->
+      fail m w
+  end
+  | Instr.Get_integer (n, ai) -> begin
+    match Cell.view (deref m w w.x.(ai)) with
+    | Cell.Ref a -> bind m w a (Cell.num n)
+    | Cell.Num n' when n' = n -> ()
+    | Cell.Num _ | Cell.Con _ | Cell.Str _ | Cell.Lis _ | Cell.Fun _
+    | Cell.Raw _ ->
+      fail m w
+  end
+  | Instr.Get_nil ai -> begin
+    match Cell.view (deref m w w.x.(ai)) with
+    | Cell.Ref a -> bind m w a (Cell.con m.nil_atom)
+    | Cell.Con c when c = m.nil_atom -> ()
+    | Cell.Con _ | Cell.Str _ | Cell.Lis _ | Cell.Num _ | Cell.Fun _
+    | Cell.Raw _ ->
+      fail m w
+  end
+  | Instr.Get_structure (f, ai) -> begin
+    match Cell.view (deref m w w.x.(ai)) with
+    | Cell.Ref a ->
+      let sa = hpush m w (Cell.fun_ f) in
+      bind m w a (Cell.str sa);
+      w.mode_write <- true
+    | Cell.Str sa ->
+      if rd_auto m w sa = Cell.fun_ f then begin
+        w.s <- sa + 1;
+        w.mode_write <- false
+      end
+      else fail m w
+    | Cell.Con _ | Cell.Lis _ | Cell.Num _ | Cell.Fun _ | Cell.Raw _ ->
+      fail m w
+  end
+  | Instr.Get_list ai -> begin
+    match Cell.view (deref m w w.x.(ai)) with
+    | Cell.Ref a ->
+      bind m w a (Cell.lis w.h);
+      w.mode_write <- true
+    | Cell.Lis la ->
+      w.s <- la;
+      w.mode_write <- false
+    | Cell.Con _ | Cell.Str _ | Cell.Num _ | Cell.Fun _ | Cell.Raw _ ->
+      fail m w
+  end
+  (* ---- unify ---- *)
+  | Instr.Unify_variable r ->
+    if w.mode_write then begin
+      let a = fresh_heap_var m w in
+      set_reg m w r (Cell.ref_ a)
+    end
+    else begin
+      set_reg m w r (rd_auto m w w.s);
+      w.s <- w.s + 1
+    end
+  | Instr.Unify_value r ->
+    if w.mode_write then ignore (hpush m w (get_reg m w r))
+    else begin
+      let sc = rd_auto m w w.s in
+      w.s <- w.s + 1;
+      if not (unify m w (get_reg m w r) sc) then fail m w
+    end
+  | Instr.Unify_local_value r ->
+    if w.mode_write then begin
+      let v = deref m w (get_reg m w r) in
+      match Cell.view v with
+      | Cell.Ref a when Layout.is_local_stack_addr a ->
+        let ha = fresh_heap_var m w in
+        bind m w a (Cell.ref_ ha);
+        set_reg m w r (Cell.ref_ ha)
+      | Cell.Ref _ | Cell.Str _ | Cell.Lis _ | Cell.Con _ | Cell.Num _
+      | Cell.Fun _ | Cell.Raw _ ->
+        ignore (hpush m w v)
+    end
+    else begin
+      let sc = rd_auto m w w.s in
+      w.s <- w.s + 1;
+      if not (unify m w (get_reg m w r) sc) then fail m w
+    end
+  | Instr.Unify_constant c ->
+    if w.mode_write then ignore (hpush m w (Cell.con c))
+    else begin
+      let sc = rd_auto m w w.s in
+      w.s <- w.s + 1;
+      match Cell.view (deref m w sc) with
+      | Cell.Ref a -> bind m w a (Cell.con c)
+      | Cell.Con c' when c' = c -> ()
+      | Cell.Con _ | Cell.Str _ | Cell.Lis _ | Cell.Num _ | Cell.Fun _
+      | Cell.Raw _ ->
+        fail m w
+    end
+  | Instr.Unify_integer n ->
+    if w.mode_write then ignore (hpush m w (Cell.num n))
+    else begin
+      let sc = rd_auto m w w.s in
+      w.s <- w.s + 1;
+      match Cell.view (deref m w sc) with
+      | Cell.Ref a -> bind m w a (Cell.num n)
+      | Cell.Num n' when n' = n -> ()
+      | Cell.Num _ | Cell.Con _ | Cell.Str _ | Cell.Lis _ | Cell.Fun _
+      | Cell.Raw _ ->
+        fail m w
+    end
+  | Instr.Unify_nil ->
+    if w.mode_write then ignore (hpush m w (Cell.con m.nil_atom))
+    else begin
+      let sc = rd_auto m w w.s in
+      w.s <- w.s + 1;
+      match Cell.view (deref m w sc) with
+      | Cell.Ref a -> bind m w a (Cell.con m.nil_atom)
+      | Cell.Con c when c = m.nil_atom -> ()
+      | Cell.Con _ | Cell.Str _ | Cell.Lis _ | Cell.Num _ | Cell.Fun _
+      | Cell.Raw _ ->
+        fail m w
+    end
+  | Instr.Unify_void n ->
+    if w.mode_write then
+      for _ = 1 to n do
+        ignore (fresh_heap_var m w)
+      done
+    else w.s <- w.s + n
+  (* ---- control ---- *)
+  | Instr.Allocate n -> allocate_env m w n
+  | Instr.Deallocate -> deallocate_env m w
+  | Instr.Call fid -> call_entry m w fid ~tail:false
+  | Instr.Execute fid -> call_entry m w fid ~tail:true
+  | Instr.Proceed -> w.p <- w.cp
+  | Instr.Jump l -> w.p <- l
+  | Instr.Halt_ok ->
+    m.halted <- true;
+    w.status <- Halted
+  (* ---- choice ---- *)
+  | Instr.Try l ->
+    push_choice_point m w ~next_alt:w.p;
+    w.p <- l
+  | Instr.Retry l ->
+    let n = Cell.payload (rd m w ~area:Trace.Area.Choice_point w.b) in
+    wr m w ~area:Trace.Area.Choice_point (w.b + n + 4) (Cell.raw w.p);
+    w.p <- l
+  | Instr.Trust l ->
+    let b = w.b in
+    let n = Cell.payload (rd m w ~area:Trace.Area.Choice_point b) in
+    let prev = Cell.payload (rd m w ~area:Trace.Area.Choice_point (b + n + 3)) in
+    w.b <- prev;
+    if prev = -1 || prev < w.cst_floor then begin
+      w.prot_lst <- w.lst_floor
+      (* hb keeps its (conservative) value: over-trailing is safe *)
+    end
+    else begin
+      let pn = Cell.payload (rd m w ~area:Trace.Area.Choice_point prev) in
+      w.hb <- Cell.payload (rd m w ~area:Trace.Area.Choice_point (prev + pn + 6));
+      w.prot_lst <-
+        Cell.payload (rd m w ~area:Trace.Area.Choice_point (prev + pn + 8))
+    end;
+    w.cst <- b;
+    w.p <- l
+  (* ---- indexing ---- *)
+  | Instr.Switch_on_term { var_l; con_l; int_l; lis_l; str_l } -> begin
+    let d = deref m w w.x.(1) in
+    w.x.(1) <- d;
+    let target =
+      match Cell.view d with
+      | Cell.Ref _ -> var_l
+      | Cell.Con _ -> con_l
+      | Cell.Num _ -> int_l
+      | Cell.Lis _ -> lis_l
+      | Cell.Str _ -> str_l
+      | Cell.Fun _ | Cell.Raw _ -> runtime_error "switch: raw cell"
+    in
+    if target = -1 then fail m w else w.p <- target
+  end
+  | Instr.Switch_on_constant (tbl, default) -> begin
+    match Cell.view (deref m w w.x.(1)) with
+    | Cell.Con c -> begin
+      match Array.find_opt (fun (k, _) -> k = c) tbl with
+      | Some (_, l) -> w.p <- l
+      | None -> if default = -1 then fail m w else w.p <- default
+    end
+    | Cell.Ref _ | Cell.Str _ | Cell.Lis _ | Cell.Num _ | Cell.Fun _
+    | Cell.Raw _ ->
+      fail m w
+  end
+  | Instr.Switch_on_integer (tbl, default) -> begin
+    match Cell.view (deref m w w.x.(1)) with
+    | Cell.Num n -> begin
+      match Array.find_opt (fun (k, _) -> k = n) tbl with
+      | Some (_, l) -> w.p <- l
+      | None -> if default = -1 then fail m w else w.p <- default
+    end
+    | Cell.Ref _ | Cell.Str _ | Cell.Lis _ | Cell.Con _ | Cell.Fun _
+    | Cell.Raw _ ->
+      fail m w
+  end
+  | Instr.Switch_on_structure (tbl, default) -> begin
+    match Cell.view (deref m w w.x.(1)) with
+    | Cell.Str a -> begin
+      let fid = functor_cell m w a in
+      match Array.find_opt (fun (k, _) -> k = fid) tbl with
+      | Some (_, l) -> w.p <- l
+      | None -> if default = -1 then fail m w else w.p <- default
+    end
+    | Cell.Ref _ | Cell.Con _ | Cell.Lis _ | Cell.Num _ | Cell.Fun _
+    | Cell.Raw _ ->
+      fail m w
+  end
+  (* ---- cut ---- *)
+  | Instr.Neck_cut -> cut_to_level m w w.b0
+  | Instr.Get_level y ->
+    wr m w ~area:Trace.Area.Env_pvar (w.e + 3 + y) (Cell.raw w.b0)
+  | Instr.Cut_to y ->
+    let target =
+      Cell.payload (rd m w ~area:Trace.Area.Env_pvar (w.e + 3 + y))
+    in
+    cut_to_level m w target
+  (* ---- escapes ---- *)
+  | Instr.Builtin (b, arity) ->
+    if not (exec_builtin m w b arity) then fail m w
+  (* ---- CGE checks ---- *)
+  | Instr.Check_ground (r, l) ->
+    if not (is_ground m w (get_reg m w r)) then w.p <- l
+  | Instr.Check_indep (r1, r2, l) ->
+    if not (independent m w (get_reg m w r1) (get_reg m w r2)) then w.p <- l
+  (* ---- parallel (handled by the RAP-WAM simulator) ---- *)
+  | Instr.Alloc_parcall _ | Instr.Push_goal _ | Instr.Par_join
+  | Instr.Goal_done ->
+    raise (Parallel_instr instr)
+
+(* One sequential step: fetch (traced), count, advance, execute. *)
+let step m (w : worker) =
+  let instr = fetch_traced m w in
+  m.opcode_freq.(Instr.opcode instr) <-
+    m.opcode_freq.(Instr.opcode instr) + 1;
+  w.instr_count <- w.instr_count + 1;
+  m.steps <- m.steps + 1;
+  w.p <- w.p + 1;
+  step_core m w instr

@@ -1,0 +1,85 @@
+(** The WAM execution core: dereferencing, binding, trailing,
+    unification, arithmetic, builtins, backtracking, and the
+    sequential instruction semantics.  All memory accesses go through
+    {!Memory} and are traced.
+
+    The parallel instructions (alloc_parcall, push_goal, par_join,
+    goal_done) are not handled here; the RAP-WAM simulator intercepts
+    them before delegating to {!step_core}. *)
+
+exception No_more_choices of Machine.worker
+(** Raised by {!fail} when backtracking reaches the execution barrier:
+    query failure for the root context, goal/inline failure inside a
+    parallel context. *)
+
+exception Parallel_instr of Instr.t
+(** Raised by {!step_core} on RAP-WAM instructions. *)
+
+val cp_extra : int
+(** Choice-point frame size beyond the saved arguments. *)
+
+(** {1 Memory access} (traced, charged to the worker) *)
+
+val rd : Machine.t -> Machine.worker -> area:Trace.Area.t -> int -> int
+val wr : Machine.t -> Machine.worker -> area:Trace.Area.t -> int -> int -> unit
+val rd_auto : Machine.t -> Machine.worker -> int -> int
+val wr_auto : Machine.t -> Machine.worker -> int -> int -> unit
+
+val fetch_traced : Machine.t -> Machine.worker -> Instr.t
+(** Fetch the instruction at [w.p], emitting a Code-area read. *)
+
+(** {1 Terms on the heap} *)
+
+val deref : Machine.t -> Machine.worker -> int -> int
+val bind : Machine.t -> Machine.worker -> int -> int -> unit
+val must_trail : Machine.worker -> int -> bool
+val trail_push : Machine.t -> Machine.worker -> int -> unit
+val untrail_to : Machine.t -> Machine.worker -> int -> unit
+val hpush : Machine.t -> Machine.worker -> int -> int
+val fresh_heap_var : Machine.t -> Machine.worker -> int
+
+val unify : Machine.t -> Machine.worker -> int -> int -> bool
+(** General unification; the current pair lives in registers, the PDL
+    holds only extra sub-pairs of compound terms. *)
+
+val is_ground : Machine.t -> Machine.worker -> int -> bool
+val independent : Machine.t -> Machine.worker -> int -> int -> bool
+val compare_terms : Machine.t -> Machine.worker -> int -> int -> int
+val eval_arith : Machine.t -> Machine.worker -> int -> int
+
+(** {1 Source-term conversion} *)
+
+val decode : Machine.t -> Machine.worker -> int -> Prolog.Term.t
+(** Cell to source term (untraced reads). *)
+
+val encode :
+  Machine.t -> Machine.worker -> (string, int) Hashtbl.t -> Prolog.Term.t ->
+  int
+(** Build a source term on the worker's heap; variables share bindings
+    through the table (name -> heap address). *)
+
+(** {1 Control} *)
+
+val fail : Machine.t -> Machine.worker -> unit
+(** Backtrack to the newest choice point.
+    @raise No_more_choices at the barrier. *)
+
+val push_choice_point : Machine.t -> Machine.worker -> next_alt:int -> unit
+val cut_to_level : Machine.t -> Machine.worker -> int -> unit
+val allocate_env : Machine.t -> Machine.worker -> int -> unit
+val deallocate_env : Machine.t -> Machine.worker -> unit
+
+val exec_builtin : Machine.t -> Machine.worker -> Builtin.t -> int -> bool
+(** Run a builtin with its arguments in A1..An; [false] = failure. *)
+
+val step_core : Machine.t -> Machine.worker -> Instr.t -> unit
+(** Execute one (sequential) instruction; [w.p] must already point
+    past it.  @raise Parallel_instr on RAP-WAM instructions. *)
+
+val step : Machine.t -> Machine.worker -> unit
+(** Fetch (traced), count, advance, execute. *)
+
+(** {1 Register access} *)
+
+val get_reg : Machine.t -> Machine.worker -> Instr.reg -> int
+val set_reg : Machine.t -> Machine.worker -> Instr.reg -> int -> unit

@@ -1,0 +1,215 @@
+(* The RAP-WAM instruction set: the standard WAM repertoire (put/get/
+   unify groups, control, choice, indexing, cut) plus the parallel
+   extensions (CGE checks, parcall allocation, goal pushing, join).
+
+   Labels are absolute code addresses (patched by the compiler); [-1]
+   as a switch target means "fail". *)
+
+type reg = X of int | Y of int
+
+type t =
+  (* put group: load argument registers before a call *)
+  | Put_variable of reg * int
+  | Put_value of reg * int
+  | Put_unsafe_value of int * int (* Y index, A *)
+  | Put_constant of int * int (* atom id, A *)
+  | Put_integer of int * int
+  | Put_nil of int
+  | Put_structure of int * int (* functor id, A *)
+  | Put_list of int
+  (* get group: head argument unification *)
+  | Get_variable of reg * int
+  | Get_value of reg * int
+  | Get_constant of int * int
+  | Get_integer of int * int
+  | Get_nil of int
+  | Get_structure of int * int
+  | Get_list of int
+  (* unify group: structure arguments, in read or write mode *)
+  | Unify_variable of reg
+  | Unify_value of reg
+  | Unify_local_value of reg
+  | Unify_constant of int
+  | Unify_integer of int
+  | Unify_nil
+  | Unify_void of int
+  (* control *)
+  | Allocate of int (* n permanent variables *)
+  | Deallocate
+  | Call of int (* predicate functor id *)
+  | Execute of int
+  | Proceed
+  | Jump of int
+  | Halt_ok (* query succeeded *)
+  (* choice *)
+  | Try of int
+  | Retry of int
+  | Trust of int
+  (* indexing *)
+  | Switch_on_term of {
+      var_l : int;
+      con_l : int;
+      int_l : int;
+      lis_l : int;
+      str_l : int;
+    }
+  | Switch_on_constant of (int * int) array * int (* table, default *)
+  | Switch_on_integer of (int * int) array * int
+  | Switch_on_structure of (int * int) array * int (* functor id keys *)
+  (* cut *)
+  | Neck_cut
+  | Get_level of int (* Yn := B0 *)
+  | Cut_to of int (* cut to choice point saved in Yn *)
+  (* escapes *)
+  | Builtin of Builtin.t * int (* builtin, arity *)
+  (* RAP-WAM parallel extensions *)
+  | Check_ground of reg * int (* else-label: run sequential version *)
+  | Check_indep of reg * reg * int
+  | Alloc_parcall of int * int (* pushed-goal count, join address *)
+  | Push_goal of int * int * int (* slot, predicate functor id, arity *)
+  | Par_join
+  | Goal_done (* return point of a parallel goal *)
+
+let opcode = function
+  | Put_variable _ -> 0
+  | Put_value _ -> 1
+  | Put_unsafe_value _ -> 2
+  | Put_constant _ -> 3
+  | Put_integer _ -> 4
+  | Put_nil _ -> 5
+  | Put_structure _ -> 6
+  | Put_list _ -> 7
+  | Get_variable _ -> 8
+  | Get_value _ -> 9
+  | Get_constant _ -> 10
+  | Get_integer _ -> 11
+  | Get_nil _ -> 12
+  | Get_structure _ -> 13
+  | Get_list _ -> 14
+  | Unify_variable _ -> 15
+  | Unify_value _ -> 16
+  | Unify_local_value _ -> 17
+  | Unify_constant _ -> 18
+  | Unify_integer _ -> 19
+  | Unify_nil -> 20
+  | Unify_void _ -> 21
+  | Allocate _ -> 22
+  | Deallocate -> 23
+  | Call _ -> 24
+  | Execute _ -> 25
+  | Proceed -> 26
+  | Jump _ -> 27
+  | Halt_ok -> 28
+  | Try _ -> 29
+  | Retry _ -> 30
+  | Trust _ -> 31
+  | Switch_on_term _ -> 32
+  | Switch_on_constant _ -> 33
+  | Switch_on_integer _ -> 34
+  | Switch_on_structure _ -> 35
+  | Neck_cut -> 36
+  | Get_level _ -> 37
+  | Cut_to _ -> 38
+  | Builtin _ -> 39
+  | Check_ground _ -> 40
+  | Check_indep _ -> 41
+  | Alloc_parcall _ -> 42
+  | Push_goal _ -> 43
+  | Par_join -> 44
+  | Goal_done -> 45
+
+let opcode_count = 46
+
+let opcode_name = function
+  | 0 -> "put_variable"
+  | 1 -> "put_value"
+  | 2 -> "put_unsafe_value"
+  | 3 -> "put_constant"
+  | 4 -> "put_integer"
+  | 5 -> "put_nil"
+  | 6 -> "put_structure"
+  | 7 -> "put_list"
+  | 8 -> "get_variable"
+  | 9 -> "get_value"
+  | 10 -> "get_constant"
+  | 11 -> "get_integer"
+  | 12 -> "get_nil"
+  | 13 -> "get_structure"
+  | 14 -> "get_list"
+  | 15 -> "unify_variable"
+  | 16 -> "unify_value"
+  | 17 -> "unify_local_value"
+  | 18 -> "unify_constant"
+  | 19 -> "unify_integer"
+  | 20 -> "unify_nil"
+  | 21 -> "unify_void"
+  | 22 -> "allocate"
+  | 23 -> "deallocate"
+  | 24 -> "call"
+  | 25 -> "execute"
+  | 26 -> "proceed"
+  | 27 -> "jump"
+  | 28 -> "halt"
+  | 29 -> "try"
+  | 30 -> "retry"
+  | 31 -> "trust"
+  | 32 -> "switch_on_term"
+  | 33 -> "switch_on_constant"
+  | 34 -> "switch_on_integer"
+  | 35 -> "switch_on_structure"
+  | 36 -> "neck_cut"
+  | 37 -> "get_level"
+  | 38 -> "cut_to"
+  | 39 -> "builtin"
+  | 40 -> "check_ground"
+  | 41 -> "check_indep"
+  | 42 -> "alloc_parcall"
+  | 43 -> "push_goal"
+  | 44 -> "par_join"
+  | 45 -> "goal_done"
+  | n -> Printf.sprintf "op%d" n
+
+let pp_reg fmt = function
+  | X n -> Format.fprintf fmt "X%d" n
+  | Y n -> Format.fprintf fmt "Y%d" n
+
+let pp fmt i =
+  let name = opcode_name (opcode i) in
+  match i with
+  | Put_variable (r, a) | Put_value (r, a) | Get_variable (r, a)
+  | Get_value (r, a) ->
+    Format.fprintf fmt "%s %a, A%d" name pp_reg r a
+  | Put_unsafe_value (y, a) -> Format.fprintf fmt "%s Y%d, A%d" name y a
+  | Put_constant (c, a) | Put_integer (c, a) | Put_structure (c, a)
+  | Get_constant (c, a) | Get_integer (c, a) | Get_structure (c, a) ->
+    Format.fprintf fmt "%s %d, A%d" name c a
+  | Put_nil a | Put_list a | Get_nil a | Get_list a ->
+    Format.fprintf fmt "%s A%d" name a
+  | Unify_variable r | Unify_value r | Unify_local_value r ->
+    Format.fprintf fmt "%s %a" name pp_reg r
+  | Unify_constant c | Unify_integer c -> Format.fprintf fmt "%s %d" name c
+  | Unify_nil | Deallocate | Proceed | Halt_ok | Neck_cut | Par_join
+  | Goal_done ->
+    Format.pp_print_string fmt name
+  | Unify_void n | Allocate n | Call n | Execute n | Jump n | Try n
+  | Retry n | Trust n | Get_level n | Cut_to n ->
+    Format.fprintf fmt "%s %d" name n
+  | Alloc_parcall (k, join) ->
+    Format.fprintf fmt "%s %d, join:%d" name k join
+  | Switch_on_term { var_l; con_l; int_l; lis_l; str_l } ->
+    Format.fprintf fmt "%s v:%d c:%d i:%d l:%d s:%d" name var_l con_l int_l
+      lis_l str_l
+  | Switch_on_constant (tbl, d)
+  | Switch_on_integer (tbl, d)
+  | Switch_on_structure (tbl, d) ->
+    Format.fprintf fmt "%s [%s] else:%d" name
+      (String.concat "; "
+         (Array.to_list
+            (Array.map (fun (k, l) -> Printf.sprintf "%d->%d" k l) tbl)))
+      d
+  | Builtin (b, n) -> Format.fprintf fmt "%s %s/%d" name (Builtin.name b) n
+  | Check_ground (r, l) -> Format.fprintf fmt "%s %a, else:%d" name pp_reg r l
+  | Check_indep (r1, r2, l) ->
+    Format.fprintf fmt "%s %a, %a, else:%d" name pp_reg r1 pp_reg r2 l
+  | Push_goal (slot, f, n) ->
+    Format.fprintf fmt "%s slot:%d pred:%d/%d" name slot f n

@@ -1,0 +1,54 @@
+(* The simulated shared memory.
+
+   Word-addressed, chunk-allocated on demand (64K-word chunks) so large
+   PE counts don't preallocate gigabytes.  Every [read]/[write] emits a
+   tagged reference record to the machine's trace sink; [peek]/[poke]
+   bypass tracing (used by answer decoding, debugging and tests). *)
+
+let chunk_bits = 16
+let chunk_words = 1 lsl chunk_bits
+
+type t = {
+  mutable chunks : int array option array;
+  mutable sink : Trace.Sink.t;
+}
+
+let create ?(sink = Trace.Sink.null) () =
+  { chunks = Array.make 64 None; sink }
+
+let set_sink t sink = t.sink <- sink
+
+let chunk_of t addr =
+  let idx = addr lsr chunk_bits in
+  if idx >= Array.length t.chunks then begin
+    let bigger = Array.make (max (idx + 1) (2 * Array.length t.chunks)) None in
+    Array.blit t.chunks 0 bigger 0 (Array.length t.chunks);
+    t.chunks <- bigger
+  end;
+  match t.chunks.(idx) with
+  | Some c -> c
+  | None ->
+    let c = Array.make chunk_words 0 in
+    t.chunks.(idx) <- Some c;
+    c
+
+let peek t addr = (chunk_of t addr).(addr land (chunk_words - 1))
+
+let poke t addr word =
+  (chunk_of t addr).(addr land (chunk_words - 1)) <- word
+
+let read t ~pe ~area addr =
+  t.sink.Trace.Sink.emit
+    { Trace.Ref_record.pe; addr; area; op = Trace.Ref_record.Read };
+  peek t addr
+
+let write t ~pe ~area addr word =
+  t.sink.Trace.Sink.emit
+    { Trace.Ref_record.pe; addr; area; op = Trace.Ref_record.Write };
+  poke t addr word
+
+(* Generic term-cell access with the area derived from the address. *)
+let read_auto t ~pe addr = read t ~pe ~area:(Layout.area_of_addr addr) addr
+
+let write_auto t ~pe addr word =
+  write t ~pe ~area:(Layout.area_of_addr addr) addr word

@@ -1,0 +1,26 @@
+(** The simulated shared memory: word-addressed, chunk-allocated on
+    demand.  Every {!read}/{!write} emits a tagged reference record to
+    the attached trace sink; {!peek}/{!poke} bypass tracing (answer
+    decoding, debugging, spin-wait polls). *)
+
+type t = {
+  mutable chunks : int array option array;
+  mutable sink : Trace.Sink.t;
+}
+
+val create : ?sink:Trace.Sink.t -> unit -> t
+val set_sink : t -> Trace.Sink.t -> unit
+
+val read : t -> pe:int -> area:Trace.Area.t -> int -> int
+val write : t -> pe:int -> area:Trace.Area.t -> int -> int -> unit
+
+val read_auto : t -> pe:int -> int -> int
+(** Like {!read} with the area derived from the address. *)
+
+val write_auto : t -> pe:int -> int -> int -> unit
+
+val peek : t -> int -> int
+(** Untraced read. *)
+
+val poke : t -> int -> int -> unit
+(** Untraced write. *)

@@ -1,0 +1,49 @@
+(* A compiled program: database + symbol table + code + query entry.
+
+   The query is compiled as a synthetic predicate whose arguments are
+   the query's free variables, so the drivers can seed A1..Ak with
+   fresh heap variables and decode the answers from them. *)
+
+type t = {
+  db : Prolog.Database.t;
+  symbols : Symbols.t;
+  code : Code.t;
+  query_fid : int;
+  query_vars : string list;
+}
+
+let query_name = "$query"
+
+(* [of_database db ~query ()] adds the query as a clause to [db] and
+   compiles everything.  [parallel = false] gives the sequential WAM
+   baseline (CGEs read as plain conjunctions). *)
+let of_database ?(parallel = true) ?ops db ~query () =
+  let q_term = Prolog.Parser.term_of_string ?ops query in
+  let query_vars = Prolog.Term.vars q_term in
+  let head =
+    match query_vars with
+    | [] -> Prolog.Term.Atom query_name
+    | _ :: _ ->
+      Prolog.Term.Struct
+        (query_name, List.map (fun v -> Prolog.Term.Var v) query_vars)
+  in
+  Prolog.Database.assert_term db (Prolog.Term.Struct (":-", [ head; q_term ]));
+  let symbols = Symbols.create () in
+  let code = Compile.compile_db ~parallel symbols db in
+  let query_fid =
+    Symbols.functor_ symbols query_name (List.length query_vars)
+  in
+  { db; symbols; code; query_fid; query_vars }
+
+(* [prepare ~src ~query ()] parses and loads [src] first. *)
+let prepare ?parallel ?ops ~src ~query () =
+  of_database ?parallel ?ops (Prolog.Database.of_string ?ops src) ~query ()
+
+let entry t =
+  match Code.entry t.code t.query_fid with
+  | Some addr -> addr
+  | None -> invalid_arg "Program.entry: query was not compiled"
+
+let arity t = List.length t.query_vars
+
+let pp_listing fmt t = Code.pp t.symbols fmt t.code

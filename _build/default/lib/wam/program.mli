@@ -1,0 +1,36 @@
+(** A compiled program: database + symbol table + code + query entry.
+
+    The query is compiled as a synthetic predicate whose arguments are
+    the query's free variables, so drivers can seed A1..Ak with fresh
+    heap variables and decode the answers from them. *)
+
+type t = {
+  db : Prolog.Database.t;
+  symbols : Symbols.t;
+  code : Code.t;
+  query_fid : int;
+  query_vars : string list;
+}
+
+val query_name : string
+
+val of_database :
+  ?parallel:bool -> ?ops:Prolog.Ops.t -> Prolog.Database.t -> query:string ->
+  unit -> t
+(** Add the query to the database and compile everything.
+    [parallel = false] gives the sequential WAM baseline (CGEs read as
+    plain conjunctions). *)
+
+val prepare :
+  ?parallel:bool -> ?ops:Prolog.Ops.t -> src:string -> query:string ->
+  unit -> t
+(** Parse and load [src] first, then {!of_database}. *)
+
+val entry : t -> int
+(** Code address of the compiled query. *)
+
+val arity : t -> int
+(** Number of query variables. *)
+
+val pp_listing : Format.formatter -> t -> unit
+(** Disassembly of the whole compiled program. *)

@@ -1,0 +1,1 @@
+test/test_annotate.ml: Alcotest Format List Prolog Rapwam Wam

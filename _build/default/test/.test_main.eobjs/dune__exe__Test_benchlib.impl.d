@@ -1,0 +1,1 @@
+test/test_benchlib.ml: Alcotest Benchlib List Prolog Trace Wam

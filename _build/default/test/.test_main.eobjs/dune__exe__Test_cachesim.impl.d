@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Benchlib Cachesim List Trace

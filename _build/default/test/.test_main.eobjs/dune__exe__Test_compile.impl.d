@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Format List Prolog String Wam

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Benchlib Cachesim List Printf Prolog Rapwam Trace Wam

@@ -1,0 +1,1 @@
+test/test_prolog.ml: Alcotest List Prolog Wam

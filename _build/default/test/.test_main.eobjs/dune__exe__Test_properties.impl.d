@@ -1,0 +1,1 @@
+test/test_properties.ml: Benchlib Cachesim Gen Hashtbl List Printf Prolog QCheck QCheck_alcotest Rapwam Stats String Test Trace Wam

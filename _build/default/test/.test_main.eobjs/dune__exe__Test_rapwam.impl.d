@@ -1,0 +1,1 @@
+test/test_rapwam.ml: Alcotest Cachesim List Printf Prolog Rapwam Trace Wam

@@ -1,0 +1,1 @@
+test/test_stats_queueing.ml: Alcotest Array Format List Queueing Stats String Wam

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Filename Fun In_channel List Out_channel Printf String Sys Trace Wam

@@ -1,0 +1,1 @@
+test/test_wam_seq.ml: Alcotest List Prolog String Wam

@@ -1,0 +1,196 @@
+(* Tests for the mode-driven automatic CGE annotator. *)
+
+let annotate src = Prolog.Annotate.database (Prolog.Database.of_string src)
+
+let parcalls db = Prolog.Database.parallel_call_count db
+
+let clause_body db key idx =
+  (List.nth (Prolog.Database.clauses db key) idx).Prolog.Database.body
+
+let test_fib_unconditional () =
+  let db =
+    annotate
+      ":- mode fib(+, -).\n\
+       fib(0, 1). fib(1, 1).\n\
+       fib(N, F) :- N > 1, N1 is N - 1, N2 is N - 2,\n\
+      \  fib(N1, F1), fib(N2, F2), F is F1 + F2.\n"
+  in
+  Alcotest.(check int) "one parcall" 1 (parcalls db);
+  match clause_body db ("fib", 2) 2 with
+  | [ _; _; _; Prolog.Cge.Par { checks; arms }; _ ] ->
+    Alcotest.(check int) "no checks" 0 (List.length checks);
+    Alcotest.(check int) "two arms" 2 (List.length arms)
+  | items -> Alcotest.failf "unexpected body shape (%d items)" (List.length items)
+
+let test_shared_unknown_gets_ground_check () =
+  (* p's two goals share X, whose state is unknown: ground(X) check *)
+  let db =
+    annotate ":- mode p(?).\np(X) :- q(X), r(X).\nq(_). r(_).\n"
+  in
+  match clause_body db ("p", 1) 0 with
+  | [ Prolog.Cge.Par { checks = [ Prolog.Cge.Ground (Prolog.Term.Var "X") ]; _ } ]
+    ->
+    ()
+  | [ Prolog.Cge.Par { checks; _ } ] ->
+    Alcotest.failf "wrong checks (%d)" (List.length checks)
+  | _ -> Alcotest.fail "expected one conditional parcall"
+
+let test_shared_ground_no_check () =
+  let db = annotate ":- mode p(+).\np(X) :- q(X), r(X).\nq(_). r(_).\n" in
+  match clause_body db ("p", 1) 0 with
+  | [ Prolog.Cge.Par { checks = []; _ } ] -> ()
+  | _ -> Alcotest.fail "expected one unconditional parcall"
+
+let test_shared_free_stays_sequential () =
+  (* producer/consumer through a fresh variable: dependent *)
+  let db = annotate "p(R) :- q(X), r(X, R).\nq(_). r(_, _).\n" in
+  Alcotest.(check int) "no parcalls" 0 (parcalls db)
+
+let test_distinct_unknowns_get_indep_check () =
+  let db =
+    annotate ":- mode p(?, ?).\np(X, Y) :- q(X), r(Y).\nq(_). r(_).\n"
+  in
+  match clause_body db ("p", 2) 0 with
+  | [ Prolog.Cge.Par { checks = [ Prolog.Cge.Indep _ ]; _ } ] -> ()
+  | [ Prolog.Cge.Par { checks; _ } ] ->
+    Alcotest.failf "expected 1 indep check, got %d" (List.length checks)
+  | _ -> Alcotest.fail "expected one conditional parcall"
+
+let test_fresh_outputs_independent () =
+  (* distinct fresh output variables need no checks *)
+  let db =
+    annotate ":- mode p(+, -, -).\np(N, A, B) :- q(N, A), r(N, B).\n\
+              q(_, 1). r(_, 2).\n"
+  in
+  match clause_body db ("p", 3) 0 with
+  | [ Prolog.Cge.Par { checks = []; arms } ] ->
+    Alcotest.(check int) "two arms" 2 (List.length arms)
+  | _ -> Alcotest.fail "expected an unconditional parcall"
+
+let test_builtins_break_groups () =
+  (* an arithmetic test between calls forces sequential sections *)
+  let db =
+    annotate
+      ":- mode p(+).\np(N) :- q(N), N > 0, r(N).\nq(_). r(_).\n"
+  in
+  Alcotest.(check int) "no parcalls" 0 (parcalls db)
+
+let test_cut_breaks_groups () =
+  let db = annotate ":- mode p(+).\np(N) :- q(N), !, r(N).\nq(_). r(_).\n" in
+  Alcotest.(check int) "no parcalls" 0 (parcalls db)
+
+let test_three_way_group () =
+  let db =
+    annotate
+      ":- mode t(+, -, -, -).\n\
+       t(N, A, B, C) :- q(N, A), q(N, B), q(N, C).\nq(_, 1).\n"
+  in
+  match clause_body db ("t", 4) 0 with
+  | [ Prolog.Cge.Par { checks = []; arms } ] ->
+    Alcotest.(check int) "three arms" 3 (List.length arms)
+  | _ -> Alcotest.fail "expected a three-goal parcall"
+
+let test_existing_annotations_kept () =
+  let db = annotate "p(X, Y) :- q(X) & q(Y).\nq(_).\n" in
+  Alcotest.(check int) "kept" 1 (parcalls db)
+
+let test_mode_declarations_parse () =
+  let modes =
+    Prolog.Modes.of_database
+      (Prolog.Database.of_string ":- mode f(+, -, ?).\nf(_, _, _).\n")
+  in
+  match Prolog.Modes.lookup modes ~name:"f" ~arity:3 with
+  | Some [ Prolog.Modes.Ground_in; Prolog.Modes.Free_in_ground_out;
+           Prolog.Modes.Unknown ] ->
+    ()
+  | Some _ -> Alcotest.fail "wrong modes"
+  | None -> Alcotest.fail "mode not found"
+
+let test_annotated_program_runs_correctly () =
+  (* end to end: plain program, auto-annotated, parallel answers match *)
+  let src =
+    ":- mode fib(+, -).\n\
+     fib(0, 1). fib(1, 1).\n\
+     fib(N, F) :- N > 1, N1 is N - 1, N2 is N - 2,\n\
+    \  fib(N1, F1), fib(N2, F2), F is F1 + F2.\n"
+  in
+  let query = "fib(13, F)" in
+  let seq, _ = Wam.Seq.solve ~src ~query () in
+  let prog =
+    Wam.Program.of_database ~parallel:true
+      (Prolog.Annotate.database (Prolog.Database.of_string src))
+      ~query ()
+  in
+  let sim = Rapwam.Sim.create ~n_workers:4 prog in
+  let par = Rapwam.Sim.run_prepared sim prog in
+  (match (seq, par) with
+  | Wam.Seq.Success b1, Wam.Seq.Success b2 ->
+    Alcotest.(check string) "same answer"
+      (Prolog.Pretty.to_string (List.assoc "F" b1))
+      (Prolog.Pretty.to_string (List.assoc "F" b2))
+  | _, _ -> Alcotest.fail "runs disagree");
+  Alcotest.(check bool) "parallelism exploited" true
+    (sim.Rapwam.Sim.m.Wam.Machine.parcalls > 0)
+
+let test_conditional_fallback_correct () =
+  (* shared-variable input must fall back and still be correct *)
+  let src =
+    ":- mode walk(?, -).\n\
+     walk(leaf, 0).\n\
+     walk(t(L, _, R), N) :- walk(L, NL), walk(R, NR), N is NL + NR + 1.\n"
+  in
+  let query = "T = t(t(leaf, X, leaf), X, t(leaf, X, leaf)), walk(T, N)" in
+  let prog =
+    Wam.Program.of_database ~parallel:true
+      (Prolog.Annotate.database (Prolog.Database.of_string src))
+      ~query ()
+  in
+  let sim = Rapwam.Sim.create ~n_workers:4 prog in
+  match Rapwam.Sim.run_prepared sim prog with
+  | Wam.Seq.Success b ->
+    Alcotest.(check string) "count" "3"
+      (Prolog.Pretty.to_string (List.assoc "N" b))
+  | Wam.Seq.Failure -> Alcotest.fail "walk failed"
+
+let test_annotated_source_reparses () =
+  let src =
+    ":- mode fib(+, -).\n\
+     fib(0, 1). fib(1, 1).\n\
+     fib(N, F) :- N > 1, N1 is N - 1, N2 is N - 2,\n\
+    \  fib(N1, F1), fib(N2, F2), F is F1 + F2.\n"
+  in
+  let annotated = annotate src in
+  let text = Format.asprintf "%a" Prolog.Annotate.pp_database annotated in
+  let db2 = Prolog.Database.of_string text in
+  Alcotest.(check int) "same parcalls after reparse" (parcalls annotated)
+    (parcalls db2);
+  Alcotest.(check int) "same clauses"
+    (Prolog.Database.clause_count annotated)
+    (Prolog.Database.clause_count db2)
+
+let suite =
+  [
+    Alcotest.test_case "fib unconditional" `Quick test_fib_unconditional;
+    Alcotest.test_case "shared unknown -> ground check" `Quick
+      test_shared_unknown_gets_ground_check;
+    Alcotest.test_case "shared ground -> no check" `Quick
+      test_shared_ground_no_check;
+    Alcotest.test_case "shared free -> sequential" `Quick
+      test_shared_free_stays_sequential;
+    Alcotest.test_case "distinct unknowns -> indep" `Quick
+      test_distinct_unknowns_get_indep_check;
+    Alcotest.test_case "fresh outputs independent" `Quick
+      test_fresh_outputs_independent;
+    Alcotest.test_case "builtins break groups" `Quick test_builtins_break_groups;
+    Alcotest.test_case "cut breaks groups" `Quick test_cut_breaks_groups;
+    Alcotest.test_case "three-way group" `Quick test_three_way_group;
+    Alcotest.test_case "existing annotations kept" `Quick
+      test_existing_annotations_kept;
+    Alcotest.test_case "mode parsing" `Quick test_mode_declarations_parse;
+    Alcotest.test_case "annotated program runs" `Quick
+      test_annotated_program_runs_correctly;
+    Alcotest.test_case "conditional fallback" `Quick
+      test_conditional_fallback_correct;
+    Alcotest.test_case "annotated source reparses" `Quick
+      test_annotated_source_reparses;
+  ]

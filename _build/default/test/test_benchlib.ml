@@ -1,0 +1,191 @@
+(* Integration tests over the benchmark suite: every benchmark and
+   every large-population program runs to a correct answer, parallel
+   answers match sequential ones, and the runner's statistics are
+   internally consistent.  Small input variants keep this fast. *)
+
+let small = Benchlib.Inputs.small_benchmarks ()
+
+let find name = List.find (fun b -> b.Benchlib.Programs.name = name) small
+
+let test_benchmarks_run_and_agree () =
+  List.iter
+    (fun bench ->
+      let wam = Benchlib.Runner.run_wam bench in
+      if not wam.Benchlib.Runner.succeeded then
+        Alcotest.failf "%s failed sequentially" bench.Benchlib.Programs.name;
+      List.iter
+        (fun n ->
+          let rap = Benchlib.Runner.run_rapwam ~keep_trace:false ~n_pes:n bench in
+          if not (Benchlib.Runner.answers_agree wam rap) then
+            Alcotest.failf "%s: %d-PE answer differs"
+              bench.Benchlib.Programs.name n)
+        [ 1; 3; 8 ])
+    small
+
+let test_qsort_result_is_sorted () =
+  let bench = find "qsort" in
+  let r = Benchlib.Runner.run_rapwam ~keep_trace:false ~n_pes:4 bench in
+  match r.Benchlib.Runner.answer with
+  | Some t -> (
+    match Prolog.Term.to_list t with
+    | Some elems ->
+      let ints =
+        List.map (function Prolog.Term.Int n -> n | _ -> min_int) elems
+      in
+      Alcotest.(check bool) "sorted" true (List.sort compare ints = ints);
+      Alcotest.(check int) "length" 80 (List.length ints)
+    | None -> Alcotest.fail "qsort answer is not a list")
+  | None -> Alcotest.fail "qsort failed"
+
+let test_tak_value () =
+  let bench = find "tak" in
+  let r = Benchlib.Runner.run_wam ~keep_trace:false bench in
+  (* tak(10,6,2) = 3 by direct evaluation *)
+  let rec tak x y z = if x <= y then z
+    else tak (tak (x-1) y z) (tak (y-1) z x) (tak (z-1) x y)
+  in
+  match r.Benchlib.Runner.answer with
+  | Some (Prolog.Term.Int v) ->
+    Alcotest.(check int) "tak value" (tak 10 6 2) v
+  | Some t -> Alcotest.failf "tak: %s" (Prolog.Pretty.to_string t)
+  | None -> Alcotest.fail "tak failed"
+
+let test_matrix_spot_value () =
+  (* multiply small known matrices through the Prolog program *)
+  let query = "matrix([[1, 2], [3, 4]], [[5, 6], [7, 8]], C)" in
+  let result, _ =
+    Wam.Seq.solve ~src:Benchlib.Programs.matrix ~query ()
+  in
+  match result with
+  | Wam.Seq.Success bindings ->
+    Alcotest.(check string) "product" "[[19, 22], [43, 50]]"
+      (Prolog.Pretty.to_string (List.assoc "C" bindings))
+  | Wam.Seq.Failure -> Alcotest.fail "matrix failed"
+
+let test_deriv_answer_differentiates () =
+  (* d/dx (x * x) = 1*x + x*1 *)
+  let result, _ =
+    Wam.Seq.solve ~src:Benchlib.Programs.deriv ~query:"d(x * x, x, D)" ()
+  in
+  match result with
+  | Wam.Seq.Success bindings ->
+    Alcotest.(check string) "derivative" "1 * x + x * 1"
+      (Prolog.Pretty.to_string (List.assoc "D" bindings))
+  | Wam.Seq.Failure -> Alcotest.fail "deriv failed"
+
+let test_large_population_runs () =
+  List.iter
+    (fun bench ->
+      let r = Benchlib.Runner.run_wam ~keep_trace:false bench in
+      if not r.Benchlib.Runner.succeeded then
+        Alcotest.failf "large benchmark %s failed"
+          bench.Benchlib.Programs.name)
+    (Benchlib.Large.population ())
+
+let test_queens_answer_valid () =
+  let bench =
+    List.find
+      (fun b -> b.Benchlib.Programs.name = "queens")
+      (Benchlib.Large.population ())
+  in
+  let r = Benchlib.Runner.run_wam ~keep_trace:false bench in
+  match r.Benchlib.Runner.answer with
+  | Some t -> (
+    match Prolog.Term.to_list t with
+    | Some qs ->
+      let cols =
+        List.map (function Prolog.Term.Int n -> n | _ -> -1) qs
+      in
+      Alcotest.(check int) "nine queens" 9 (List.length cols);
+      (* all distinct columns and no diagonal attacks *)
+      let distinct = List.sort_uniq compare cols in
+      Alcotest.(check int) "distinct" 9 (List.length distinct);
+      List.iteri
+        (fun i c1 ->
+          List.iteri
+            (fun j c2 ->
+              if i < j && abs (c1 - c2) = j - i then
+                Alcotest.failf "diagonal attack %d/%d" i j)
+            cols)
+        cols
+    | None -> Alcotest.fail "queens answer not a list")
+  | None -> Alcotest.fail "queens failed"
+
+let test_primes_correct () =
+  let result, _ =
+    Wam.Seq.solve ~src:Benchlib.Large.primes ~query:"primes(30, Ps)" ()
+  in
+  match result with
+  | Wam.Seq.Success bindings ->
+    Alcotest.(check string) "primes to 30"
+      "[2, 3, 5, 7, 11, 13, 17, 19, 23, 29]"
+      (Prolog.Pretty.to_string (List.assoc "Ps" bindings))
+  | Wam.Seq.Failure -> Alcotest.fail "primes failed"
+
+let test_runner_statistics_consistent () =
+  let bench = find "deriv" in
+  let r = Benchlib.Runner.run_rapwam ~n_pes:4 bench in
+  Alcotest.(check bool) "instructions > 0" true (r.Benchlib.Runner.instructions > 0);
+  Alcotest.(check bool) "data <= total" true
+    (r.Benchlib.Runner.data_refs <= r.Benchlib.Runner.total_refs);
+  Alcotest.(check int) "trace holds all refs (I+D)"
+    r.Benchlib.Runner.total_refs
+    (Trace.Sink.Buffer_sink.length r.Benchlib.Runner.trace);
+  Alcotest.(check bool) "inferences > 0" true (r.Benchlib.Runner.inferences > 0);
+  Alcotest.(check bool) "heap used > 0" true (r.Benchlib.Runner.heap_words > 0)
+
+let test_work_flat_across_pes () =
+  (* the Figure 2 claim on the small deriv: work varies little with
+     the number of PEs *)
+  let bench = find "deriv" in
+  let refs n =
+    (Benchlib.Runner.run_rapwam ~keep_trace:false ~n_pes:n bench)
+      .Benchlib.Runner.data_refs
+  in
+  let r1 = refs 1 in
+  let r8 = refs 8 in
+  let growth = float_of_int r8 /. float_of_int r1 in
+  if growth > 1.35 then
+    Alcotest.failf "work grew too fast with PEs: %d -> %d (%.2fx)" r1 r8
+      growth
+
+let test_speedup_positive () =
+  let bench = find "tak" in
+  let wam = Benchlib.Runner.run_wam ~keep_trace:false bench in
+  let rap = Benchlib.Runner.run_rapwam ~keep_trace:false ~n_pes:8 bench in
+  let speedup =
+    float_of_int wam.Benchlib.Runner.instructions
+    /. float_of_int rap.Benchlib.Runner.rounds
+  in
+  if speedup < 2.0 then
+    Alcotest.failf "tak speedup on 8 PEs too low: %.2f" speedup
+
+let test_deterministic_runs () =
+  (* two identical runs must produce identical traces *)
+  let bench = find "qsort" in
+  let r1 = Benchlib.Runner.run_rapwam ~n_pes:4 bench in
+  let r2 = Benchlib.Runner.run_rapwam ~n_pes:4 bench in
+  Alcotest.(check int) "same trace length"
+    (Trace.Sink.Buffer_sink.length r1.Benchlib.Runner.trace)
+    (Trace.Sink.Buffer_sink.length r2.Benchlib.Runner.trace);
+  Alcotest.(check int) "same rounds" r1.Benchlib.Runner.rounds
+    r2.Benchlib.Runner.rounds;
+  Alcotest.(check int) "same stolen" r1.Benchlib.Runner.goals_stolen
+    r2.Benchlib.Runner.goals_stolen
+
+let suite =
+  [
+    Alcotest.test_case "benchmarks agree across PEs" `Slow
+      test_benchmarks_run_and_agree;
+    Alcotest.test_case "qsort sorts" `Quick test_qsort_result_is_sorted;
+    Alcotest.test_case "tak value" `Quick test_tak_value;
+    Alcotest.test_case "matrix product" `Quick test_matrix_spot_value;
+    Alcotest.test_case "deriv derivative" `Quick test_deriv_answer_differentiates;
+    Alcotest.test_case "large population" `Slow test_large_population_runs;
+    Alcotest.test_case "queens valid" `Slow test_queens_answer_valid;
+    Alcotest.test_case "primes correct" `Quick test_primes_correct;
+    Alcotest.test_case "runner stats" `Quick test_runner_statistics_consistent;
+    Alcotest.test_case "work flat vs PEs" `Quick test_work_flat_across_pes;
+    Alcotest.test_case "speedup" `Quick test_speedup_positive;
+    Alcotest.test_case "deterministic" `Quick test_deterministic_runs;
+  ]

@@ -1,0 +1,279 @@
+(* Machine-level tests: cell encoding, direct unification on heap
+   cells, trail/untrail behaviour, failure injection (overflows), and
+   the RAP-WAM in-memory frame mechanics. *)
+
+let fresh_machine () =
+  let prog = Wam.Program.prepare ~src:"" ~query:"true" () in
+  let m =
+    Wam.Machine.create ~n_workers:2 ~code:prog.Wam.Program.code
+      ~symbols:prog.Wam.Program.symbols ()
+  in
+  (m, Wam.Machine.worker m 0, Wam.Machine.worker m 1)
+
+(* ---------------- cells ---------------- *)
+
+let test_cell_roundtrip () =
+  List.iter
+    (fun (mk, expect) ->
+      match (Wam.Cell.view mk, expect) with
+      | Wam.Cell.Ref a, `Ref b when a = b -> ()
+      | Wam.Cell.Num n, `Num m when n = m -> ()
+      | Wam.Cell.Con c, `Con d when c = d -> ()
+      | Wam.Cell.Raw r, `Raw q when r = q -> ()
+      | _ -> Alcotest.fail "cell roundtrip")
+    [
+      (Wam.Cell.ref_ 12345, `Ref 12345);
+      (Wam.Cell.num (-42), `Num (-42));
+      (Wam.Cell.num (max_int asr 4), `Num (max_int asr 4));
+      (Wam.Cell.con 7, `Con 7);
+      (Wam.Cell.raw (-1), `Raw (-1));
+    ]
+
+let test_negative_payloads () =
+  (* Raw(-1) is the sentinel for "none"; it must survive encoding *)
+  Alcotest.(check int) "raw -1" (-1) (Wam.Cell.payload (Wam.Cell.raw (-1)));
+  Alcotest.(check int) "num min" (-12345678)
+    (Wam.Cell.payload (Wam.Cell.num (-12345678)))
+
+(* ---------------- unify / trail ---------------- *)
+
+let test_unify_direct () =
+  let m, w, _ = fresh_machine () in
+  let va = Wam.Exec.fresh_heap_var m w in
+  let vb = Wam.Exec.fresh_heap_var m w in
+  Alcotest.(check bool) "var-var" true
+    (Wam.Exec.unify m w (Wam.Cell.ref_ va) (Wam.Cell.ref_ vb));
+  Alcotest.(check bool) "then num" true
+    (Wam.Exec.unify m w (Wam.Cell.ref_ va) (Wam.Cell.num 9));
+  (* both now dereference to 9 *)
+  Alcotest.(check bool) "b sees it" true
+    (Wam.Exec.deref m w (Wam.Cell.ref_ vb) = Wam.Cell.num 9);
+  Alcotest.(check bool) "conflict fails" false
+    (Wam.Exec.unify m w (Wam.Cell.ref_ vb) (Wam.Cell.num 10))
+
+let test_unify_structures_direct () =
+  let m, w, _ = fresh_machine () in
+  let env = Hashtbl.create 4 in
+  let t1 = Prolog.Parser.term_of_string "f(X, g(X), 3)" in
+  let t2 = Prolog.Parser.term_of_string "f(a, Y, 3)" in
+  let c1 = Wam.Exec.encode m w env t1 in
+  let env2 = Hashtbl.create 4 in
+  let c2 = Wam.Exec.encode m w env2 t2 in
+  Alcotest.(check bool) "unifies" true (Wam.Exec.unify m w c1 c2);
+  (* Y must now be g(a) *)
+  let y_addr = Hashtbl.find env2 "Y" in
+  Alcotest.(check string) "Y bound" "g(a)"
+    (Prolog.Pretty.to_string
+       (Wam.Exec.decode m w (Wam.Memory.peek m.Wam.Machine.mem y_addr)))
+
+let test_untrail_restores () =
+  let m, w, _ = fresh_machine () in
+  let va = Wam.Exec.fresh_heap_var m w in
+  (* force trailing by raising HB above the var *)
+  w.Wam.Machine.hb <- w.Wam.Machine.h;
+  let tr0 = w.Wam.Machine.tr in
+  Alcotest.(check bool) "bind" true
+    (Wam.Exec.unify m w (Wam.Cell.ref_ va) (Wam.Cell.num 5));
+  Alcotest.(check bool) "trailed" true (w.Wam.Machine.tr > tr0);
+  Wam.Exec.untrail_to m w tr0;
+  (* unbound again: cell references itself *)
+  Alcotest.(check bool) "restored" true
+    (Wam.Memory.peek m.Wam.Machine.mem va = Wam.Cell.ref_ va)
+
+let test_trail_skips_young_heap () =
+  let m, w, _ = fresh_machine () in
+  (* hb at current h: vars created after need no trail *)
+  w.Wam.Machine.hb <- w.Wam.Machine.h;
+  let va = Wam.Exec.fresh_heap_var m w in
+  let tr0 = w.Wam.Machine.tr in
+  Alcotest.(check bool) "bind" true
+    (Wam.Exec.unify m w (Wam.Cell.ref_ va) (Wam.Cell.num 1));
+  Alcotest.(check int) "no trail entry" tr0 w.Wam.Machine.tr
+
+let test_cross_pe_binding_always_trailed () =
+  let m, w0, w1 = fresh_machine () in
+  let va = Wam.Exec.fresh_heap_var m w0 in
+  (* worker 1 binds worker 0's variable *)
+  let tr0 = w1.Wam.Machine.tr in
+  Alcotest.(check bool) "bind" true
+    (Wam.Exec.unify m w1 (Wam.Cell.ref_ va) (Wam.Cell.num 3));
+  Alcotest.(check bool) "trailed on w1" true (w1.Wam.Machine.tr > tr0)
+
+(* ---------------- failure injection ---------------- *)
+
+let expect_overflow name f =
+  match f () with
+  | exception Wam.Machine.Runtime_error msg ->
+    Alcotest.(check bool)
+      (name ^ " mentions overflow or limit")
+      true
+      (let lower = String.lowercase_ascii msg in
+       let has sub =
+         let nl = String.length sub and hl = String.length lower in
+         let rec go i = i + nl <= hl && (String.sub lower i nl = sub || go (i + 1)) in
+         go 0
+       in
+       has "overflow" || has "limit")
+  | _ -> Alcotest.failf "%s: expected an overflow error" name
+
+let test_heap_overflow_detected () =
+  (* an infinite structure builder must hit the heap limit, not crash *)
+  let src = "grow(L) :- grow([x|L])." in
+  expect_overflow "heap/local" (fun () ->
+      Wam.Seq.solve ~src ~query:"grow([])" ())
+
+let test_step_limit () =
+  let src = "loop :- loop." in
+  expect_overflow "step limit" (fun () ->
+      Wam.Seq.solve ~max_steps:10_000 ~src ~query:"loop" ())
+
+let test_round_limit_parallel () =
+  let src = "loop :- loop." in
+  match
+    Rapwam.Sim.solve ~max_rounds:10_000 ~n_workers:2 ~src ~query:"loop" ()
+  with
+  | exception Wam.Machine.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected a round-limit error"
+
+let test_undefined_parallel_goal () =
+  match Rapwam.Sim.solve ~n_workers:2 ~src:"" ~query:"nope(1)" () with
+  | exception Wam.Machine.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected undefined-predicate error"
+
+(* ---------------- RAP-WAM frame mechanics ---------------- *)
+
+let test_goal_stack_push_pop () =
+  let m, w0, _ = fresh_machine () in
+  Rapwam.Goal_frame.push m w0 ~pf:111 ~slot:0 ~entry:42 ~arity:0;
+  Rapwam.Goal_frame.push m w0 ~pf:222 ~slot:1 ~entry:43 ~arity:0;
+  Alcotest.(check bool) "has work" true (Rapwam.Goal_frame.has_work w0);
+  Alcotest.(check (option int)) "top pf" (Some 222)
+    (Rapwam.Goal_frame.peek_top_pf m w0);
+  (match Rapwam.Goal_frame.pop_own m w0 with
+  | Some g ->
+    Alcotest.(check int) "LIFO pf" 222 g.Rapwam.Goal_frame.pf;
+    Alcotest.(check int) "entry" 43 g.Rapwam.Goal_frame.entry
+  | None -> Alcotest.fail "pop failed");
+  match Rapwam.Goal_frame.pop_own m w0 with
+  | Some g -> Alcotest.(check int) "second" 111 g.Rapwam.Goal_frame.pf
+  | None -> Alcotest.fail "second pop failed"
+
+let test_goal_stack_steal_oldest () =
+  let m, w0, w1 = fresh_machine () in
+  Rapwam.Goal_frame.push m w0 ~pf:1 ~slot:0 ~entry:10 ~arity:0;
+  Rapwam.Goal_frame.push m w0 ~pf:2 ~slot:1 ~entry:20 ~arity:0;
+  (match Rapwam.Goal_frame.steal m w1 w0 with
+  | Some g ->
+    Alcotest.(check int) "steals oldest" 1 g.Rapwam.Goal_frame.pf;
+    Alcotest.(check int) "pusher recorded" 0 g.Rapwam.Goal_frame.pusher
+  | None -> Alcotest.fail "steal failed");
+  (* owner still holds the newest *)
+  match Rapwam.Goal_frame.pop_own m w0 with
+  | Some g -> Alcotest.(check int) "newest left" 2 g.Rapwam.Goal_frame.pf
+  | None -> Alcotest.fail "owner pop failed"
+
+let test_goal_frame_args_roundtrip () =
+  let m, w0, w1 = fresh_machine () in
+  w0.Wam.Machine.x.(1) <- Wam.Cell.num 7;
+  w0.Wam.Machine.x.(2) <- Wam.Cell.con 3;
+  Rapwam.Goal_frame.push m w0 ~pf:9 ~slot:0 ~entry:5 ~arity:2;
+  match Rapwam.Goal_frame.steal m w1 w0 with
+  | Some g ->
+    Alcotest.(check int) "arity" 2 g.Rapwam.Goal_frame.arity;
+    Alcotest.(check bool) "args" true
+      (g.Rapwam.Goal_frame.args.(0) = Wam.Cell.num 7
+      && g.Rapwam.Goal_frame.args.(1) = Wam.Cell.con 3)
+  | None -> Alcotest.fail "steal failed"
+
+let test_parcall_frame_fields () =
+  let m, w0, _ = fresh_machine () in
+  let pf = Rapwam.Parcall.alloc m w0 2 ~join_addr:77 in
+  Alcotest.(check int) "k" 2 (Rapwam.Parcall.k m w0 pf);
+  Alcotest.(check int) "counter" 2 (Rapwam.Parcall.counter m w0 pf);
+  Alcotest.(check int) "status ok" 0 (Rapwam.Parcall.status m w0 pf);
+  Alcotest.(check int) "join" 77 (Rapwam.Parcall.join_addr m w0 pf);
+  Alcotest.(check int) "parent" 0 (Rapwam.Parcall.parent m w0 pf);
+  Alcotest.(check int) "current pf" pf w0.Wam.Machine.pf;
+  (* check-ins *)
+  let c1 = Rapwam.Parcall.check_in m w0 pf ~failed:false ~slot:0 in
+  Alcotest.(check int) "counter decremented" 1 c1;
+  let c2 = Rapwam.Parcall.check_in m w0 pf ~failed:true ~slot:1 in
+  Alcotest.(check int) "counter zero" 0 c2;
+  Alcotest.(check int) "status failed" 1 (Rapwam.Parcall.status m w0 pf)
+
+let test_parcall_slot_encoding () =
+  let m, w0, _ = fresh_machine () in
+  let pf = Rapwam.Parcall.alloc m w0 1 ~join_addr:0 in
+  Alcotest.(check bool) "pending" true
+    (Rapwam.Parcall.decode_slot (Rapwam.Parcall.slot_exec m w0 pf 0)
+    = (-1, false, false));
+  Rapwam.Parcall.set_slot_exec m w0 pf 0 1;
+  Alcotest.(check bool) "running on PE 1" true
+    (Rapwam.Parcall.decode_slot (Rapwam.Parcall.slot_exec m w0 pf 0)
+    = (1, true, false));
+  Rapwam.Parcall.set_slot_done m w0 pf 0;
+  Alcotest.(check bool) "done on PE 1" true
+    (Rapwam.Parcall.decode_slot (Rapwam.Parcall.slot_exec m w0 pf 0)
+    = (1, true, true))
+
+let test_marker_roundtrip () =
+  let m, w0, _ = fresh_machine () in
+  w0.Wam.Machine.e <- 123;
+  w0.Wam.Machine.cp <- 456;
+  w0.Wam.Machine.pf <- 789;
+  w0.Wam.Machine.barrier <- 17;
+  let base = Rapwam.Marker.push m w0 ~pf:1 ~slot:0 ~resume_p:99 in
+  (* clobber, then restore *)
+  w0.Wam.Machine.e <- -1;
+  w0.Wam.Machine.cp <- 0;
+  w0.Wam.Machine.pf <- -1;
+  w0.Wam.Machine.barrier <- -1;
+  Alcotest.(check int) "resume" 99 (Rapwam.Marker.resume_p m w0 base);
+  Rapwam.Marker.restore_continuation m w0 base;
+  Alcotest.(check int) "e" 123 w0.Wam.Machine.e;
+  Alcotest.(check int) "cp" 456 w0.Wam.Machine.cp;
+  Alcotest.(check int) "pf" 789 w0.Wam.Machine.pf;
+  Alcotest.(check int) "barrier" 17 w0.Wam.Machine.barrier
+
+let test_messages_roundtrip () =
+  let m, w0, w1 = fresh_machine () in
+  let q = Rapwam.Messages.create_queues 2 in
+  Alcotest.(check bool) "empty" false (Rapwam.Messages.pending q w1);
+  Rapwam.Messages.send m q w0 ~target:1
+    { Rapwam.Messages.kind = Rapwam.Messages.Unwind; pf = 5; slot = 2 };
+  Rapwam.Messages.send m q w0 ~target:1
+    { Rapwam.Messages.kind = Rapwam.Messages.Kill; pf = 6; slot = 0 };
+  Alcotest.(check bool) "pending" true (Rapwam.Messages.pending q w1);
+  let m1 = Rapwam.Messages.receive m q w1 in
+  Alcotest.(check bool) "fifo" true
+    (m1.Rapwam.Messages.kind = Rapwam.Messages.Unwind
+    && m1.Rapwam.Messages.pf = 5 && m1.Rapwam.Messages.slot = 2);
+  let m2 = Rapwam.Messages.receive m q w1 in
+  Alcotest.(check bool) "second" true
+    (m2.Rapwam.Messages.kind = Rapwam.Messages.Kill);
+  Alcotest.(check bool) "drained" false (Rapwam.Messages.pending q w1)
+
+let suite =
+  [
+    Alcotest.test_case "cell roundtrip" `Quick test_cell_roundtrip;
+    Alcotest.test_case "negative payloads" `Quick test_negative_payloads;
+    Alcotest.test_case "unify direct" `Quick test_unify_direct;
+    Alcotest.test_case "unify structures" `Quick test_unify_structures_direct;
+    Alcotest.test_case "untrail restores" `Quick test_untrail_restores;
+    Alcotest.test_case "trail skips young heap" `Quick
+      test_trail_skips_young_heap;
+    Alcotest.test_case "cross-PE trailing" `Quick
+      test_cross_pe_binding_always_trailed;
+    Alcotest.test_case "heap overflow" `Slow test_heap_overflow_detected;
+    Alcotest.test_case "step limit" `Quick test_step_limit;
+    Alcotest.test_case "round limit" `Quick test_round_limit_parallel;
+    Alcotest.test_case "undefined parallel goal" `Quick
+      test_undefined_parallel_goal;
+    Alcotest.test_case "goal stack push/pop" `Quick test_goal_stack_push_pop;
+    Alcotest.test_case "goal stack steal" `Quick test_goal_stack_steal_oldest;
+    Alcotest.test_case "goal frame args" `Quick test_goal_frame_args_roundtrip;
+    Alcotest.test_case "parcall fields" `Quick test_parcall_frame_fields;
+    Alcotest.test_case "parcall slots" `Quick test_parcall_slot_encoding;
+    Alcotest.test_case "marker roundtrip" `Quick test_marker_roundtrip;
+    Alcotest.test_case "messages" `Quick test_messages_roundtrip;
+  ]

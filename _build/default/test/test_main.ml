@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "rapwam"
+    [
+      ("prolog", Test_prolog.suite);
+      ("annotate", Test_annotate.suite);
+      ("trace", Test_trace.suite);
+      ("wam-compile", Test_compile.suite);
+      ("wam-machine", Test_machine.suite);
+      ("wam-seq", Test_wam_seq.suite);
+      ("rapwam", Test_rapwam.suite);
+      ("cachesim", Test_cachesim.suite);
+      ("stats-queueing", Test_stats_queueing.suite);
+      ("benchlib", Test_benchlib.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,353 @@
+(* Tests of the RAP-WAM parallel simulator: correctness of parallel
+   execution (answers match the sequential WAM), scheduling, stealing,
+   parcall failure and unwinding, across worker counts. *)
+
+let deriv_src =
+  "d(U + V, X, DU + DV) :- d(U, X, DU) & d(V, X, DV).\n\
+   d(U - V, X, DU - DV) :- d(U, X, DU) & d(V, X, DV).\n\
+   d(U * V, X, DU * V + U * DV) :- d(U, X, DU) & d(V, X, DV).\n\
+   d(X, X, 1).\n\
+   d(C, X, 0) :- atomic(C), C \\== X.\n"
+
+let psolve ~n query ?(src = "") () =
+  let result, sim = Rapwam.Sim.solve ~n_workers:n ~src ~query () in
+  (result, sim)
+
+let answer_str ~n ~src query var =
+  let result, _sim = psolve ~n ~src query () in
+  match result with
+  | Wam.Seq.Failure -> Alcotest.failf "parallel query %S failed" query
+  | Wam.Seq.Success bindings -> (
+    match List.assoc_opt var bindings with
+    | Some t -> Prolog.Pretty.to_string t
+    | None -> Alcotest.failf "no binding for %s" var)
+
+let test_unconditional_parcall_1pe () =
+  Alcotest.(check string)
+    "deriv on 1 PE" "1 + 0"
+    (answer_str ~n:1 ~src:deriv_src "d(x + 3, x, D)" "D")
+
+let test_unconditional_parcall_4pe () =
+  Alcotest.(check string)
+    "deriv on 4 PEs" "1 + 0"
+    (answer_str ~n:4 ~src:deriv_src "d(x + 3, x, D)" "D")
+
+let test_deep_parcall_matches_seq () =
+  let query = "d((x + 1) * (x * x - 3) + x * x * x, x, D)" in
+  let seq_result, _ = Wam.Seq.solve ~src:deriv_src ~query () in
+  let seq_answer =
+    match seq_result with
+    | Wam.Seq.Success b -> Prolog.Pretty.to_string (List.assoc "D" b)
+    | Wam.Seq.Failure -> Alcotest.fail "sequential failed"
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check string)
+        (Printf.sprintf "deriv on %d PEs" n)
+        seq_answer
+        (answer_str ~n ~src:deriv_src query "D"))
+    [ 1; 2; 3; 4; 8 ]
+
+let fib_src =
+  "fib(0, 1).\n\
+   fib(1, 1).\n\
+   fib(N, F) :- N > 1, N1 is N - 1, N2 is N - 2,\n\
+   \  fib(N1, F1) & fib(N2, F2), F is F1 + F2.\n"
+
+let test_fib_parallel () =
+  List.iter
+    (fun n ->
+      Alcotest.(check string)
+        (Printf.sprintf "fib(15) on %d PEs" n)
+        "987"
+        (answer_str ~n ~src:fib_src "fib(15, F)" "F"))
+    [ 1; 2; 4; 8 ]
+
+let test_goals_get_stolen () =
+  let _result, sim = psolve ~n:4 ~src:fib_src "fib(12, F)" () in
+  Alcotest.(check bool)
+    "some goals ran on another PE" true
+    (sim.Rapwam.Sim.m.Wam.Machine.goals_stolen > 0)
+
+let test_no_steal_policy_still_correct () =
+  let result, sim =
+    Rapwam.Sim.solve ~n_workers:4 ~allow_steal:false ~src:fib_src
+      ~query:"fib(10, F)" ()
+  in
+  (match result with
+  | Wam.Seq.Success b ->
+    Alcotest.(check string) "fib" "89" (Prolog.Pretty.to_string (List.assoc "F" b))
+  | Wam.Seq.Failure -> Alcotest.fail "failed");
+  Alcotest.(check int) "nothing stolen" 0
+    sim.Rapwam.Sim.m.Wam.Machine.goals_stolen
+
+let test_steal_newest_policy () =
+  Alcotest.(check string)
+    "fib steal-newest" "987"
+    (let result, _ =
+       Rapwam.Sim.solve ~n_workers:4 ~steal:Rapwam.Sim.Steal_newest
+         ~src:fib_src ~query:"fib(15, F)" ()
+     in
+     match result with
+     | Wam.Seq.Success b -> Prolog.Pretty.to_string (List.assoc "F" b)
+     | Wam.Seq.Failure -> "FAILED")
+
+let test_conditional_cge_runs_parallel () =
+  (* ground(X) holds, so the parallel branch runs *)
+  let src =
+    "p(X, R1, R2) :- (ground(X) | q(X, R1) & q(X, R2)).\nq(X, f(X))."
+  in
+  Alcotest.(check string) "cge" "f(a)" (answer_str ~n:2 ~src "p(a, R1, R2)" "R1")
+
+let test_conditional_cge_falls_back () =
+  (* X unbound: the check fails, the sequential version must run *)
+  let src = "p(X, R) :- (ground(X) | q(R) & r(R)).\nq(1). r(1)." in
+  let result, sim = psolve ~n:2 ~src "p(Y, R)" () in
+  (match result with
+  | Wam.Seq.Success b ->
+    Alcotest.(check string) "R" "1" (Prolog.Pretty.to_string (List.assoc "R" b))
+  | Wam.Seq.Failure -> Alcotest.fail "fallback failed");
+  Alcotest.(check int) "no parcall allocated" 0
+    sim.Rapwam.Sim.m.Wam.Machine.parcalls
+
+let test_indep_check () =
+  let src = "p(X, Y) :- (indep(X, Y) | q(X) & q(Y)).\nq(_)." in
+  (* independent: parallel branch *)
+  let _, sim = psolve ~n:2 ~src "p(A, B)" () in
+  Alcotest.(check int) "parallel branch" 1
+    sim.Rapwam.Sim.m.Wam.Machine.parcalls;
+  (* dependent (shared variable C): sequential fallback *)
+  let result, sim2 = psolve ~n:2 ~src "A = f(C), B = g(C), p(A, B)" () in
+  (match result with
+  | Wam.Seq.Failure -> Alcotest.fail "dependent fallback failed"
+  | Wam.Seq.Success _ -> ());
+  Alcotest.(check int) "fallback branch" 0
+    sim2.Rapwam.Sim.m.Wam.Machine.parcalls
+
+let test_parcall_failure_propagates () =
+  (* one arm fails: the whole parcall must fail, bindings unwound *)
+  let src = "p(X, Y) :- q(X) & r(Y).\nq(1).\nr(Y) :- Y = 2, fail.\n" in
+  List.iter
+    (fun n ->
+      let result, _ = psolve ~n ~src "p(X, Y)" () in
+      match result with
+      | Wam.Seq.Failure -> ()
+      | Wam.Seq.Success _ ->
+        Alcotest.failf "parcall failure not propagated on %d PEs" n)
+    [ 1; 2; 4 ]
+
+let test_parcall_failure_then_alternative () =
+  (* after the parcall fails, an alternative clause must succeed with
+     clean bindings *)
+  let src =
+    "p(X) :- q(X) & r(X2).\np(found).\nq(1).\nr(_) :- fail.\n"
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check string)
+        (Printf.sprintf "alternative on %d PEs" n)
+        "found"
+        (answer_str ~n ~src "p(X)" "X"))
+    [ 1; 2; 4 ]
+
+let test_unwind_clears_remote_bindings () =
+  (* sibling binds A before the other arm fails; retry must see A unbound *)
+  let src =
+    "top(A, R) :- p(A), R = retried.\n\
+     p(A) :- bindit(A) & failing(_Z).\n\
+     p(A) :- var(A), A = clean.\n\
+     bindit(bound).\n\
+     failing(_) :- slow(20), fail.\n\
+     slow(0).\n\
+     slow(N) :- N > 0, N1 is N - 1, slow(N1).\n"
+  in
+  List.iter
+    (fun n ->
+      let result, _ = psolve ~n ~src "top(A, R)" () in
+      match result with
+      | Wam.Seq.Failure -> Alcotest.failf "unwind test failed on %d PEs" n
+      | Wam.Seq.Success b ->
+        Alcotest.(check string)
+          (Printf.sprintf "A clean on %d PEs" n)
+          "clean"
+          (Prolog.Pretty.to_string (List.assoc "A" b)))
+    [ 1; 2; 4 ]
+
+let test_eager_kill_mode () =
+  let src =
+    "p(A) :- bindit(A) & failing(_Z).\n\
+     p(clean).\n\
+     bindit(bound).\n\
+     failing(_) :- slow(500), fail.\n\
+     slow(0).\n\
+     slow(N) :- N > 0, N1 is N - 1, slow(N1).\n"
+  in
+  let result, _ =
+    Rapwam.Sim.solve ~n_workers:4 ~eager_kill:true ~src ~query:"p(A)" ()
+  in
+  match result with
+  | Wam.Seq.Success b ->
+    Alcotest.(check string) "A" "clean"
+      (Prolog.Pretty.to_string (List.assoc "A" b))
+  | Wam.Seq.Failure -> Alcotest.fail "eager kill run failed"
+
+let test_three_way_parcall () =
+  let src =
+    "t(A, B, C) :- q(1, A) & q(2, B) & q(3, C).\nq(N, M) :- M is N * 10.\n"
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check string)
+        (Printf.sprintf "3-way on %d PEs" n)
+        "20"
+        (answer_str ~n ~src "t(A, B, C)" "B"))
+    [ 1; 2; 3; 8 ]
+
+let test_nested_parcalls_mixed_with_seq () =
+  let src =
+    "work(N, R) :- N =< 1, !, R = 1.\n\
+     work(N, R) :- N1 is N - 1, N2 is N - 2,\n\
+     \  work(N1, R1) & work(N2, R2),\n\
+     \  Rm is R1 + R2, combine(Rm, R).\n\
+     combine(X, R) :- R is X + 1.\n"
+  in
+  let seq, _ = Wam.Seq.solve ~src ~query:"work(12, R)" () in
+  let expect =
+    match seq with
+    | Wam.Seq.Success b -> Prolog.Pretty.to_string (List.assoc "R" b)
+    | Wam.Seq.Failure -> Alcotest.fail "seq work failed"
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check string)
+        (Printf.sprintf "work on %d PEs" n)
+        expect
+        (answer_str ~n ~src "work(12, R)" "R"))
+    [ 2; 4; 6 ]
+
+let test_work_one_pe_close_to_wam () =
+  (* RAP-WAM on 1 PE should do work close to the sequential WAM
+     (paper, Figure 2: the two curves meet at 1 PE) *)
+  let query = "d((x + 1) * (x - 2) + (x * x) * (3 - x), x, D)" in
+  let count_refs prog n =
+    let stats =
+      Trace.Areastats.create ~pe_of_addr:Wam.Layout.pe_of_addr ()
+    in
+    let sink = Trace.Areastats.sink stats in
+    (if n = 0 then begin
+       let _ = Wam.Seq.run ~sink prog in
+       ()
+     end
+     else begin
+       let _ = Rapwam.Sim.run ~sink ~n_workers:n prog in
+       ()
+     end);
+    Trace.Areastats.total stats
+  in
+  let seq_prog = Wam.Program.prepare ~parallel:false ~src:deriv_src ~query () in
+  let par_prog = Wam.Program.prepare ~parallel:true ~src:deriv_src ~query () in
+  let wam_refs = count_refs seq_prog 0 in
+  let rap_refs = count_refs par_prog 1 in
+  let ratio = float_of_int rap_refs /. float_of_int wam_refs in
+  if ratio < 1.0 || ratio > 1.6 then
+    Alcotest.failf "RAP-WAM/WAM work ratio on 1 PE out of range: %.3f (%d/%d)"
+      ratio rap_refs wam_refs
+
+let test_halt_stops_all_workers () =
+  let src = "p :- q & r.\nq.\nr.\n" in
+  let result, _ = psolve ~n:4 ~src "p" () in
+  match result with
+  | Wam.Seq.Success _ -> ()
+  | Wam.Seq.Failure -> Alcotest.fail "p failed"
+
+let test_memmodel_basics () =
+  let cfg =
+    Cachesim.Protocol.make ~kind:Cachesim.Protocol.Copyback ~cache_words:64
+      ~write_allocate:true ()
+  in
+  let mm = Rapwam.Memmodel.create ~bus_words_per_cycle:1.0 ~mem_latency:2 ~n_pes:2 cfg in
+  Rapwam.Memmodel.set_now mm 0;
+  let r ~pe ~addr op =
+    { Trace.Ref_record.pe; addr; area = Trace.Area.Heap; op }
+  in
+  (* read miss: 4-word fill -> PE 0 stalled for 4 + 2 cycles *)
+  Rapwam.Memmodel.reference mm (r ~pe:0 ~addr:0 Trace.Ref_record.Read);
+  Alcotest.(check bool) "pe0 stalled" true (Rapwam.Memmodel.stalled mm 0);
+  Alcotest.(check bool) "pe1 free" false (Rapwam.Memmodel.stalled mm 1);
+  Rapwam.Memmodel.set_now mm 6;
+  Alcotest.(check bool) "pe0 settles" false (Rapwam.Memmodel.stalled mm 0);
+  (* hit: no new stall *)
+  Rapwam.Memmodel.reference mm (r ~pe:0 ~addr:1 Trace.Ref_record.Read);
+  Alcotest.(check bool) "hit free" false (Rapwam.Memmodel.stalled mm 0);
+  (* write miss is buffered: bus busy but the PE keeps going *)
+  Rapwam.Memmodel.reference mm (r ~pe:1 ~addr:64 Trace.Ref_record.Write);
+  Alcotest.(check bool) "write buffered" false (Rapwam.Memmodel.stalled mm 1);
+  Alcotest.(check bool) "stalls recorded" true
+    (Rapwam.Memmodel.total_stalls mm > 0.0)
+
+let test_memmodel_bus_serializes () =
+  let cfg =
+    Cachesim.Protocol.make ~kind:Cachesim.Protocol.Copyback ~cache_words:64
+      ~write_allocate:true ()
+  in
+  let mm = Rapwam.Memmodel.create ~bus_words_per_cycle:1.0 ~mem_latency:0 ~n_pes:2 cfg in
+  Rapwam.Memmodel.set_now mm 0;
+  let r ~pe ~addr = { Trace.Ref_record.pe; addr; area = Trace.Area.Heap;
+                      op = Trace.Ref_record.Read } in
+  Rapwam.Memmodel.reference mm (r ~pe:0 ~addr:0);
+  Rapwam.Memmodel.reference mm (r ~pe:1 ~addr:256);
+  (* PE 1's fill queued behind PE 0's: stalled past cycle 4 *)
+  Rapwam.Memmodel.set_now mm 5;
+  Alcotest.(check bool) "pe0 done" false (Rapwam.Memmodel.stalled mm 0);
+  Alcotest.(check bool) "pe1 queued" true (Rapwam.Memmodel.stalled mm 1);
+  Rapwam.Memmodel.set_now mm 8;
+  Alcotest.(check bool) "pe1 done" false (Rapwam.Memmodel.stalled mm 1)
+
+let test_integrated_sim_slower_but_correct () =
+  let src = fib_src in
+  let query = "fib(12, F)" in
+  let prog = Wam.Program.prepare ~parallel:true ~src ~query () in
+  let _, ideal = Rapwam.Sim.run ~n_workers:4 prog in
+  let cfg =
+    Cachesim.Protocol.make ~kind:Cachesim.Protocol.Write_in_broadcast
+      ~cache_words:256 ()
+  in
+  let mm = Rapwam.Memmodel.create ~n_pes:4 cfg in
+  let prog2 = Wam.Program.prepare ~parallel:true ~src ~query () in
+  let result, slow = Rapwam.Sim.run ~memory:mm ~n_workers:4 prog2 in
+  (match result with
+  | Wam.Seq.Success b ->
+    Alcotest.(check string) "answer" "233"
+      (Prolog.Pretty.to_string (List.assoc "F" b))
+  | Wam.Seq.Failure -> Alcotest.fail "integrated run failed");
+  Alcotest.(check bool) "contention costs time" true
+    (slow.Rapwam.Sim.rounds > ideal.Rapwam.Sim.rounds)
+
+let suite =
+  [
+    Alcotest.test_case "parcall 1 PE" `Quick test_unconditional_parcall_1pe;
+    Alcotest.test_case "parcall 4 PEs" `Quick test_unconditional_parcall_4pe;
+    Alcotest.test_case "deep parcall = seq" `Quick test_deep_parcall_matches_seq;
+    Alcotest.test_case "parallel fib" `Quick test_fib_parallel;
+    Alcotest.test_case "goals stolen" `Quick test_goals_get_stolen;
+    Alcotest.test_case "no-steal policy" `Quick test_no_steal_policy_still_correct;
+    Alcotest.test_case "steal-newest policy" `Quick test_steal_newest_policy;
+    Alcotest.test_case "CGE parallel branch" `Quick test_conditional_cge_runs_parallel;
+    Alcotest.test_case "CGE fallback" `Quick test_conditional_cge_falls_back;
+    Alcotest.test_case "indep check" `Quick test_indep_check;
+    Alcotest.test_case "parcall failure" `Quick test_parcall_failure_propagates;
+    Alcotest.test_case "failure then alternative" `Quick
+      test_parcall_failure_then_alternative;
+    Alcotest.test_case "unwind remote bindings" `Quick
+      test_unwind_clears_remote_bindings;
+    Alcotest.test_case "eager kill" `Quick test_eager_kill_mode;
+    Alcotest.test_case "3-way parcall" `Quick test_three_way_parcall;
+    Alcotest.test_case "nested parcalls" `Quick test_nested_parcalls_mixed_with_seq;
+    Alcotest.test_case "1-PE work ~ WAM" `Quick test_work_one_pe_close_to_wam;
+    Alcotest.test_case "halt stops workers" `Quick test_halt_stops_all_workers;
+    Alcotest.test_case "memmodel basics" `Quick test_memmodel_basics;
+    Alcotest.test_case "memmodel bus serializes" `Quick
+      test_memmodel_bus_serializes;
+    Alcotest.test_case "integrated sim" `Quick
+      test_integrated_sim_slower_but_correct;
+  ]
