@@ -12,26 +12,35 @@ let fig4_pes = [ 1; 2; 4; 8 ]
 type setup = {
   benchmarks : Benchlib.Programs.benchmark list;
   fig2_pes : int list;
+  jobs : int;  (** worker domains for the sweep engine *)
 }
 
-let full_setup () =
+let full_setup ?jobs () =
   {
     benchmarks = Benchlib.Inputs.default_benchmarks ();
     fig2_pes = [ 1; 2; 4; 8; 12; 16; 20; 24; 32; 40 ];
+    jobs = Option.value jobs ~default:(Engine.Pool.default_jobs ());
   }
 
-let quick_setup () =
+let quick_setup ?jobs () =
   {
     benchmarks = Benchlib.Inputs.small_benchmarks ();
     fig2_pes = [ 1; 2; 4; 8 ];
+    jobs = Option.value jobs ~default:(Engine.Pool.default_jobs ());
   }
 
-(* Memoized runs: several experiments need the same (bench, pes). *)
-let run_cache : (string * int, Benchlib.Runner.result) Hashtbl.t =
+(* Memoized runs: several experiments need the same (bench, pes).
+   The key includes the query because the same benchmark name can run
+   at different input sizes in one process (table3 always uses the
+   paper-scale inputs, --quick shrinks the others). *)
+let run_cache : (string * string * int, Benchlib.Runner.result) Hashtbl.t =
   Hashtbl.create 64
 
+let run_key bench n_pes =
+  (bench.Benchlib.Programs.name, bench.Benchlib.Programs.query, n_pes)
+
 let rapwam_run bench ~n_pes =
-  let key = (bench.Benchlib.Programs.name, n_pes) in
+  let key = run_key bench n_pes in
   match Hashtbl.find_opt run_cache key with
   | Some r -> r
   | None ->
@@ -40,13 +49,60 @@ let rapwam_run bench ~n_pes =
     r
 
 let wam_run bench =
-  let key = (bench.Benchlib.Programs.name, 0) in
+  let key = run_key bench 0 in
   match Hashtbl.find_opt run_cache key with
   | Some r -> r
   | None ->
     let r = Benchlib.Runner.run_wam bench in
     Hashtbl.add run_cache key r;
     r
+
+(* Fill [run_cache] for the given (benchmark, pes) pairs -- pes 0 =
+   sequential WAM -- on the sweep engine's domain pool.  Cached pairs
+   are skipped; a failed run is reported and recomputed lazily (and
+   sequentially) if an experiment really needs it.  The cache itself
+   is only ever touched from the main domain. *)
+let prewarm_runs setup pairs =
+  let missing =
+    List.filter
+      (fun (b, pes) -> not (Hashtbl.mem run_cache (run_key b pes)))
+      (List.sort_uniq compare pairs)
+  in
+  if missing <> [] then begin
+    let results =
+      Engine.Sweep.parallel_runs ~jobs:setup.jobs ~echo:true missing
+    in
+    List.iter2
+      (fun (b, pes) (_key, outcome) ->
+        match outcome with
+        | Ok r -> Hashtbl.replace run_cache (run_key b pes) r
+        | Error e ->
+          Format.eprintf "prewarm: %s on %d PEs failed: %s@."
+            b.Benchlib.Programs.name pes e)
+      missing results
+  end
+
+(* Engine-backed memo of "best-allocation" multiprocessor simulation
+   points (the quantity figure4, mlips and the ablations average).
+   [figure4] fills it in bulk with a parallel sweep; misses compute on
+   demand so every experiment also runs standalone. *)
+let sim_best_cache :
+    (string * Cachesim.Protocol.kind * int * int, Cachesim.Metrics.t)
+    Hashtbl.t =
+  Hashtbl.create 256
+
+let sim_best bench ~kind ~n_pes ~cache_words =
+  let key = (bench.Benchlib.Programs.name, kind, n_pes, cache_words) in
+  match Hashtbl.find_opt sim_best_cache key with
+  | Some st -> st
+  | None ->
+    let r = rapwam_run bench ~n_pes in
+    let st, _alloc =
+      Cachesim.Multi.simulate_best ~kind ~cache_words ~n_pes:(max n_pes 1)
+        r.Benchlib.Runner.trace
+    in
+    Hashtbl.add sim_best_cache key st;
+    st
 
 let section title =
   Format.printf "@.==== %s ====@.@." title
@@ -278,21 +334,70 @@ let fig4_protocols =
 (* Mean over the benchmarks, with the paper's per-point selection of
    the allocation policy that yields the lowest traffic. *)
 let mean_traffic setup ~kind ~n_pes ~cache_words =
-  let ratios =
-    List.map
+  Stats.Fit.mean
+    (List.map
+       (fun b ->
+         Cachesim.Metrics.traffic_ratio (sim_best b ~kind ~n_pes ~cache_words))
+       setup.benchmarks)
+
+(* Run a Figure-4-style grid on the sweep engine and pour the cells
+   into [sim_best_cache]; the tables below then print from the memo.
+   Traces come from [run_cache] (pre-warmed in parallel), shared
+   read-only across the pool. *)
+let engine_fill setup ~protocols ~pe_counts ~cache_sizes =
+  let traces =
+    List.concat_map
       (fun b ->
-        let r = rapwam_run b ~n_pes in
-        let stats, _alloc =
-          Cachesim.Multi.simulate_best ~kind ~cache_words
-            ~n_pes:(max n_pes 1) r.Benchlib.Runner.trace
-        in
-        Cachesim.Metrics.traffic_ratio stats)
+        List.map
+          (fun n ->
+            ( (b.Benchlib.Programs.name, n),
+              (rapwam_run b ~n_pes:n).Benchlib.Runner.trace ))
+          pe_counts)
       setup.benchmarks
   in
-  Stats.Fit.mean ratios
+  let outcome =
+    Engine.Sweep.run ~jobs:setup.jobs ~echo:true ~traces
+      {
+        Engine.Sweep.benchmarks = setup.benchmarks;
+        pe_counts;
+        protocols;
+        cache_sizes;
+        line_words = 4;
+        alloc = Engine.Sweep.Best;
+      }
+  in
+  List.iter
+    (fun (c : Engine.Results.cell) ->
+      let cfg = c.Engine.Results.config in
+      match c.Engine.Results.metrics with
+      | Ok st ->
+        Hashtbl.replace sim_best_cache
+          ( cfg.Engine.Results.bench,
+            cfg.Engine.Results.protocol,
+            cfg.Engine.Results.n_pes,
+            cfg.Engine.Results.cache_words )
+          st
+      | Error e ->
+        Format.eprintf "engine: cell %s failed: %s@."
+          (Engine.Results.config_key cfg)
+          e)
+    outcome.Engine.Sweep.cells
 
 let figure4 setup =
   section "Figure 4: Traffic of Coherency Schemes";
+  (* stage 1 in parallel: each benchmark's trace, once per PE count *)
+  prewarm_runs setup
+    (List.concat_map
+       (fun b -> List.map (fun n -> (b, n)) fig4_pes)
+       setup.benchmarks);
+  (* stage 2 in parallel: the whole protocol x size grid, plus the
+     (8 PE, 1024 words) checks quoted after the tables *)
+  engine_fill setup ~protocols:fig4_protocols ~pe_counts:fig4_pes
+    ~cache_sizes:fig4_sizes;
+  engine_fill setup
+    ~protocols:
+      [ Cachesim.Protocol.Write_through_broadcast; Cachesim.Protocol.Copyback ]
+    ~pe_counts:[ 8 ] ~cache_sizes:[ 1024 ];
   Format.printf
     "mean traffic ratio over the four benchmarks; 4-word lines;@ \
      allocation policy as in the paper (no-write-allocate for small@ \
@@ -773,6 +878,54 @@ let timing_integrated setup =
      fast bus the paper assumes recovers most of the ideal speedup (the \
      residue is the unavoidable read-miss latency).  This is the \
      integrated version of the paper's Section 3.3 argument.@."
+
+(* ------------------------------------------------------------------ *)
+(* Pre-warming: the (benchmark, PE-count) emulation runs each          *)
+(* experiment reads through [rapwam_run]/[wam_run] (0 = WAM), so the   *)
+(* harness can generate them on the engine's domain pool before the    *)
+(* sequential, deterministic printing starts.                          *)
+
+let experiment_names =
+  [
+    "table1"; "table2"; "table3"; "figure2"; "figure2-all"; "figure4";
+    "mlips"; "timing"; "timing-integrated"; "ablation-tags";
+    "ablation-sched"; "ablation-line"; "ablation-alloc";
+    "ablation-granularity";
+  ]
+
+let rec pairs_for setup = function
+  | "all" -> List.concat_map (pairs_for setup) experiment_names
+  | "table2" | "timing" | "timing-integrated" ->
+    List.concat_map (fun b -> [ (b, 0); (b, 8) ]) setup.benchmarks
+  | "figure2" -> (
+    match
+      List.find_opt
+        (fun b -> b.Benchlib.Programs.name = "deriv")
+        setup.benchmarks
+    with
+    | Some d -> (d, 0) :: List.map (fun n -> (d, n)) setup.fig2_pes
+    | None -> [])
+  | "figure2-all" ->
+    List.concat_map
+      (fun b -> List.map (fun n -> (b, n)) [ 0; 1; 2; 4; 8; 16 ])
+      setup.benchmarks
+  | "table3" ->
+    List.map (fun b -> (b, 0)) (Benchlib.Large.population ())
+    @ List.map
+        (fun n -> (Benchlib.Inputs.benchmark n, 0))
+        [ "deriv"; "tak"; "qsort" ]
+  | "figure4" ->
+    List.concat_map
+      (fun b -> List.map (fun n -> (b, n)) fig4_pes)
+      setup.benchmarks
+  | "mlips" | "ablation-tags" | "ablation-line" | "ablation-alloc" ->
+    List.map (fun b -> (b, 8)) setup.benchmarks
+  | "ablation-sched" ->
+    List.map (fun n -> (Benchlib.Inputs.benchmark n, 0)) [ "deriv"; "qsort" ]
+  | _ -> []
+
+let prewarm setup names =
+  prewarm_runs setup (List.concat_map (pairs_for setup) names)
 
 (* ------------------------------------------------------------------ *)
 

@@ -3,28 +3,68 @@
      dune exec bench/main.exe              -- all tables and figures
      dune exec bench/main.exe -- table2    -- one experiment
      dune exec bench/main.exe -- --quick   -- smaller inputs
+     dune exec bench/main.exe -- --jobs 4  -- parallel emulation/sweeps
      dune exec bench/main.exe -- --perf    -- Bechamel micro-benchmarks
 
    Experiments: table1 table2 table3 figure2 figure4 mlips timing
                 ablation-tags ablation-sched ablation-line ablation-alloc
-                ablation-granularity *)
+                ablation-granularity
+
+   The emulation runs and cache sweeps the experiments share are
+   pre-generated on the engine's domain pool (--jobs N, default the
+   host's recommended domain count); the tables themselves are then
+   printed sequentially from the memo, so output is identical for any
+   --jobs value. *)
 
 let usage () =
   print_endline
-    "usage: main.exe [--quick] [--perf] [table1|table2|table3|figure2|\n\
-    \       figure4|mlips|ablation-tags|ablation-sched|ablation-line|\n\
-    \       ablation-alloc]...";
+    "usage: main.exe [--quick] [--perf] [--jobs N] [table1|table2|table3|\n\
+    \       figure2|figure4|mlips|ablation-tags|ablation-sched|\n\
+    \       ablation-line|ablation-alloc]...";
   exit 1
+
+let parse_args args =
+  let quick = ref false in
+  let perf = ref false in
+  let jobs = ref None in
+  let wanted = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      go rest
+    | "--perf" :: rest ->
+      perf := true;
+      go rest
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        jobs := Some n;
+        go rest
+      | _ ->
+        Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+        usage ())
+    | "--jobs" :: [] ->
+      Printf.eprintf "--jobs expects an argument\n";
+      usage ()
+    | arg :: rest ->
+      (match String.index_opt arg '=' with
+      | Some i when String.sub arg 0 i = "--jobs" ->
+        go ("--jobs" :: String.sub arg (i + 1) (String.length arg - i - 1)
+            :: rest)
+      | _ ->
+        wanted := arg :: !wanted;
+        go rest)
+  in
+  go args;
+  (!quick, !perf, !jobs, List.rev !wanted)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let quick = List.mem "--quick" args in
-  let perf = List.mem "--perf" args in
-  let wanted =
-    List.filter (fun a -> a <> "--quick" && a <> "--perf") args
-  in
+  let quick, perf, jobs, wanted = parse_args args in
   let setup =
-    if quick then Experiments.quick_setup () else Experiments.full_setup ()
+    if quick then Experiments.quick_setup ?jobs ()
+    else Experiments.full_setup ?jobs ()
   in
   if perf then Perf.run ()
   else begin
@@ -48,6 +88,10 @@ let () =
         Printf.eprintf "unknown experiment %S\n" other;
         usage ()
     in
+    let names = match wanted with [] -> [ "all" ] | names -> names in
+    (* parallel pre-generation of every emulation run the selected
+       experiments will read; printing below stays sequential *)
+    Experiments.prewarm setup names;
     match wanted with
     | [] ->
       Format.printf

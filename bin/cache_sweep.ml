@@ -1,8 +1,16 @@
-(* cache_sweep: run one benchmark's trace through the coherent-cache
-   simulators across protocols and sizes.
+(* cache_sweep: run benchmark traces through the coherent-cache
+   simulators across a {benchmark x protocol x cache-size} grid, in
+   parallel on the sweep engine's domain pool.
 
      cache_sweep --bench deriv --pes 8
-     cache_sweep --bench qsort --pes 4 --protocol hybrid --line 8       *)
+     cache_sweep --bench deriv,tak,qsort --pes 8 --jobs 4 --json out.json
+     cache_sweep --bench qsort --pes 4 --protocol hybrid --line 8
+
+   Stage 1 emulates each benchmark once (RAP-WAM on --pes workers);
+   stage 2 fans the cache simulations out over the shared packed
+   trace.  Output is keyed and sorted by configuration, so any --jobs
+   value produces byte-identical tables/JSON/CSV; progress and timing
+   go to stderr and the --perf-record file only. *)
 
 let protocols =
   [
@@ -13,60 +21,153 @@ let protocols =
     ("copyback", Cachesim.Protocol.Copyback);
   ]
 
-let run_cmd bench_name pes protocol_name line sizes verbose trace_file =
-  let buf =
-    match trace_file with
-    | Some path ->
-      Printf.eprintf "reading trace %s...\n%!" path;
-      Trace.Tracefile.read path
-    | None ->
-      Printf.eprintf "running %s on %d PEs...\n%!" bench_name pes;
-      let bench = Benchlib.Inputs.benchmark bench_name in
-      (Benchlib.Runner.run_rapwam ~n_pes:pes bench).Benchlib.Runner.trace
+(* One table per benchmark: protocol rows x cache-size columns, as the
+   sequential tool printed, but read back out of the sorted cells. *)
+let print_tables ~pes ~line ~sizes ~selected cells =
+  let by_key = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Engine.Results.cell) ->
+      Hashtbl.replace by_key
+        (c.Engine.Results.config.Engine.Results.bench,
+         c.Engine.Results.config.Engine.Results.protocol,
+         c.Engine.Results.config.Engine.Results.cache_words)
+        c.Engine.Results.metrics)
+    cells;
+  let benches =
+    List.sort_uniq compare
+      (List.map
+         (fun (c : Engine.Results.cell) ->
+           c.Engine.Results.config.Engine.Results.bench)
+         cells)
   in
-  Printf.eprintf "trace: %d references\n%!"
-    (Trace.Sink.Buffer_sink.length buf);
+  List.iter
+    (fun bench ->
+      let t =
+        Stats.Table.create
+          ~title:
+            (Printf.sprintf "%s, %d PEs, %d-word lines (traffic ratio)"
+               bench pes line)
+          ~headers:("protocol" :: List.map string_of_int sizes)
+          ~aligns:
+            (Stats.Table.Left :: List.map (fun _ -> Stats.Table.Right) sizes)
+          ()
+      in
+      List.iter
+        (fun (name, kind) ->
+          let cells =
+            List.map
+              (fun size ->
+                match Hashtbl.find_opt by_key (bench, kind, size) with
+                | Some (Ok st) ->
+                  Stats.Table.cell_float (Cachesim.Metrics.traffic_ratio st)
+                | Some (Error _) -> "error"
+                | None -> "-")
+              sizes
+          in
+          Stats.Table.add_row t (name :: cells))
+        selected;
+      Stats.Table.print t)
+    benches
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let run_cmd bench_names pes protocol_name line sizes jobs json_out csv_out
+    perf_record baseline_wall verbose trace_file =
   let selected =
     match protocol_name with
     | None -> protocols
     | Some n -> List.filter (fun (name, _) -> name = n) protocols
   in
-  let t =
-    Stats.Table.create
-      ~title:
-        (Printf.sprintf "%s, %d PEs, %d-word lines (traffic ratio)"
-           bench_name pes line)
-      ~headers:("protocol" :: List.map string_of_int sizes)
-      ~aligns:
-        (Stats.Table.Left :: List.map (fun _ -> Stats.Table.Right) sizes)
-      ()
+  let grid_of benchmarks =
+    {
+      Engine.Sweep.benchmarks;
+      pe_counts = [ pes ];
+      protocols = List.map snd selected;
+      cache_sizes = sizes;
+      line_words = line;
+      alloc = Engine.Sweep.Default;
+    }
+  in
+  let outcome =
+    match trace_file with
+    | Some path ->
+      (* sweep a pre-recorded trace: no stage-1 emulation *)
+      Printf.eprintf "reading trace %s...\n%!" path;
+      let buf = Trace.Tracefile.read path in
+      Printf.eprintf "trace: %d references\n%!"
+        (Trace.Sink.Buffer_sink.length buf);
+      let name = List.hd bench_names in
+      let bench = Benchlib.Inputs.benchmark name in
+      Engine.Sweep.run ?jobs ~echo:verbose
+        ~traces:[ ((name, pes), buf) ]
+        (grid_of [ bench ])
+    | None ->
+      let benchmarks = List.map Benchlib.Inputs.benchmark bench_names in
+      Engine.Sweep.run ?jobs ~echo:true (grid_of benchmarks)
   in
   List.iter
-    (fun (name, kind) ->
-      let cells =
-        List.map
-          (fun size ->
-            let st =
-              Cachesim.Multi.simulate ~line_words:line ~kind
-                ~cache_words:size ~n_pes:pes buf
-            in
-            if verbose then
-              Format.eprintf "%s %d: %a@." name size Cachesim.Metrics.pp st;
-            Stats.Table.cell_float (Cachesim.Metrics.traffic_ratio st))
-          sizes
+    (fun s -> Format.eprintf "%a@." Engine.Report.pp_stage s)
+    outcome.Engine.Sweep.stages;
+  if verbose then
+    List.iter
+      (fun (c : Engine.Results.cell) ->
+        match c.Engine.Results.metrics with
+        | Ok st ->
+          Format.eprintf "%s: %a@."
+            (Engine.Results.config_key c.Engine.Results.config)
+            Cachesim.Metrics.pp st
+        | Error e ->
+          Format.eprintf "%s: FAILED %s@."
+            (Engine.Results.config_key c.Engine.Results.config)
+            e)
+      outcome.Engine.Sweep.cells;
+  print_tables ~pes ~line ~sizes ~selected outcome.Engine.Sweep.cells;
+  let failed =
+    List.filter
+      (fun (c : Engine.Results.cell) ->
+        Result.is_error c.Engine.Results.metrics)
+      outcome.Engine.Sweep.cells
+  in
+  if failed <> [] then
+    Printf.eprintf "%d of %d cells failed (see --verbose)\n%!"
+      (List.length failed)
+      (List.length outcome.Engine.Sweep.cells);
+  Option.iter
+    (fun path ->
+      write_file path (Engine.Results.to_json outcome.Engine.Sweep.cells))
+    json_out;
+  Option.iter
+    (fun path ->
+      write_file path (Engine.Results.to_csv outcome.Engine.Sweep.cells))
+    csv_out;
+  Option.iter
+    (fun path ->
+      let extra =
+        match baseline_wall with
+        | None -> []
+        | Some b ->
+          [
+            ("baseline_jobs1_wall_s", b);
+            ("speedup_vs_jobs1", b /. outcome.Engine.Sweep.wall_s);
+          ]
       in
-      Stats.Table.add_row t (name :: cells))
-    selected;
-  Stats.Table.print t
+      Engine.Sweep.write_perf_record ~path ~extra outcome)
+    perf_record
 
 open Cmdliner
 
 let bench_arg =
   Arg.(
     value
-    & opt (enum (List.map (fun n -> (n, n)) Benchlib.Programs.all_names))
-        "qsort"
-    & info [ "b"; "bench" ] ~docv:"NAME" ~doc:"Benchmark to trace.")
+    & opt
+        (list (enum (List.map (fun n -> (n, n)) Benchlib.Programs.all_names)))
+        [ "qsort" ]
+    & info [ "b"; "bench" ] ~docv:"NAME[,NAME...]"
+        ~doc:"Benchmark(s) to trace.")
 
 let pes_arg =
   Arg.(value & opt int 8 & info [ "p"; "pes" ] ~docv:"N" ~doc:"Workers.")
@@ -86,6 +187,46 @@ let sizes_arg =
     & opt (list int) [ 64; 128; 256; 512; 1024; 2048; 4096; 8192 ]
     & info [ "sizes" ] ~docv:"LIST" ~doc:"Cache sizes in words.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the sweep engine (default: the host's \
+           recommended domain count).  Any value produces byte-identical \
+           results.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the cells as JSON.")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Write the cells as CSV.")
+
+let perf_record_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "perf-record" ] ~docv:"FILE"
+        ~doc:
+          "Write sweep wall-clock and jobs/sec as JSON (the repo's \
+           BENCH_engine.json perf trajectory).")
+
+let baseline_wall_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "baseline-wall-s" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall clock of the same sweep at --jobs 1; recorded in the \
+           --perf-record file together with the resulting speedup.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print full metrics.")
 
@@ -98,12 +239,13 @@ let trace_file_arg =
               running a benchmark.")
 
 let cmd =
-  let doc = "sweep cache protocols and sizes over a benchmark trace" in
+  let doc = "sweep cache protocols and sizes over benchmark traces" in
   Cmd.v
     (Cmd.info "cache_sweep" ~doc)
     Term.(
       const run_cmd $ bench_arg $ pes_arg $ protocol_arg $ line_arg
-      $ sizes_arg $ verbose_arg $ trace_file_arg)
+      $ sizes_arg $ jobs_arg $ json_arg $ csv_arg $ perf_record_arg
+      $ baseline_wall_arg $ verbose_arg $ trace_file_arg)
 
 let () =
   match Cmd.eval_value cmd with

@@ -1,7 +1,15 @@
 (** The multiprocessor coherent-cache simulation: one cache per PE, a
     shared bus, and a line directory used to decide sharing.
     Processes packed RAP-WAM traces and produces traffic statistics
-    per protocol (paper, §3.2). *)
+    per protocol (paper, §3.2).
+
+    Domain-safety: all simulator state (caches, directory, counters)
+    lives in the [t] made by {!create} — there are no module-level
+    mutables — so each simulation is confined to the domain that
+    created it, and independent simulations over the same (read-only)
+    trace buffer can run on separate domains concurrently.  That is
+    how [Engine.Sweep] fans a grid out.  A single [t] must not be
+    shared across domains. *)
 
 type t
 

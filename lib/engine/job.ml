@@ -1,0 +1,33 @@
+(* One unit of engine work: a keyed thunk run with timing, exception
+   capture, and bounded retry. *)
+
+type 'a t = { key : string; thunk : unit -> 'a }
+
+type 'a completed = {
+  key : string;
+  outcome : ('a, string) result;
+  wall_s : float;
+  attempts : int;
+}
+
+let make ~key thunk = { key; thunk }
+
+let describe_exn exn bt =
+  let b = Printexc.raw_backtrace_to_string bt in
+  if String.trim b = "" then Printexc.to_string exn
+  else Printexc.to_string exn ^ "\n" ^ String.trim b
+
+let run ?(retries = 1) job =
+  let t0 = Unix.gettimeofday () in
+  let rec attempt n =
+    match job.thunk () with
+    | v -> (Ok v, n)
+    | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      if n <= retries then attempt (n + 1)
+      else (Error (describe_exn exn bt), n)
+  in
+  let outcome, attempts = attempt 1 in
+  { key = job.key; outcome; wall_s = Unix.gettimeofday () -. t0; attempts }
+
+let ok c = Result.is_ok c.outcome

@@ -1,0 +1,24 @@
+(** One unit of engine work: a keyed thunk executed with wall-clock
+    timing, exception capture, and bounded retry.
+
+    A job never lets an exception escape: the first failure is retried
+    (once by default), and a persistent failure becomes an [Error]
+    outcome carrying the exception text, so one bad cell can never
+    abort a sweep. *)
+
+type 'a t = private { key : string; thunk : unit -> 'a }
+
+type 'a completed = {
+  key : string;
+  outcome : ('a, string) result;
+  wall_s : float;  (** wall clock summed over all attempts *)
+  attempts : int;
+}
+
+val make : key:string -> (unit -> 'a) -> 'a t
+
+val run : ?retries:int -> 'a t -> 'a completed
+(** Execute the job; on an exception, retry up to [retries] (default
+    1) more times before recording an [Error]. *)
+
+val ok : 'a completed -> bool

@@ -1,0 +1,43 @@
+(* Domain-based worker pool: order-preserving parallel map.
+
+   A single atomic index hands out work; each result is written to its
+   input slot, so the output order never depends on which domain ran
+   what.  The calling domain participates as a worker, so [jobs = 1]
+   runs everything in the caller (no domains spawned) and is the
+   determinism baseline the parallel runs are compared against. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ?jobs ?on_done f items =
+  let n = Array.length items in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let jobs = min jobs (max 1 n) in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let hook_lock = Mutex.create () in
+  let notify r =
+    match on_done with
+    | None -> ()
+    | Some hook -> Mutex.protect hook_lock (fun () -> hook r)
+  in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let r = f items.(i) in
+        results.(i) <- Some r;
+        notify r;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if jobs = 1 then worker ()
+  else begin
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers
+  end;
+  Array.map (function Some r -> r | None -> assert false) results

@@ -1,0 +1,19 @@
+(** Domain-based worker pool: an order-preserving parallel map over a
+    shared work queue.
+
+    [map f items] applies [f] to every element, using up to [jobs]
+    domains ([Domain.recommended_domain_count ()] by default; the
+    calling domain is one of the workers).  Results land at their
+    input index, so the output is independent of scheduling order —
+    the engine's determinism rule rests on this.
+
+    [f] is expected not to raise: wrap fallible work in {!Job.run}.
+    An exception from [f] on a helper domain is re-raised at the join
+    in [map]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ?on_done:('b -> unit) -> ('a -> 'b) -> 'a array -> 'b array
+(** [on_done] is invoked after each completed element under a single
+    mutex (serialized across domains) — safe for progress counters. *)

@@ -1,0 +1,102 @@
+(* Progress counters and the machine-readable perf record. *)
+
+type stage = {
+  label : string;
+  total : int;
+  failed : int;
+  wall_s : float;
+  job_wall_s : float;
+  jobs_per_sec : float;
+}
+
+type t = {
+  label : string;
+  total : int;
+  mutable done_ : int;
+  mutable failures : int;
+  mutable job_wall_s : float;
+  started : float;
+  echo : bool;
+  lock : Mutex.t;
+}
+
+let create ?(echo = false) ~label ~total () =
+  {
+    label;
+    total;
+    done_ = 0;
+    failures = 0;
+    job_wall_s = 0.0;
+    started = Unix.gettimeofday ();
+    echo;
+    lock = Mutex.create ();
+  }
+
+let step t ~ok ~wall_s =
+  Mutex.protect t.lock (fun () ->
+      t.done_ <- t.done_ + 1;
+      if not ok then t.failures <- t.failures + 1;
+      t.job_wall_s <- t.job_wall_s +. wall_s;
+      if t.echo then begin
+        let elapsed = Unix.gettimeofday () -. t.started in
+        Printf.eprintf "\r[%s] %d/%d jobs%s (%.1f jobs/s)%!" t.label t.done_
+          t.total
+          (if t.failures > 0 then Printf.sprintf ", %d failed" t.failures
+           else "")
+          (float_of_int t.done_ /. Float.max 1e-9 elapsed)
+      end)
+
+let finish t =
+  if t.echo && t.done_ > 0 then prerr_newline ();
+  let wall_s = Unix.gettimeofday () -. t.started in
+  {
+    label = t.label;
+    total = t.total;
+    failed = t.failures;
+    wall_s;
+    job_wall_s = t.job_wall_s;
+    jobs_per_sec = float_of_int t.done_ /. Float.max 1e-9 wall_s;
+  }
+
+let pp_stage fmt (s : stage) =
+  Format.fprintf fmt "[%s] %d jobs%s in %.2fs (%.1f jobs/s)" s.label s.total
+    (if s.failed > 0 then Format.sprintf ", %d failed" s.failed else "")
+    s.wall_s s.jobs_per_sec
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_engine.json: the perf trajectory future PRs compare against. *)
+
+let write_perf_record ~path ~jobs ~wall_s ?(extra = []) (stages : stage list) =
+  let buf = Buffer.create 512 in
+  let total_jobs = List.fold_left (fun a (s : stage) -> a + s.total) 0 stages in
+  let failed = List.fold_left (fun a (s : stage) -> a + s.failed) 0 stages in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"rapwam-engine-perf/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_domains\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf (Printf.sprintf "  \"total_jobs\": %d,\n" total_jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"failed_jobs\": %d,\n" failed);
+  Buffer.add_string buf (Printf.sprintf "  \"wall_s\": %.6f,\n" wall_s);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"jobs_per_sec\": %.6f,\n"
+       (float_of_int total_jobs /. Float.max 1e-9 wall_s));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %S: %.6f,\n" k v))
+    extra;
+  Buffer.add_string buf "  \"stages\": [\n";
+  List.iteri
+    (fun i (s : stage) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"label\": %S, \"jobs\": %d, \"failed\": %d, \"wall_s\": \
+            %.6f, \"job_wall_s\": %.6f, \"jobs_per_sec\": %.6f}%s\n"
+           s.label s.total s.failed s.wall_s s.job_wall_s s.jobs_per_sec
+           (if i = List.length stages - 1 then "" else ",")))
+    stages;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)

@@ -1,0 +1,135 @@
+(* Deterministic keyed sweep results and their renderers. *)
+
+type config = {
+  bench : string;
+  n_pes : int;
+  protocol : Cachesim.Protocol.kind;
+  line_words : int;
+  cache_words : int;
+}
+
+type cell = {
+  config : config;
+  metrics : (Cachesim.Metrics.t, string) result;
+}
+
+let config_key c =
+  Printf.sprintf "%s/%dpe/%s/l%d/c%d" c.bench c.n_pes
+    (Cachesim.Protocol.kind_name c.protocol)
+    c.line_words c.cache_words
+
+let compare_config a b =
+  let cmp x y next = match compare x y with 0 -> next () | n -> n in
+  cmp a.bench b.bench (fun () ->
+      cmp a.n_pes b.n_pes (fun () ->
+          cmp
+            (Cachesim.Protocol.kind_name a.protocol)
+            (Cachesim.Protocol.kind_name b.protocol)
+            (fun () ->
+              cmp a.line_words b.line_words (fun () ->
+                  cmp a.cache_words b.cache_words (fun () -> 0)))))
+
+let sort cells =
+  List.sort (fun a b -> compare_config a.config b.config) cells
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.  Floats are printed with a fixed number of decimals and
+   counters as plain ints, so output bytes depend only on the cell
+   values, never on scheduling. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_config buf c =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"bench\": \"%s\", \"pes\": %d, \"protocol\": \"%s\", \
+        \"line_words\": %d, \"cache_words\": %d"
+       (json_escape c.bench) c.n_pes
+       (json_escape (Cachesim.Protocol.kind_name c.protocol))
+       c.line_words c.cache_words)
+
+let to_json cells =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i cell ->
+      Buffer.add_string buf "  {";
+      add_config buf cell.config;
+      (match cell.metrics with
+      | Ok m ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             ", \"reads\": %d, \"writes\": %d, \"read_misses\": %d, \
+              \"write_misses\": %d, \"fills\": %d, \"writebacks\": %d, \
+              \"wt_words\": %d, \"invalidations\": %d, \"updates\": %d, \
+              \"bus_words\": %d, \"traffic_ratio\": %.6f, \"miss_ratio\": \
+              %.6f"
+             m.Cachesim.Metrics.reads m.Cachesim.Metrics.writes
+             m.Cachesim.Metrics.read_misses m.Cachesim.Metrics.write_misses
+             m.Cachesim.Metrics.fills m.Cachesim.Metrics.writebacks
+             m.Cachesim.Metrics.wt_words m.Cachesim.Metrics.invalidations
+             m.Cachesim.Metrics.updates m.Cachesim.Metrics.bus_words
+             (Cachesim.Metrics.traffic_ratio m)
+             (Cachesim.Metrics.miss_ratio m))
+      | Error e ->
+        Buffer.add_string buf
+          (Printf.sprintf ", \"error\": \"%s\"" (json_escape e)));
+      Buffer.add_string buf
+        (if i = List.length cells - 1 then "}\n" else "},\n"))
+    cells;
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf
+
+let csv_header =
+  "bench,pes,protocol,line_words,cache_words,reads,writes,read_misses,\
+   write_misses,fills,writebacks,wt_words,invalidations,updates,bus_words,\
+   traffic_ratio,miss_ratio,error"
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv cells =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun cell ->
+      let c = cell.config in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%s,%d,%d," (csv_escape c.bench) c.n_pes
+           (csv_escape (Cachesim.Protocol.kind_name c.protocol))
+           c.line_words c.cache_words);
+      (match cell.metrics with
+      | Ok m ->
+        Buffer.add_string buf
+          (Printf.sprintf "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%.6f,"
+             m.Cachesim.Metrics.reads m.Cachesim.Metrics.writes
+             m.Cachesim.Metrics.read_misses m.Cachesim.Metrics.write_misses
+             m.Cachesim.Metrics.fills m.Cachesim.Metrics.writebacks
+             m.Cachesim.Metrics.wt_words m.Cachesim.Metrics.invalidations
+             m.Cachesim.Metrics.updates m.Cachesim.Metrics.bus_words
+             (Cachesim.Metrics.traffic_ratio m)
+             (Cachesim.Metrics.miss_ratio m))
+      | Error e ->
+        Buffer.add_string buf
+          (Printf.sprintf ",,,,,,,,,,,,%s"
+             (csv_escape (String.map (fun c -> if c = '\n' then ' ' else c) e))));
+      Buffer.add_char buf '\n')
+    cells;
+  Buffer.contents buf

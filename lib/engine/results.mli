@@ -1,0 +1,33 @@
+(** Deterministic sweep results.
+
+    Every cell is keyed by its full configuration; {!sort} orders
+    cells by that key alone, and the JSON/CSV renderers contain no
+    timing, ordering, or host information — which is why a parallel
+    sweep and a [--jobs 1] sweep produce byte-identical artifacts. *)
+
+type config = {
+  bench : string;
+  n_pes : int;
+  protocol : Cachesim.Protocol.kind;
+  line_words : int;
+  cache_words : int;
+}
+
+type cell = {
+  config : config;
+  metrics : (Cachesim.Metrics.t, string) result;
+      (** [Error] = the cell's job failed after retry (or its trace
+          generation failed); the sweep still completes. *)
+}
+
+val config_key : config -> string
+(** Human-readable cell key, e.g. ["qsort/8pe/hybrid/l4/c1024"]. *)
+
+val compare_config : config -> config -> int
+(** Total order on configurations (bench, PEs, protocol name, line
+    words, cache words). *)
+
+val sort : cell list -> cell list
+
+val to_json : cell list -> string
+val to_csv : cell list -> string

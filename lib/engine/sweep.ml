@@ -1,0 +1,156 @@
+(* The parallel sweep-execution engine: trace generation (stage 1)
+   and cache-simulation fan-out (stage 2) on a Domain pool.
+
+   Sharing discipline: a packed trace buffer is written by exactly one
+   stage-1 job and, after the DAG barrier, only ever read
+   ([Buffer_sink.iter_packed]); every stage-2 job builds its own
+   [Cachesim.Multi.t].  Benchmark values are looked up on the main
+   domain before the pool starts, so no lazy forcing races across
+   domains. *)
+
+type alloc_policy = Default | Allocate | No_allocate | Best
+
+type grid = {
+  benchmarks : Benchlib.Programs.benchmark list;
+  pe_counts : int list;
+  protocols : Cachesim.Protocol.kind list;
+  cache_sizes : int list;
+  line_words : int;
+  alloc : alloc_policy;
+}
+
+type outcome = {
+  cells : Results.cell list;
+  stages : Report.stage list;
+  wall_s : float;
+  jobs : int;
+}
+
+let cells_of_grid g =
+  List.length g.benchmarks * List.length g.pe_counts
+  * List.length g.protocols * List.length g.cache_sizes
+
+let trace_key name n_pes = Printf.sprintf "%s@%dpe" name n_pes
+
+let generate_trace bench n_pes () =
+  let result =
+    if n_pes <= 0 then Benchlib.Runner.run_wam bench
+    else Benchlib.Runner.run_rapwam ~n_pes bench
+  in
+  result.Benchlib.Runner.trace
+
+let simulate grid ~kind ~n_pes ~cache_words buf =
+  let line_words = grid.line_words in
+  (* each simulation gets at least one cache even for WAM (0-PE) traces *)
+  let n_pes = max n_pes 1 in
+  match grid.alloc with
+  | Default ->
+    Cachesim.Multi.simulate ~line_words ~kind ~cache_words ~n_pes buf
+  | Allocate ->
+    Cachesim.Multi.simulate ~line_words ~write_allocate:true ~kind
+      ~cache_words ~n_pes buf
+  | No_allocate ->
+    Cachesim.Multi.simulate ~line_words ~write_allocate:false ~kind
+      ~cache_words ~n_pes buf
+  | Best ->
+    fst
+      (Cachesim.Multi.simulate_best ~line_words ~kind ~cache_words ~n_pes
+         buf)
+
+let run ?jobs ?(echo = false) ?(traces = []) grid =
+  let t0 = Unix.gettimeofday () in
+  let jobs_requested =
+    match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
+  let produce =
+    (* pre-supplied traces become instant producers, so the DAG's
+       dependency and fault-propagation story is uniform *)
+    List.map
+      (fun ((name, n_pes), buf) -> (trace_key name n_pes, fun () -> buf))
+      traces
+    @ List.concat_map
+        (fun b ->
+          List.map
+            (fun n_pes ->
+              ( trace_key b.Benchlib.Programs.name n_pes,
+                generate_trace b n_pes ))
+            grid.pe_counts)
+        grid.benchmarks
+  in
+  let configs =
+    List.concat_map
+      (fun b ->
+        List.concat_map
+          (fun n_pes ->
+            List.concat_map
+              (fun protocol ->
+                List.map
+                  (fun cache_words ->
+                    {
+                      Results.bench = b.Benchlib.Programs.name;
+                      n_pes;
+                      protocol;
+                      line_words = grid.line_words;
+                      cache_words;
+                    })
+                  grid.cache_sizes)
+              grid.protocols)
+          grid.pe_counts)
+      grid.benchmarks
+  in
+  let consume =
+    List.map
+      (fun (c : Results.config) ->
+        ( Results.config_key c,
+          trace_key c.Results.bench c.Results.n_pes,
+          fun buf ->
+            simulate grid ~kind:c.Results.protocol ~n_pes:c.Results.n_pes
+              ~cache_words:c.Results.cache_words buf ))
+      configs
+  in
+  let completed, stages =
+    Dag.run ?jobs ~echo ~stage_labels:("trace-gen", "cache-sim")
+      { Dag.produce; consume }
+  in
+  let cells =
+    List.map2
+      (fun config (c : _ Job.completed) ->
+        { Results.config; metrics = c.Job.outcome })
+      configs
+      (Array.to_list completed)
+  in
+  {
+    cells = Results.sort cells;
+    stages;
+    wall_s = Unix.gettimeofday () -. t0;
+    jobs = jobs_requested;
+  }
+
+let write_perf_record ~path ?extra outcome =
+  Report.write_perf_record ~path ~jobs:outcome.jobs ~wall_s:outcome.wall_s
+    ?extra outcome.stages
+
+let parallel_runs ?jobs ?(echo = false) pairs =
+  let arr = Array.of_list pairs in
+  let rep =
+    Report.create ~echo ~label:"bench-runs" ~total:(Array.length arr) ()
+  in
+  let completed =
+    Pool.map ?jobs
+      ~on_done:(fun (c : _ Job.completed) ->
+        Report.step rep ~ok:(Job.ok c) ~wall_s:c.Job.wall_s)
+      (fun (b, n_pes) ->
+        Job.run
+          (Job.make
+             ~key:(trace_key b.Benchlib.Programs.name n_pes)
+             (fun () ->
+               if n_pes <= 0 then Benchlib.Runner.run_wam b
+               else Benchlib.Runner.run_rapwam ~n_pes b)))
+      arr
+  in
+  ignore (Report.finish rep);
+  List.map2
+    (fun (b, n_pes) (c : _ Job.completed) ->
+      ((b.Benchlib.Programs.name, n_pes), c.Job.outcome))
+    pairs
+    (Array.to_list completed)

@@ -1,0 +1,61 @@
+(** The parallel sweep-execution engine.
+
+    A sweep is a two-stage DAG over a {!grid}: stage 1 emulates each
+    benchmark once per PE count (RAP-WAM via [Benchlib.Runner]) to
+    produce its packed reference trace, and after the barrier stage 2
+    fans the independent cache simulations out across the domain pool,
+    every job reading the shared trace buffer read-only and building
+    its own simulator instance.
+
+    Determinism rule: results are keyed and sorted by configuration
+    ({!Results.sort}), and nothing host- or schedule-dependent enters
+    them, so [--jobs 1] and [--jobs N] sweeps render byte-identical
+    JSON/CSV.  Wall clocks live only in the {!Report.stage} summaries
+    and the perf record. *)
+
+type alloc_policy =
+  | Default  (** the paper's per-point rule ({!Cachesim.Protocol.paper_allocate_policy}) *)
+  | Allocate
+  | No_allocate
+  | Best  (** try both, keep the lower-traffic one ([simulate_best]) *)
+
+type grid = {
+  benchmarks : Benchlib.Programs.benchmark list;
+  pe_counts : int list;  (** 0 = sequential WAM trace *)
+  protocols : Cachesim.Protocol.kind list;
+  cache_sizes : int list;  (** per-PE cache sizes, words *)
+  line_words : int;
+  alloc : alloc_policy;
+}
+
+val cells_of_grid : grid -> int
+(** Stage-2 job count: benchmarks x PE counts x protocols x sizes. *)
+
+type outcome = {
+  cells : Results.cell list;  (** sorted by configuration *)
+  stages : Report.stage list;
+  wall_s : float;
+  jobs : int;  (** domains actually requested *)
+}
+
+val run :
+  ?jobs:int ->
+  ?echo:bool ->
+  ?traces:((string * int) * Trace.Sink.Buffer_sink.t) list ->
+  grid ->
+  outcome
+(** [traces] pre-supplies packed traces for (benchmark name, PE
+    count) keys, bypassing stage-1 emulation for those cells. *)
+
+val write_perf_record :
+  path:string -> ?extra:(string * float) list -> outcome -> unit
+(** Record wall clock + jobs/sec (BENCH_engine.json). *)
+
+val parallel_runs :
+  ?jobs:int ->
+  ?echo:bool ->
+  (Benchlib.Programs.benchmark * int) list ->
+  ((string * int) * (Benchlib.Runner.result, string) result) list
+(** Full benchmark executions ([n_pes = 0] = sequential WAM) across
+    the pool, keyed by (name, PE count) in input order; used to
+    pre-warm the experiment harness's run cache. *)

@@ -21,7 +21,16 @@ val filter : (Ref_record.t -> bool) -> t -> t
 val data_only : t -> t
 (** Drop instruction fetches (Code-area reads). *)
 
-(** In-memory packed trace buffer. *)
+(** In-memory packed trace buffer.
+
+    Domain-safety: a buffer is single-writer — all {!emit}s must
+    happen on one domain — but once writing is done (and published by
+    a happens-before edge such as [Domain.join] or the sweep engine's
+    stage barrier) any number of domains may read it concurrently:
+    {!length}/{!get}/{!iter}/{!iter_packed} only read the backing
+    array, and the array is never resized by readers.  This is the
+    generate-once / sweep-many contract [Engine.Dag] relies on.  Do
+    not {!clear} or keep emitting while other domains read. *)
 module Buffer_sink : sig
   type sink := t
   type t

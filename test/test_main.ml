@@ -11,6 +11,7 @@ let () =
       ("cachesim", Test_cachesim.suite);
       ("stats-queueing", Test_stats_queueing.suite);
       ("benchlib", Test_benchlib.suite);
+      ("engine", Test_engine.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("properties", Test_properties.suite);
     ]
