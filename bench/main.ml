@@ -78,6 +78,7 @@ let () =
       | "mlips" -> Experiments.mlips setup
       | "timing" -> Experiments.timing setup
       | "timing-integrated" -> Experiments.timing_integrated setup
+      | "annotation" -> Experiments.annotation setup
       | "ablation-tags" -> Experiments.ablation_tags setup
       | "ablation-sched" -> Experiments.ablation_sched setup
       | "ablation-line" -> Experiments.ablation_line setup

@@ -3,8 +3,11 @@
      annotate program.pl                 -- print the &-annotated source
      annotate --run 'main(X)' program.pl -- annotate, then run on 4 PEs
 
-   Mode declarations (`:- mode f(+, -, ?).`) in the source seed the
-   analysis; predicates without modes are analyzed conservatively. *)
+   By default a global groundness/sharing analysis runs first: mode
+   declarations (`:- mode f(+, -, ?).`) and the --run query seed the
+   interprocedural fixpoint, and the inferred call/success patterns
+   let the annotator drop run-time groundness/independence checks.
+   --no-analysis falls back to the purely local annotator. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -13,23 +16,43 @@ let read_file path =
   close_in ic;
   s
 
-let run_cmd src_path run_query pes =
+let annotate_db ~no_analysis ~dump ~run_query db =
+  if no_analysis then (Prolog.Annotate.database db, None)
+  else
+    let entries =
+      match run_query with
+      | None -> []
+      | Some q -> [ Analysis.Analyze.entry_of_string q ]
+    in
+    let summary = Analysis.Analyze.database ~entries db in
+    if dump then Format.eprintf "%a@." Analysis.Summary.pp summary;
+    let patterns = Analysis.Summary.patterns summary in
+    (Prolog.Annotate.database ~patterns db, Some patterns)
+
+let run_cmd src_path run_query pes no_analysis dump =
   let src = read_file src_path in
   let db = Prolog.Database.of_string src in
-  let annotated = Prolog.Annotate.database db in
+  let annotated, patterns =
+    annotate_db ~no_analysis ~dump ~run_query db
+  in
   Format.printf "%a@." Prolog.Annotate.pp_database annotated;
-  Format.eprintf "%% %d parallel call(s) introduced@."
-    (Prolog.Annotate.parallelism_found annotated);
+  let _, stats = Prolog.Annotate.database_stats ?patterns db in
+  Format.eprintf
+    "%% %d parallel call(s), %d check(s) emitted, %d discharged by \
+     analysis@."
+    (Prolog.Annotate.parallelism_found annotated)
+    stats.Prolog.Annotate.checks_emitted
+    stats.Prolog.Annotate.checks_discharged;
   match run_query with
   | None -> ()
   | Some query ->
     (* recompile from a fresh annotation: the printed db already holds
        the query-free program *)
-    let prog =
-      Wam.Program.of_database ~parallel:true
-        (Prolog.Annotate.database (Prolog.Database.of_string src))
-        ~query ()
+    let fresh, _ =
+      annotate_db ~no_analysis ~dump:false ~run_query
+        (Prolog.Database.of_string src)
     in
+    let prog = Wam.Program.of_database ~parallel:true fresh ~query () in
     let sim = Rapwam.Sim.create ~n_workers:pes prog in
     let result = Rapwam.Sim.run_prepared sim prog in
     (match result with
@@ -62,11 +85,27 @@ let run_arg =
 let pes_arg =
   Arg.(value & opt int 4 & info [ "p"; "pes" ] ~docv:"N" ~doc:"Workers.")
 
+let no_analysis_arg =
+  Arg.(
+    value & flag
+    & info [ "no-analysis" ]
+        ~doc:
+          "Skip the global groundness/sharing analysis; annotate with \
+           local information only (the pre-analysis behavior).")
+
+let dump_arg =
+  Arg.(
+    value & flag
+    & info [ "dump-analysis" ]
+        ~doc:"Print the inferred call/success patterns to stderr.")
+
 let cmd =
   let doc = "insert CGE annotations via independence analysis" in
   Cmd.v
     (Cmd.info "annotate" ~doc)
-    Term.(const run_cmd $ src_arg $ run_arg $ pes_arg)
+    Term.(
+      const run_cmd $ src_arg $ run_arg $ pes_arg $ no_analysis_arg
+      $ dump_arg)
 
 let () =
   match Cmd.eval_value cmd with Ok _ -> () | Error _ -> exit 1

@@ -1,0 +1,21 @@
+(** Static predicate call graph and its strongly connected
+    components, used to order the fixpoint iteration bottom-up and to
+    report mutual-recursion groups. *)
+
+type key = string * int
+
+type t
+
+val build : Prolog.Database.t -> t
+(** Edges from each predicate to the database predicates its clause
+    bodies call (CGE arms included). *)
+
+val callees : t -> key -> key list
+
+val sccs : t -> key list list
+(** Strongly connected components in reverse topological order
+    (callees before callers); deterministic. *)
+
+val scc_index : t -> key -> int
+(** Index of a predicate's component in the {!sccs} list (-1 if the
+    predicate is unknown). *)

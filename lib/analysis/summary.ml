@@ -1,0 +1,32 @@
+type stats = {
+  predicates : int;
+  reached : int;
+  iterations : int;
+  widened : int;
+  scc_count : int;
+  open_world : bool;
+}
+
+type t = {
+  patterns : Prolog.Abspat.t;
+  stats : stats;
+  sccs : (string * int) list list;
+}
+
+let make ~patterns ~stats ~sccs = { patterns; stats; sccs }
+
+let patterns t = t.patterns
+let stats t = t.stats
+let sccs t = t.sccs
+
+let find t ~name ~arity = Prolog.Abspat.find t.patterns ~name ~arity
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  Prolog.Abspat.pp fmt t.patterns;
+  Format.fprintf fmt
+    "%% %d/%d predicates reached, %d iterations, %d SCCs, %d widened%s@]"
+    t.stats.reached t.stats.predicates t.stats.iterations t.stats.scc_count
+    t.stats.widened
+    (if t.stats.open_world then " (open world: variable goal present)"
+     else "")

@@ -1,0 +1,30 @@
+(** Results of one global analysis run: the per-predicate
+    call/success pattern table plus convergence statistics. *)
+
+type stats = {
+  predicates : int;  (** predicates in the database *)
+  reached : int;  (** predicates the analysis reached (have patterns) *)
+  iterations : int;  (** body reanalyses until the fixpoint *)
+  widened : int;  (** predicates jumped to top by the iteration cap *)
+  scc_count : int;  (** strongly connected components in the call graph *)
+  open_world : bool;  (** a variable goal forced worst-case seeding *)
+}
+
+type t
+
+val make :
+  patterns:Prolog.Abspat.t ->
+  stats:stats ->
+  sccs:(string * int) list list ->
+  t
+
+val patterns : t -> Prolog.Abspat.t
+val stats : t -> stats
+val sccs : t -> (string * int) list list
+
+val find :
+  t -> name:string -> arity:int -> Prolog.Abspat.entry option
+
+val pp : Format.formatter -> t -> unit
+(** Dump the pattern table and statistics (the [--dump-analysis]
+    output of [bin/annotate]). *)

@@ -17,7 +17,10 @@ let deriv =
    % The benchmark harness iterates the derivation with a\n\
    % failure-driven driver (dbench), the classic way Prolog\n\
    % benchmarks of the period reused storage; the cuts make each\n\
-   % derivation step deterministic on both machines.\n\
+   % derivation step deterministic on both machines.  The mode\n\
+   % declaration is the period's annotator seed: the derivation\n\
+   % variable is ground at every call, the result is an output.\n\
+   :- mode d(?, +, -).\n\
    d(U + V, X, DU + DV) :- !, d(U, X, DU) & d(V, X, DV).\n\
    d(U - V, X, DU - DV) :- !, d(U, X, DU) & d(V, X, DV).\n\
    d(U * V, X, DU * V + U * DV) :- !, d(U, X, DU) & d(V, X, DV).\n\
@@ -54,6 +57,8 @@ let qsort =
 
 let matrix =
   "% naive matrix multiplication, one parallel goal per row\n\
+   % (multrow is always called with a ground column list)\n\
+   :- mode multrow(+, ?, -).\n\
    matrix(A, B, C) :- transpose(B, Bt), mmult(A, Bt, C).\n\
    mmult([], _, []).\n\
    mmult([R|Rs], Cs, [X|Xs]) :- multrow(Cs, R, X) & mmult(Rs, Cs, Xs).\n\

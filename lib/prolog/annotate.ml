@@ -3,10 +3,21 @@
    The paper notes that CGEs "can be generated automatically by the
    compiler, through a combination of local and global analysis which
    often makes run-time independence checks unnecessary" (its reference
-   [17]).  This module implements the local part: a mode-driven
-   groundness/independence analysis that rewrites plain clause bodies
-   into parallel groups, inserting ground/indep run-time checks exactly
+   [17]).  This module implements the annotator: a mode-driven
+   groundness/independence analysis rewrites plain clause bodies into
+   parallel groups, inserting ground/indep run-time checks exactly
    where the analysis is inconclusive.
+
+   The local part seeds per-clause abstract states from `:- mode`
+   directives.  When the caller also supplies the global analysis
+   results ([?patterns], computed by lib/analysis), clause entry states
+   are seeded from the inferred interprocedural call patterns, goal
+   effects use inferred success patterns, and possible aliasing is
+   tracked as an explicit pair-sharing relation instead of the
+   worst-case "all unknowns alias" assumption -- so checks that local
+   analysis would emit are discharged statically, and groups that the
+   local analysis abandons (more than [max_checks] checks) become
+   unconditionally parallel.
 
    Abstract state per variable:
      G  definitely ground
@@ -15,10 +26,10 @@
 
    Two goals can run in parallel when every variable they share is G
    (strict goal independence); a shared A variable yields a ground/1
-   check, and a pair of distinct possibly-aliased variables yields an
-   indep/2 check.  F variables are freshly introduced and cannot alias
-   one another, so distinct F variables are independent.  If a group
-   would need more than [max_checks] run-time checks the goals are left
+   check, and a pair of possibly-aliased variables yields an indep/2
+   check.  F variables are freshly introduced and cannot alias one
+   another, so distinct F variables are independent.  If a group would
+   need more than [max_checks] run-time checks the goals are left
    sequential (checks would eat the parallel gain). *)
 
 type abs = G | F | A
@@ -27,32 +38,115 @@ type decision = Independent | Conditional of Cge.check list | Dependent
 
 let max_checks = 4
 
+type stats = {
+  groups : int;
+  checks_emitted : int;
+  checks_discharged : int;
+  groups_abandoned : int;
+}
+
 (* ------------------------------------------------------------------ *)
 (* Abstract state.                                                    *)
 
-type state = (string, abs) Hashtbl.t
+(* [pairs] is the may-share relation among A variables, kept only in
+   precise (pattern-driven) mode; without patterns every pair of A
+   variables is assumed to possibly share, which is exactly the
+   historical behavior. *)
+type state = {
+  tbl : (string, abs) Hashtbl.t;
+  pairs : (string * string, unit) Hashtbl.t;
+  precise : bool;
+}
+
+let make_state ~precise () =
+  { tbl = Hashtbl.create 16; pairs = Hashtbl.create 16; precise }
+
+let copy_state st =
+  { tbl = Hashtbl.copy st.tbl; pairs = Hashtbl.copy st.pairs;
+    precise = st.precise }
 
 (* A variable with no entry has never been mentioned: it is fresh,
    hence free and unaliased. *)
 let get (st : state) v =
-  match Hashtbl.find_opt st v with Some a -> a | None -> F
+  match Hashtbl.find_opt st.tbl v with Some a -> a | None -> F
+
+let norm_pair x y : string * string = if x <= y then (x, y) else (y, x)
+
+let drop_pairs st v =
+  Hashtbl.iter
+    (fun ((x, y) as p) () -> if x = v || y = v then Hashtbl.remove st.pairs p)
+    (Hashtbl.copy st.pairs)
 
 (* Ground is stable: no later goal can unbind a ground variable. *)
 let set (st : state) v a =
-  match Hashtbl.find_opt st v with
+  match Hashtbl.find_opt st.tbl v with
   | Some G -> ()
-  | Some _ | None -> Hashtbl.replace st v a
+  | Some _ | None ->
+    Hashtbl.replace st.tbl v a;
+    if a = G && st.precise then drop_pairs st v
+
+let paired st x y = Hashtbl.mem st.pairs (norm_pair x y)
+
+(* May x and y share structure?  Without sharing info, any two
+   non-ground variables may (unless both are fresh F). *)
+let may_share st x y = (not st.precise) || paired st x y
+
+(* Star-closure linking: binding x against y also connects everything
+   already sharing with x to everything already sharing with y. *)
+let neighbors st v =
+  Hashtbl.fold
+    (fun (x, y) () acc ->
+      if x = v then y :: acc else if y = v then x :: acc else acc)
+    st.pairs [ v ]
+
+let link st u v =
+  if u <> v && get st u <> G && get st v <> G then begin
+    let nu = neighbors st u and nv = neighbors st v in
+    set st u A;
+    set st v A;
+    List.iter
+      (fun x ->
+        List.iter
+          (fun y ->
+            if x <> y && get st x <> G && get st y <> G then begin
+              Hashtbl.replace st.pairs (norm_pair x y) ();
+              set st x A;
+              set st y A
+            end)
+          nv)
+      nu
+  end
+
+let link_all st vars =
+  let rec go = function
+    | [] -> ()
+    | v :: rest ->
+      List.iter (fun w -> link st v w) rest;
+      go rest
+  in
+  go vars
 
 let term_ground st t = List.for_all (fun v -> get st v = G) (Term.vars t)
 
-(* Seed the state from the head and its mode. *)
-let seed_from_head modes head st =
-  let name, args =
-    match head with
-    | Term.Atom n -> (n, [])
-    | Term.Struct (n, a) -> (n, a)
-    | Term.Int _ | Term.Var _ -> ("", [])
-  in
+(* Smash a set of variables to unknown; in precise mode they may now
+   all alias one another (and, transitively, their old neighbors). *)
+let smash st vars =
+  List.iter (fun v -> set st v A) vars;
+  if st.precise then link_all st vars
+
+(* ------------------------------------------------------------------ *)
+(* Entry seeding.                                                     *)
+
+let head_spec head =
+  match head with
+  | Term.Atom n -> (n, [])
+  | Term.Struct (n, a) -> (n, a)
+  | Term.Int _ | Term.Var _ -> ("", [])
+
+(* Mode-directive seeding (the local analysis).  [strengthen] makes it
+   refine an existing pattern-derived state instead of defining one. *)
+let seed_from_modes ?(strengthen = false) modes head st =
+  let name, args = head_spec head in
   let arg_modes =
     match Modes.lookup modes ~name ~arity:(List.length args) with
     | Some ms -> ms
@@ -64,17 +158,60 @@ let seed_from_head modes head st =
       | Modes.Ground_in -> List.iter (fun v -> set st v G) (Term.vars arg)
       | Modes.Free_in_ground_out -> begin
         match arg with
-        | Term.Var v -> if not (Hashtbl.mem st v) then set st v F
+        | Term.Var v ->
+          if strengthen then begin
+            if get st v <> G then begin
+              Hashtbl.replace st.tbl v F;
+              if st.precise then drop_pairs st v
+            end
+          end
+          else if not (Hashtbl.mem st.tbl v) then set st v F
         | Term.Atom _ | Term.Int _ | Term.Struct _ ->
-          List.iter
-            (fun v -> if not (Hashtbl.mem st v) then set st v A)
-            (Term.vars arg)
+          if not strengthen then
+            List.iter
+              (fun v -> if not (Hashtbl.mem st.tbl v) then set st v A)
+              (Term.vars arg)
       end
       | Modes.Unknown ->
-        List.iter
-          (fun v -> if not (Hashtbl.mem st v) then set st v A)
-          (Term.vars arg))
+        if not strengthen then
+          List.iter
+            (fun v -> if not (Hashtbl.mem st.tbl v) then set st v A)
+            (Term.vars arg))
     args arg_modes
+
+(* Pattern seeding (the global analysis): groundness/freeness per
+   argument plus the may-share pairs among argument positions. *)
+let seed_from_pattern (pat : Abspat.pattern) head st =
+  let _, args = head_spec head in
+  let arg_vars = Array.of_list (List.map Term.vars args) in
+  List.iteri
+    (fun i arg ->
+      match pat.Abspat.args.(i) with
+      | Abspat.Ground -> List.iter (fun v -> set st v G) (Term.vars arg)
+      | Abspat.Free -> () (* unbound and unaliased: the F default *)
+      | Abspat.Any -> List.iter (fun v -> set st v A) (Term.vars arg))
+    args;
+  List.iter
+    (fun (i, j) ->
+      if i = j then link_all st arg_vars.(i)
+      else
+        List.iter
+          (fun u -> List.iter (fun v -> link st u v) arg_vars.(j))
+          arg_vars.(i))
+    pat.Abspat.share
+
+let seed_from_head ?patterns modes head st =
+  let name, args = head_spec head in
+  let entry =
+    match patterns with
+    | None -> None
+    | Some pats -> Abspat.find pats ~name ~arity:(List.length args)
+  in
+  match entry with
+  | Some e ->
+    seed_from_pattern e.Abspat.call head st;
+    seed_from_modes ~strengthen:true modes head st
+  | None -> seed_from_modes modes head st
 
 (* ------------------------------------------------------------------ *)
 (* Success effect of one goal.                                        *)
@@ -92,39 +229,89 @@ let goal_modes modes g =
   | Some ms -> Some ms
   | None -> Modes.lookup modes ~name ~arity
 
-let apply_effect modes st g =
+(* Apply an inferred success pattern at a call site. *)
+let apply_success st args (pat : Abspat.pattern) =
+  let arg_vars = Array.of_list (List.map Term.vars args) in
+  Array.iteri
+    (fun i vs ->
+      match pat.Abspat.args.(i) with
+      | Abspat.Ground -> List.iter (fun v -> set st v G) vs
+      | Abspat.Free -> ()
+      | Abspat.Any -> List.iter (fun v -> set st v A) vs)
+    arg_vars;
+  List.iter
+    (fun (i, j) ->
+      if i = j then link_all st arg_vars.(i)
+      else
+        List.iter
+          (fun u -> List.iter (fun v -> link st u v) arg_vars.(j))
+          arg_vars.(i))
+    pat.Abspat.share
+
+let apply_effect ?patterns modes st g =
   let name, args = goal_spec g in
   match (name, args) with
   | "=", [ a; b ] ->
-    (* unification: groundness flows across; otherwise both sides
-       become unknown (aliased) *)
+    (* unification: groundness flows across; otherwise the two sides
+       may now alias *)
     if term_ground st a then List.iter (fun v -> set st v G) (Term.vars b)
     else if term_ground st b then
       List.iter (fun v -> set st v G) (Term.vars a)
-    else
+    else if not st.precise then
       List.iter (fun v -> set st v A) (Term.vars a @ Term.vars b)
+    else begin
+      (* Var = t connects the variable to t's variables but not t's
+         variables to each other (they occupy disjoint subterms) *)
+      match (a, b) with
+      | Term.Var x, _ -> List.iter (fun v -> link st x v) (Term.vars b)
+      | _, Term.Var y -> List.iter (fun v -> link st y v) (Term.vars a)
+      | _, _ ->
+        List.iter
+          (fun u -> List.iter (fun v -> link st u v) (Term.vars b))
+          (Term.vars a)
+    end
   | _ -> begin
-    match goal_modes modes g with
-    | Some ms ->
-      List.iter2
-        (fun arg m ->
-          match m with
-          | Modes.Ground_in | Modes.Free_in_ground_out ->
-            List.iter (fun v -> set st v G) (Term.vars arg)
-          | Modes.Unknown -> List.iter (fun v -> set st v A) (Term.vars arg))
-        args ms
-    | None ->
-      (* unknown predicate: everything it touches may be aliased *)
-      List.iter (fun v -> set st v A) (List.concat_map Term.vars args)
+    let entry =
+      match patterns with
+      | None -> None
+      | Some pats ->
+        Abspat.find pats ~name ~arity:(List.length args)
+    in
+    match entry with
+    | Some e -> apply_success st args e.Abspat.success
+    | None -> begin
+      match goal_modes modes g with
+      | Some ms ->
+        let unknown_vars = ref [] in
+        List.iter2
+          (fun arg m ->
+            match m with
+            | Modes.Ground_in | Modes.Free_in_ground_out ->
+              List.iter (fun v -> set st v G) (Term.vars arg)
+            | Modes.Unknown ->
+              unknown_vars := !unknown_vars @ Term.vars arg)
+          args ms;
+        smash st !unknown_vars
+      | None ->
+        (* unknown predicate: everything it touches may be aliased *)
+        smash st (List.concat_map Term.vars args)
+    end
   end
 
 (* ------------------------------------------------------------------ *)
 (* Pairwise independence at a given state.                            *)
 
+(* Order-stable deduplication, O(n) expected (was a quadratic fold). *)
 let dedup_checks checks =
-  List.fold_left
-    (fun acc c -> if List.mem c acc then acc else acc @ [ c ])
-    [] checks
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun c ->
+      if Hashtbl.mem seen c then false
+      else begin
+        Hashtbl.add seen c ();
+        true
+      end)
+    checks
 
 let pair_decision st g h =
   let vg = Term.vars (Term.Struct ("$", snd (goal_spec g))) in
@@ -141,15 +328,19 @@ let pair_decision st g h =
       | A -> checks := Cge.Ground (Term.Var v) :: !checks)
     shared;
   (* distinct possibly-aliased pairs: indep/2 checks.  F variables are
-     fresh and unaliased, so only A-A and A-F pairs matter; a fresh F
-     cannot alias an A that existed before it was introduced either,
-     which leaves A-A pairs. *)
+     fresh and unaliased, so only A-A pairs matter; with sharing info
+     an A-A pair needs a check only when the analysis could not rule
+     the aliasing out. *)
   let a_vars vs = List.filter (fun v -> get st v = A) vs in
   List.iter
     (fun x ->
       List.iter
         (fun y ->
-          if x <> y && not (List.mem y shared) && not (List.mem x shared)
+          if
+            x <> y
+            && (not (List.mem y shared))
+            && (not (List.mem x shared))
+            && may_share st x y
           then checks := Cge.Indep (Term.Var x, Term.Var y) :: !checks)
         (a_vars vh))
     (a_vars vg);
@@ -178,7 +369,13 @@ type group = {
   entry : state; (* snapshot at group start *)
 }
 
-let flush_group modes st group out =
+type counters = {
+  mutable c_groups : int;
+  mutable c_checks : int;
+  mutable c_abandoned : int;
+}
+
+let flush_group ?patterns modes st group out counters =
   match group with
   | None -> ()
   | Some g ->
@@ -187,16 +384,19 @@ let flush_group modes st group out =
     | [] -> ()
     | [ single ] -> out (Cge.Lit single)
     | _ :: _ :: _ ->
-      out (Cge.Par { checks = dedup_checks g.checks; arms = goals }));
+      let checks = dedup_checks g.checks in
+      counters.c_groups <- counters.c_groups + 1;
+      counters.c_checks <- counters.c_checks + List.length checks;
+      out (Cge.Par { checks; arms = goals }));
     (* effects of the group's goals apply at the join *)
-    List.iter (apply_effect modes st) goals
+    List.iter (apply_effect ?patterns modes st) goals
 
-let annotate_body modes db st body =
+let annotate_body ?patterns modes db st counters body =
   let items = ref [] in
   let out item = items := item :: !items in
   let group : group option ref = ref None in
   let flush () =
-    flush_group modes st !group out;
+    flush_group ?patterns modes st !group out counters;
     group := None
   in
   List.iter
@@ -207,18 +407,19 @@ let annotate_body modes db st body =
         flush ();
         out item;
         (match item with
-        | Cge.Par { arms; _ } -> List.iter (apply_effect modes st) arms
+        | Cge.Par { arms; _ } ->
+          List.iter (apply_effect ?patterns modes st) arms
         | Cge.Lit _ -> ())
       | Cge.Lit g ->
         if not (parallelizable db g) then begin
           flush ();
-          apply_effect modes st g;
+          apply_effect ?patterns modes st g;
           out (Cge.Lit g)
         end
         else begin
           match !group with
           | None ->
-            let entry = Hashtbl.copy st in
+            let entry = copy_state st in
             group := Some { goals = [ g ]; checks = []; entry }
           | Some grp -> begin
             (* g joins if compatible with every member, judged at the
@@ -244,8 +445,9 @@ let annotate_body modes db st body =
               grp.goals <- g :: grp.goals;
               grp.checks <- dedup_checks (grp.checks @ cs)
             | Conditional _ | Dependent ->
+              counters.c_abandoned <- counters.c_abandoned + 1;
               flush ();
-              let entry = Hashtbl.copy st in
+              let entry = copy_state st in
               group := Some { goals = [ g ]; checks = []; entry }
           end
         end)
@@ -257,21 +459,54 @@ let annotate_body modes db st body =
 
 (* Annotate every clause of [db]; returns a new database (the original
    is untouched).  Modes come from the database's `:- mode ...`
-   directives unless supplied explicitly. *)
-let database ?modes db =
+   directives unless supplied explicitly.  [patterns] supplies global
+   analysis results; a clause uses them only when its own predicate
+   was reached by the analysis (otherwise its entry states would be
+   unsound), falling back to the purely local mode analysis. *)
+let annotate ?modes ?patterns db =
   let modes = match modes with Some m -> m | None -> Modes.of_database db in
   let out = Database.create () in
+  let counters = { c_groups = 0; c_checks = 0; c_abandoned = 0 } in
   List.iter
-    (fun key ->
+    (fun (name, arity) ->
+      let clause_patterns =
+        match patterns with
+        | Some pats when Abspat.reached pats ~name ~arity -> patterns
+        | Some _ | None -> None
+      in
       List.iter
         (fun (clause : Database.clause) ->
-          let st : state = Hashtbl.create 16 in
-          seed_from_head modes clause.Database.head st;
-          let body = annotate_body modes db st clause.Database.body in
+          let st = make_state ~precise:(clause_patterns <> None) () in
+          seed_from_head ?patterns:clause_patterns modes clause.Database.head
+            st;
+          let body =
+            annotate_body ?patterns:clause_patterns modes db st counters
+              clause.Database.body
+          in
           Database.add_clause out { Database.head = clause.head; body })
-        (Database.clauses db key))
+        (Database.clauses db (name, arity)))
     (Database.predicates db);
-  out
+  (out, counters)
+
+let database ?modes ?patterns db = fst (annotate ?modes ?patterns db)
+
+let database_stats ?modes ?patterns db =
+  let out, c = annotate ?modes ?patterns db in
+  let discharged =
+    match patterns with
+    | None -> 0
+    | Some _ ->
+      (* what would the purely local annotation have cost? *)
+      let _, base = annotate ?modes db in
+      max 0 (base.c_checks - c.c_checks)
+  in
+  ( out,
+    {
+      groups = c.c_groups;
+      checks_emitted = c.c_checks;
+      checks_discharged = discharged;
+      groups_abandoned = c.c_abandoned;
+    } )
 
 (* Count the parallel goals introduced (for reporting). *)
 let parallelism_found db = Database.parallel_call_count db

@@ -1,21 +1,49 @@
 (** Automatic CGE annotation by mode-driven independence analysis.
 
-    Implements the local analysis the paper alludes to (its reference
-    [17]): clause bodies are rewritten so that consecutive user-goal
-    calls proven independent run under an unconditional ['&'], goals
-    whose independence is input-dependent get a conditional CGE with
+    Implements the analysis the paper alludes to (its reference [17]):
+    clause bodies are rewritten so that consecutive user-goal calls
+    proven independent run under an unconditional ['&'], goals whose
+    independence is input-dependent get a conditional CGE with
     [ground/1] / [indep/2] run-time checks, and dependent goals stay
     sequential.
+
+    The local part seeds per-clause states from [:- mode] directives.
+    Supplying [?patterns] (global groundness/pair-sharing analysis
+    results from [lib/analysis]) additionally seeds clause entries from
+    inferred call patterns, applies inferred success patterns at call
+    sites, and tracks possible aliasing pairwise -- discharging checks
+    the local analysis would emit and parallelizing groups it would
+    abandon.  Without [?patterns] the behavior is exactly the
+    historical local analysis.
 
     The abstract state per variable is: ground, free-and-unaliased
     (fresh), or unknown/aliased.  Two goals are strictly independent
     when every shared variable is ground and no pair of their
     possibly-aliased variables may share structure. *)
 
-val database : ?modes:Modes.t -> Database.t -> Database.t
+val database :
+  ?modes:Modes.t -> ?patterns:Abspat.t -> Database.t -> Database.t
 (** Annotate every clause; returns a new database (the input is not
     modified).  Modes default to the database's [:- mode ...]
-    directives. *)
+    directives.  [patterns] are consulted only for clauses of
+    predicates the analysis reached. *)
+
+type stats = {
+  groups : int;  (** parallel groups (CGEs) emitted *)
+  checks_emitted : int;  (** run-time checks inside those groups *)
+  checks_discharged : int;
+      (** checks a pattern-less annotation of the same program emits
+          minus [checks_emitted] (0 without [?patterns]) *)
+  groups_abandoned : int;
+      (** joins rejected: a parallelizable goal was left sequential
+          because joining needed too many checks or was dependent *)
+}
+
+val database_stats :
+  ?modes:Modes.t -> ?patterns:Abspat.t -> Database.t ->
+  Database.t * stats
+(** [database] plus annotation-quality statistics (surfaced by the
+    bench harness's annotation-quality table). *)
 
 val parallelism_found : Database.t -> int
 (** Number of parallel calls in an (annotated) database. *)

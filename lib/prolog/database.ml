@@ -148,6 +148,27 @@ let of_string ?ops src =
   load_string ?ops db src;
   db
 
+(* Strip every CGE: each Par item becomes its arms in textual order.
+   Directives are carried over so `:- mode` declarations survive. *)
+let sequentialize db =
+  let out = create () in
+  List.iter
+    (fun key ->
+      List.iter
+        (fun clause ->
+          let body =
+            List.concat_map
+              (function
+                | Cge.Par { arms; _ } -> List.map (fun a -> Cge.Lit a) arms
+                | Cge.Lit _ as item -> [ item ])
+              clause.body
+          in
+          add_clause out { head = clause.head; body })
+        (clauses db key))
+    (predicates db);
+  out.directives <- db.directives;
+  out
+
 (* Statistics used by reports and tests. *)
 let clause_count db =
   Hashtbl.fold (fun _ cell n -> n + List.length !cell) db.preds 0

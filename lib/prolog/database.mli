@@ -31,6 +31,11 @@ val of_string : ?ops:Ops.t -> string -> t
 val add_clause : t -> clause -> unit
 (** Add an already-normalized clause (used by {!Annotate}). *)
 
+val sequentialize : t -> t
+(** A copy with every CGE flattened to its arms in textual order (the
+    sequential reading); directives are preserved.  Used to re-derive a
+    plain program from an annotated one. *)
+
 (** {1 Lookup} *)
 
 val clauses : t -> string * int -> clause list

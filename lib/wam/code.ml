@@ -36,6 +36,8 @@ let set_entry t fid addr =
 
 let entry t fid = Hashtbl.find_opt t.entries fid
 
+let iter_entries t f = Hashtbl.iter f t.entries
+
 let trace_addr addr = Layout.code_base + addr
 
 (* Disassembly listing, for debugging and documentation. *)

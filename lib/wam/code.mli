@@ -25,6 +25,10 @@ val set_entry : t -> int -> int -> unit
 
 val entry : t -> int -> int option
 
+val iter_entries : t -> (int -> int -> unit) -> unit
+(** [iter_entries t f] calls [f fid addr] for every predicate entry,
+    in unspecified order. *)
+
 val trace_addr : int -> int
 (** Code-region address of an instruction, for trace records. *)
 

@@ -1,0 +1,38 @@
+(** Static verifier over compiled WAM/RAP-WAM code.
+
+    [check] runs a forward dataflow analysis from every predicate
+    entry (plus the fixed halt/goal-done return points), tracking
+    which argument/temporary X registers and environment Y slots hold
+    defined values, whether an environment is allocated and how big it
+    is, whether a structure (unify) context is open, and the state of
+    an open parcall region.  Rules checked:
+
+    - X/A and Y registers are defined before use; calls clobber the X
+      bank; backtracking restores exactly A1..An.
+    - Y-slot accesses require a live environment and stay inside the
+      [allocate] size; [deallocate] is immediately followed by
+      [execute] or [proceed] (no dangling-frame access).
+    - [put_unsafe_value] only reads a defined in-bounds Y slot of a
+      live environment.
+    - [try]/[retry]/[trust] chains are well-formed (contiguous, trust
+      last) and their targets, switch targets and jump targets are in
+      bounds ([-1] = fail is legal in switch tables only).
+    - [alloc_parcall] points at a [par_join]; each of its goal slots
+      is pushed exactly once before the join; pushed goals name
+      predicates with real code entries and consistent arities.
+    - unify instructions appear only in a structure context; every
+      instruction is reachable from some entry. *)
+
+type diag = {
+  addr : int;  (** code address of the offending instruction *)
+  pred : string;  (** ["name/arity"] of the entry that reached it *)
+  rule : string;  (** short rule identifier, e.g. ["use-before-def"] *)
+  message : string;
+}
+
+val check : Symbols.t -> Code.t -> diag list
+(** Diagnostics in code-address order; [[]] means the code verifies. *)
+
+val check_program : Program.t -> diag list
+
+val pp_diag : Format.formatter -> diag -> unit

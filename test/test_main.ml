@@ -10,6 +10,8 @@ let () =
       ("rapwam", Test_rapwam.suite);
       ("cachesim", Test_cachesim.suite);
       ("stats-queueing", Test_stats_queueing.suite);
+      ("analysis", Test_analysis.suite);
+      ("wamlint", Test_wamlint.suite);
       ("benchlib", Test_benchlib.suite);
       ("engine", Test_engine.suite);
       ("edge-cases", Test_edge_cases.suite);

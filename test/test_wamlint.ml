@@ -1,0 +1,262 @@
+(* Tests for the WAM bytecode verifier: every compiled benchmark must
+   come out clean (parallel and sequential compilation), and
+   hand-seeded defects must each be caught by the intended rule. *)
+
+let rules diags =
+  List.sort_uniq compare (List.map (fun d -> d.Wam.Wamlint.rule) diags)
+
+let check_has rule diags =
+  if not (List.exists (fun d -> d.Wam.Wamlint.rule = rule) diags) then
+    Alcotest.failf "expected a %s diagnostic, got [%s]" rule
+      (String.concat "; " (rules diags))
+
+let check_clean label diags =
+  if diags <> [] then
+    Alcotest.failf "%s: expected no diagnostics, got [%s]" label
+      (String.concat "; " (rules diags))
+
+(* Hand-built code area with the fixed $halt / $goal_done prologue the
+   compiler always emits at addresses 0 and 1. *)
+let fixture build =
+  let symbols = Wam.Symbols.create () in
+  let code = Wam.Code.create () in
+  ignore (Wam.Code.emit code Wam.Instr.Halt_ok);
+  ignore (Wam.Code.emit code Wam.Instr.Goal_done);
+  build symbols code;
+  Wam.Wamlint.check symbols code
+
+let entry symbols code name arity =
+  let fid = Wam.Symbols.functor_ symbols name arity in
+  Wam.Code.set_entry code fid (Wam.Code.here code);
+  fid
+
+let emit code i = ignore (Wam.Code.emit code i)
+
+(* ---- clean fixtures: the verifier must be able to pass ---- *)
+
+let test_clean_handmade () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        ignore (entry symbols code "p" 1);
+        emit code (Get_nil 1);
+        emit code Proceed)
+  in
+  check_clean "fact p(nil)" diags
+
+let test_clean_env_roundtrip () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        let q = Wam.Symbols.functor_ symbols "q" 1 in
+        ignore (entry symbols code "p" 1);
+        emit code (Allocate 1);
+        emit code (Get_variable (Y 0, 1));
+        emit code (Put_value (Y 0, 1));
+        emit code (Call q);
+        emit code (Put_unsafe_value (0, 1));
+        emit code Deallocate;
+        emit code (Execute q);
+        ignore (entry symbols code "q" 1);
+        emit code (Get_nil 1);
+        emit code Proceed)
+  in
+  check_clean "allocate/call/deallocate" diags
+
+(* ---- seeded defects: each must fire its rule ---- *)
+
+let test_use_before_def_x () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        ignore (entry symbols code "p" 0);
+        (* X1 was never loaded: p/0 has no arguments *)
+        emit code (Put_value (X 1, 2));
+        emit code Proceed)
+  in
+  check_has "use-before-def" diags
+
+let test_use_before_def_y () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        ignore (entry symbols code "p" 0);
+        emit code (Allocate 1);
+        (* Y0 read before anything was stored in it *)
+        emit code (Put_value (Y 0, 1));
+        emit code Deallocate;
+        emit code Proceed)
+  in
+  check_has "use-before-def" diags
+
+let test_bad_env_slot () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        ignore (entry symbols code "p" 0);
+        emit code (Allocate 1);
+        (* Y3 is outside the 1-slot environment *)
+        emit code (Get_level 3);
+        emit code Deallocate;
+        emit code Proceed)
+  in
+  check_has "bad-env-slot" diags
+
+let test_no_env () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        ignore (entry symbols code "p" 0);
+        (* cut through an environment that was never allocated *)
+        emit code (Cut_to 0);
+        emit code Proceed)
+  in
+  check_has "no-env" diags
+
+let test_broken_trust_chain () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        let clause = Wam.Code.here code in
+        emit code Proceed;
+        ignore (entry symbols code "p" 0);
+        (* trust without a preceding try/retry *)
+        emit code (Trust clause))
+  in
+  check_has "broken-chain" diags
+
+let test_dangling_frame () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        ignore (entry symbols code "p" 0);
+        emit code (Allocate 0);
+        emit code Deallocate;
+        (* deallocate must be followed by execute/proceed *)
+        emit code (Jump 0))
+  in
+  check_has "dangling-frame" diags
+
+let test_undefined_predicate () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        let q = Wam.Symbols.functor_ symbols "q" 0 in
+        ignore (entry symbols code "p" 0);
+        emit code (Execute q))
+  in
+  check_has "undefined-predicate" diags
+
+let test_bad_join () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        ignore (entry symbols code "p" 0);
+        (* join address 0 holds Halt_ok, not Par_join *)
+        emit code (Alloc_parcall (0, 0));
+        emit code Par_join;
+        emit code Proceed)
+  in
+  check_has "bad-join" diags
+
+let test_missing_pushed_goal () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        let q = Wam.Symbols.functor_ symbols "q" 0 in
+        ignore (entry symbols code "p" 0);
+        let ap = Wam.Code.emit code (Alloc_parcall (2, 0)) in
+        emit code (Push_goal (0, q, 0));
+        (* only one of the two declared goals is pushed *)
+        let join = Wam.Code.emit code Par_join in
+        Wam.Code.patch code ap (Alloc_parcall (2, join));
+        emit code Proceed;
+        ignore (entry symbols code "q" 0);
+        emit code Proceed)
+  in
+  check_has "bad-parcall" diags
+
+let test_push_outside_parcall () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        let q = Wam.Symbols.functor_ symbols "q" 0 in
+        ignore (entry symbols code "p" 0);
+        emit code (Push_goal (0, q, 0));
+        emit code Proceed;
+        ignore (entry symbols code "q" 0);
+        emit code Proceed)
+  in
+  check_has "bad-parcall" diags
+
+let test_stray_unify () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        ignore (entry symbols code "p" 0);
+        (* no get_structure/put_structure opened a unify context *)
+        emit code Unify_nil;
+        emit code Proceed)
+  in
+  check_has "stray-unify" diags
+
+let test_unreachable () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        ignore (entry symbols code "p" 0);
+        emit code Proceed;
+        (* dead code after the clause, no entry points here *)
+        emit code (Get_nil 1))
+  in
+  check_has "unreachable" diags
+
+let test_bad_target () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        ignore (entry symbols code "p" 0);
+        emit code (Jump 999))
+  in
+  check_has "bad-target" diags
+
+(* ---- every shipped benchmark compiles clean ---- *)
+
+let all_benchmarks () =
+  Benchlib.Inputs.small_benchmarks () @ Benchlib.Large.population ()
+
+let lint_benchmarks ~parallel () =
+  List.iter
+    (fun (b : Benchlib.Programs.benchmark) ->
+      let prog =
+        Wam.Program.prepare ~parallel ~src:b.Benchlib.Programs.src
+          ~query:b.Benchlib.Programs.query ()
+      in
+      check_clean b.Benchlib.Programs.name (Wam.Wamlint.check_program prog))
+    (all_benchmarks ())
+
+let test_benchmarks_clean_parallel () = lint_benchmarks ~parallel:true ()
+let test_benchmarks_clean_sequential () = lint_benchmarks ~parallel:false ()
+
+let suite =
+  [
+    Alcotest.test_case "clean handmade code" `Quick test_clean_handmade;
+    Alcotest.test_case "clean env roundtrip" `Quick test_clean_env_roundtrip;
+    Alcotest.test_case "use-before-def X" `Quick test_use_before_def_x;
+    Alcotest.test_case "use-before-def Y" `Quick test_use_before_def_y;
+    Alcotest.test_case "bad env slot" `Quick test_bad_env_slot;
+    Alcotest.test_case "no env" `Quick test_no_env;
+    Alcotest.test_case "broken trust chain" `Quick test_broken_trust_chain;
+    Alcotest.test_case "dangling frame" `Quick test_dangling_frame;
+    Alcotest.test_case "undefined predicate" `Quick test_undefined_predicate;
+    Alcotest.test_case "bad parcall join" `Quick test_bad_join;
+    Alcotest.test_case "missing pushed goal" `Quick test_missing_pushed_goal;
+    Alcotest.test_case "push outside parcall" `Quick test_push_outside_parcall;
+    Alcotest.test_case "stray unify" `Quick test_stray_unify;
+    Alcotest.test_case "unreachable code" `Quick test_unreachable;
+    Alcotest.test_case "bad jump target" `Quick test_bad_target;
+    Alcotest.test_case "benchmarks clean (parallel)" `Quick
+      test_benchmarks_clean_parallel;
+    Alcotest.test_case "benchmarks clean (sequential)" `Quick
+      test_benchmarks_clean_sequential;
+  ]
