@@ -1001,6 +1001,113 @@ let annotation setup =
      become unconditional CGEs.  Recorded to BENCH_analysis.json.@."
 
 (* ------------------------------------------------------------------ *)
+(* Tracecheck overhead: how much slower is generate-and-check than     *)
+(* plain generation?  Generation is timed fresh (never from the memo)  *)
+(* so the ratio compares like with like; recorded to                   *)
+(* BENCH_tracecheck.json.                                              *)
+
+type tracecheck_row = {
+  t_label : string;
+  t_accesses : int;
+  t_syncs : int;
+  t_violations : int;
+  gen_s : float;
+  check_s : float;
+}
+
+let write_tracecheck_json path rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"rapwam-tracecheck/1\",\n";
+  Buffer.add_string buf "  \"traces\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"label\": %S, \"accesses\": %d, \"syncs\": %d, \
+            \"violations\": %d, \"generate_s\": %.6f, \"check_s\": %.6f, \
+            \"overhead\": %.4f}%s\n"
+           r.t_label r.t_accesses r.t_syncs r.t_violations r.gen_s r.check_s
+           (if r.gen_s > 0. then r.check_s /. r.gen_s else 0.)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+let tracecheck setup =
+  section "Tracecheck: happens-before checker overhead";
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let row b n_pes =
+    let label =
+      if n_pes = 0 then Printf.sprintf "%s/wam" b.Benchlib.Programs.name
+      else Printf.sprintf "%s/rapwam@%dpe" b.Benchlib.Programs.name n_pes
+    in
+    let r, gen_s =
+      timed (fun () ->
+          if n_pes = 0 then Benchlib.Runner.run_wam b
+          else Benchlib.Runner.run_rapwam ~n_pes b)
+    in
+    let s, check_s =
+      timed (fun () -> Tracecheck.check_buffer r.Benchlib.Runner.trace)
+    in
+    {
+      t_label = label;
+      t_accesses = s.Tracecheck.accesses;
+      t_syncs = s.Tracecheck.syncs;
+      t_violations = s.Tracecheck.n_violations;
+      gen_s;
+      check_s;
+    }
+  in
+  let rows =
+    List.concat_map
+      (fun b -> List.map (row b) [ 0; 1; 4; 8 ])
+      setup.benchmarks
+  in
+  let t =
+    Stats.Table.create ~title:"checker cost vs trace generation"
+      ~headers:
+        [ "trace"; "accesses"; "syncs"; "violations"; "gen (s)";
+          "check (s)"; "overhead" ]
+      ~aligns:
+        [ Stats.Table.Left; Stats.Table.Right; Stats.Table.Right;
+          Stats.Table.Right; Stats.Table.Right; Stats.Table.Right;
+          Stats.Table.Right ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          r.t_label;
+          Stats.Table.cell_int r.t_accesses;
+          Stats.Table.cell_int r.t_syncs;
+          Stats.Table.cell_int r.t_violations;
+          Printf.sprintf "%.3f" r.gen_s;
+          Printf.sprintf "%.3f" r.check_s;
+          (if r.gen_s > 0. then Printf.sprintf "%.2fx" (r.check_s /. r.gen_s)
+           else "-");
+        ])
+    rows;
+  Stats.Table.print t;
+  write_tracecheck_json "BENCH_tracecheck.json" rows;
+  let dirty = List.filter (fun r -> r.t_violations > 0) rows in
+  if dirty = [] then
+    Format.printf
+      "All traces race-free and invariant-clean; checker overhead@.\
+       recorded to BENCH_tracecheck.json.@."
+  else
+    Format.printf "WARNING: %d trace(s) had violations.@."
+      (List.length dirty)
+
+(* ------------------------------------------------------------------ *)
 (* Pre-warming: the (benchmark, PE-count) emulation runs each          *)
 (* experiment reads through [rapwam_run]/[wam_run] (0 = WAM), so the   *)
 (* harness can generate them on the engine's domain pool before the    *)
@@ -1011,7 +1118,7 @@ let experiment_names =
     "table1"; "table2"; "table3"; "figure2"; "figure2-all"; "figure4";
     "mlips"; "timing"; "timing-integrated"; "annotation"; "ablation-tags";
     "ablation-sched"; "ablation-line"; "ablation-alloc";
-    "ablation-granularity";
+    "ablation-granularity"; "tracecheck";
   ]
 
 let rec pairs_for setup = function
@@ -1043,6 +1150,8 @@ let rec pairs_for setup = function
     List.map (fun b -> (b, 8)) setup.benchmarks
   | "ablation-sched" ->
     List.map (fun n -> (Benchlib.Inputs.benchmark n, 0)) [ "deriv"; "qsort" ]
+  (* "tracecheck" deliberately contributes nothing: it times fresh
+     generation, so pre-warming would make the overhead ratio lie *)
   | _ -> []
 
 let prewarm setup names =
@@ -1065,4 +1174,5 @@ let all setup =
   ablation_line setup;
   ablation_alloc setup;
   ablation_granularity setup;
-  annotation setup
+  annotation setup;
+  tracecheck setup

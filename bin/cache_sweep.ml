@@ -75,8 +75,8 @@ let write_file path contents =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
-let run_cmd bench_names pes protocol_name line sizes jobs json_out csv_out
-    perf_record baseline_wall verbose trace_file =
+let run_cmd bench_names pes protocol_name line sizes jobs check json_out
+    csv_out perf_record baseline_wall verbose trace_file =
   let selected =
     match protocol_name with
     | None -> protocols
@@ -102,12 +102,12 @@ let run_cmd bench_names pes protocol_name line sizes jobs json_out csv_out
         (Trace.Sink.Buffer_sink.length buf);
       let name = List.hd bench_names in
       let bench = Benchlib.Inputs.benchmark name in
-      Engine.Sweep.run ?jobs ~echo:verbose
+      Engine.Sweep.run ?jobs ~echo:verbose ~check
         ~traces:[ ((name, pes), buf) ]
         (grid_of [ bench ])
     | None ->
       let benchmarks = List.map Benchlib.Inputs.benchmark bench_names in
-      Engine.Sweep.run ?jobs ~echo:true (grid_of benchmarks)
+      Engine.Sweep.run ?jobs ~echo:true ~check (grid_of benchmarks)
   in
   List.iter
     (fun s -> Format.eprintf "%a@." Engine.Report.pp_stage s)
@@ -160,6 +160,19 @@ let run_cmd bench_names pes protocol_name line sizes jobs json_out csv_out
 
 open Cmdliner
 
+(* Counts that must be at least 1 (--pes, --jobs): reject 0, negatives
+   and garbage with a message naming the offending value. *)
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n ->
+      Error
+        (`Msg (Printf.sprintf "%d is not a positive count (expected >= 1)" n))
+    | None -> Error (`Msg (Printf.sprintf "expected a positive count, got %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 let bench_arg =
   Arg.(
     value
@@ -170,7 +183,7 @@ let bench_arg =
         ~doc:"Benchmark(s) to trace.")
 
 let pes_arg =
-  Arg.(value & opt int 8 & info [ "p"; "pes" ] ~docv:"N" ~doc:"Workers.")
+  Arg.(value & opt pos_int 8 & info [ "p"; "pes" ] ~docv:"N" ~doc:"Workers.")
 
 let protocol_arg =
   Arg.(
@@ -190,12 +203,21 @@ let sizes_arg =
 let jobs_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some pos_int) None
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker domains for the sweep engine (default: the host's \
            recommended domain count).  Any value produces byte-identical \
            results.")
+
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Replay every generated trace through the happens-before \
+           checker (tracecheck) before simulating; violations fail the \
+           affected cells.")
 
 let json_arg =
   Arg.(
@@ -244,8 +266,8 @@ let cmd =
     (Cmd.info "cache_sweep" ~doc)
     Term.(
       const run_cmd $ bench_arg $ pes_arg $ protocol_arg $ line_arg
-      $ sizes_arg $ jobs_arg $ json_arg $ csv_arg $ perf_record_arg
-      $ baseline_wall_arg $ verbose_arg $ trace_file_arg)
+      $ sizes_arg $ jobs_arg $ check_arg $ json_arg $ csv_arg
+      $ perf_record_arg $ baseline_wall_arg $ verbose_arg $ trace_file_arg)
 
 let () =
   match Cmd.eval_value cmd with

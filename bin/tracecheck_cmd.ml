@@ -1,0 +1,218 @@
+(* tracecheck: replay RAP-WAM traces through the happens-before race
+   detector and coherence-invariant sanitizer.
+
+     tracecheck --benchmarks --pes 1,4,8
+     tracecheck --bench qsort --pes 8 --json out.json
+     tracecheck --bench deriv --pes 4 --defect dropped-join
+     tracecheck --trace-file trace.bin
+
+   For each (benchmark, mode, PE count) the tool generates the trace
+   (sequential WAM when the PE count is 0, RAP-WAM otherwise), runs
+   the checker, and prints a one-line verdict; --defect damages each
+   trace first and expects the checker to object.  Exit status is 0
+   iff every checked trace matched the expectation (clean normally,
+   flagged under --defect). *)
+
+let check_one ~label ~max_violations buf =
+  let t0 = Unix.gettimeofday () in
+  let s = Tracecheck.check_buffer ~max_violations buf in
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.printf "%-24s %a  (%.3fs)@." label Tracecheck.pp_summary s dt;
+  s
+
+let run_cmd bench_names pes_list seq_only par_only quick defect trace_file
+    max_violations json_out =
+  let json_rows = ref [] in
+  let dirty = ref 0 in
+  (* traces with violations *)
+  let missed = ref 0 in
+  (* damaged traces the checker failed to flag *)
+  let damage buf =
+    match defect with None -> buf | Some d -> Tracecheck.Defects.apply d buf
+  in
+  let judge ~label summary =
+    json_rows := Tracecheck.json_of_summary ~label summary :: !json_rows;
+    if not (Tracecheck.ok summary) then incr dirty;
+    match defect with
+    | None ->
+      if not (Tracecheck.ok summary) then
+        Format.printf "  FAIL: violations in %s@." label
+    | Some d ->
+      if Tracecheck.ok summary then begin
+        incr missed;
+        Format.printf "  MISSED: seeded defect %s escaped detection in %s@."
+          d label
+      end
+  in
+  (match trace_file with
+  | Some path ->
+    let buf = damage (Trace.Tracefile.read path) in
+    judge ~label:path (check_one ~label:path ~max_violations buf)
+  | None ->
+    let pool =
+      if quick then Benchlib.Inputs.small_benchmarks ()
+      else Benchlib.Inputs.default_benchmarks ()
+    in
+    let benchmarks =
+      match bench_names with
+      | [] -> pool
+      | names ->
+        List.map
+          (fun n ->
+            List.find
+              (fun (b : Benchlib.Programs.benchmark) ->
+                b.Benchlib.Programs.name = n)
+              pool)
+          names
+    in
+    let modes =
+      (if par_only then [] else [ `Seq ])
+      @ if seq_only then [] else [ `Par ]
+    in
+    List.iter
+      (fun (b : Benchlib.Programs.benchmark) ->
+        List.iter
+          (fun mode ->
+            let pes_of_mode =
+              match mode with `Seq -> [ 0 ] | `Par -> pes_list
+            in
+            List.iter
+              (fun n_pes ->
+                let label =
+                  if n_pes = 0 then
+                    Printf.sprintf "%s/wam" b.Benchlib.Programs.name
+                  else
+                    Printf.sprintf "%s/rapwam@%dpe" b.Benchlib.Programs.name
+                      n_pes
+                in
+                let result =
+                  if n_pes = 0 then Benchlib.Runner.run_wam b
+                  else Benchlib.Runner.run_rapwam ~n_pes b
+                in
+                let buf = damage result.Benchlib.Runner.trace in
+                judge ~label (check_one ~label ~max_violations buf))
+              pes_of_mode)
+          modes)
+      benchmarks);
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc "[\n  ";
+          output_string oc (String.concat ",\n  " (List.rev !json_rows));
+          output_string oc "\n]\n"))
+    json_out;
+  if !missed > 0 then
+    Format.printf "%d damaged trace(s) escaped detection@." !missed;
+  (* exit is non-zero exactly when violations were found, so a CI
+     defect fixture asserts detection with a plain `!` negation *)
+  if !dirty > 0 then begin
+    if defect = None then Format.printf "%d trace(s) had violations@." !dirty;
+    exit 1
+  end
+
+open Cmdliner
+
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n ->
+      Error
+        (`Msg (Printf.sprintf "%d is not a positive count (expected >= 1)" n))
+    | None -> Error (`Msg (Printf.sprintf "expected a positive count, got %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let bench_arg =
+  Arg.(
+    value
+    & opt
+        (list (enum (List.map (fun n -> (n, n)) Benchlib.Programs.all_names)))
+        []
+    & info [ "b"; "bench" ] ~docv:"NAME[,NAME...]"
+        ~doc:"Benchmark(s) to check (default: all).")
+
+let benchmarks_flag =
+  Arg.(
+    value & flag
+    & info [ "benchmarks" ] ~doc:"Check every shipped benchmark (default).")
+
+let pes_arg =
+  Arg.(
+    value
+    & opt (list pos_int) [ 1; 2; 4; 8 ]
+    & info [ "p"; "pes" ] ~docv:"LIST"
+        ~doc:"PE counts for the parallel (RAP-WAM) traces.")
+
+let seq_arg =
+  Arg.(
+    value & flag
+    & info [ "seq-only" ] ~doc:"Check only the sequential WAM traces.")
+
+let par_arg =
+  Arg.(
+    value & flag
+    & info [ "par-only" ] ~doc:"Check only the parallel RAP-WAM traces.")
+
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"Use the reduced benchmark inputs (CI-sized traces).")
+
+let defect_arg =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              (List.map
+                 (fun (d : Tracecheck.Defects.defect) -> (d.name, d.name))
+                 Tracecheck.Defects.all)))
+        None
+    & info [ "defect" ] ~docv:"NAME"
+        ~doc:
+          "Damage each trace with the named seeded defect first and \
+           expect the checker to flag it (exit 1 when a damaged trace \
+           comes back clean).")
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "trace-file" ] ~docv:"FILE"
+        ~doc:"Check a trace written by trace_dump --binary instead.")
+
+let max_violations_arg =
+  Arg.(
+    value & opt pos_int 50
+    & info [ "max-violations" ] ~docv:"N"
+        ~doc:"Retain at most N violations per trace in the output.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the summaries as JSON.")
+
+let cmd =
+  let doc =
+    "happens-before race detector and invariant checker for RAP-WAM traces"
+  in
+  Cmd.v
+    (Cmd.info "tracecheck" ~doc)
+    Term.(
+      const
+        (fun bench _benchmarks pes seq par quick defect trace_file maxv json ->
+          run_cmd bench pes seq par quick defect trace_file maxv json)
+      $ bench_arg $ benchmarks_flag $ pes_arg $ seq_arg $ par_arg
+      $ quick_arg $ defect_arg $ trace_file_arg $ max_violations_arg
+      $ json_arg)
+
+let () =
+  match Cmd.eval_value cmd with
+  | Ok _ -> ()
+  | Error _ -> exit 1

@@ -224,18 +224,21 @@ let reference t (r : Trace.Ref_record.t) =
     write t r.Trace.Ref_record.pe line
       ~global:(t.global_area.(Trace.Area.to_int r.Trace.Ref_record.area))
 
-(* Hot path: run a whole packed trace buffer. *)
+(* Hot path: run a whole packed trace buffer.  Sync events cost no
+   memory traffic (they annotate ordering, not accesses): skip them. *)
 let run_trace t buf =
   let lw = line_words t in
   Trace.Sink.Buffer_sink.iter_packed
     (fun word ->
-      let is_write = word land 1 = 1 in
       let area_i = (word lsr 1) land 0x1f in
-      let pe = (word lsr 6) land 0xff in
-      let addr = word lsr Trace.Ref_record.addr_bits_shift in
-      let line = addr / lw in
-      if is_write then write t pe line ~global:t.global_area.(area_i)
-      else read t pe line)
+      if area_i < Trace.Ref_record.sync_tag_base then begin
+        let is_write = word land 1 = 1 in
+        let pe = (word lsr 6) land 0xff in
+        let addr = word lsr Trace.Ref_record.addr_bits_shift in
+        let line = addr / lw in
+        if is_write then write t pe line ~global:t.global_area.(area_i)
+        else read t pe line
+      end)
     buf
 
 let stats t = t.stats

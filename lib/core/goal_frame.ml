@@ -32,14 +32,19 @@ let frames_base pe = Layout.goal_base pe + 3
 
 let rd m (w : Machine.worker) addr = Memory.read m.Machine.mem ~pe:w.id ~area addr
 let wr m (w : Machine.worker) addr v = Memory.write m.Machine.mem ~pe:w.id ~area addr v
+let sync m (w : Machine.worker) ~kind addr =
+  Memory.sync m.Machine.mem ~pe:w.id ~kind addr
 
 (* Lock traffic model: one read + one write to acquire, one write to
-   release, charged to the accessing PE. *)
+   release, charged to the accessing PE.  Acquire/Release events
+   bracket the section for the happens-before checker. *)
 let with_lock m w ~owner f =
+  sync m w ~kind:Trace.Ref_record.Acquire (lock_word owner);
   ignore (rd m w (lock_word owner));
   wr m w (lock_word owner) (Cell.raw 1);
   let v = f () in
   wr m w (lock_word owner) (Cell.raw 0);
+  sync m w ~kind:Trace.Ref_record.Release (lock_word owner);
   v
 
 type goal = {
@@ -68,7 +73,10 @@ let push m (w : Machine.worker) ~pf ~slot ~entry ~arity =
       done;
       wr m w (base + 5 + arity) (Cell.raw size);
       w.gs_top <- base + size;
-      wr m w (top_word w.id) (Cell.raw w.gs_top));
+      wr m w (top_word w.id) (Cell.raw w.gs_top);
+      (* the frame (and the parcall frame it references) is now
+         visible to stealing PEs *)
+      sync m w ~kind:Trace.Ref_record.Publish base);
   Machine.note_high_water w;
   m.Machine.goals_pushed <- m.Machine.goals_pushed + 1
 
@@ -98,6 +106,8 @@ let pop_top m (w : Machine.worker) (victim : Machine.worker) =
       (with_lock m w ~owner:victim.id (fun () ->
            let size = Cell.payload (rd m w (victim.gs_top - 1)) in
            let base = victim.gs_top - size in
+           if w.id <> victim.id then
+             sync m w ~kind:Trace.Ref_record.Steal base;
            let goal = read_frame m w ~owner:victim.id base in
            victim.gs_top <- base;
            wr m w (top_word victim.id) (Cell.raw victim.gs_top);
@@ -119,6 +129,7 @@ let steal m (w : Machine.worker) (victim : Machine.worker) =
     Some
       (with_lock m w ~owner:victim.id (fun () ->
            let base = victim.gs_bot in
+           sync m w ~kind:Trace.Ref_record.Steal base;
            let size = Cell.payload (rd m w base) in
            let goal = read_frame m w ~owner:victim.id base in
            victim.gs_bot <- base + size;

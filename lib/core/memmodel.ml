@@ -65,7 +65,9 @@ let reference t (r : Trace.Ref_record.t) =
       ()
   end
 
-let sink t : Trace.Sink.t = { Trace.Sink.emit = (fun r -> reference t r) }
+let sink t : Trace.Sink.t =
+  (* sync events carry no traffic: only accesses reach the bus model *)
+  { Trace.Sink.emit = (fun r -> reference t r); emit_sync = (fun _ -> ()) }
 
 (* Is this PE still waiting for memory at the current round? *)
 let stalled t pe = t.ready_at.(pe) > t.now +. 0.5

@@ -39,10 +39,14 @@ let create_queues n =
   { heads = Array.make n 0; tails = Array.make n 0 }
 
 let with_lock m w ~target f =
+  Memory.sync m.Machine.mem ~pe:w.Machine.id
+    ~kind:Trace.Ref_record.Acquire (lock_word target);
   ignore (rd m w (lock_word target));
   wr m w (lock_word target) (Cell.raw 1);
   let v = f () in
   wr m w (lock_word target) (Cell.raw 0);
+  Memory.sync m.Machine.mem ~pe:w.Machine.id
+    ~kind:Trace.Ref_record.Release (lock_word target);
   v
 
 (* [send m q w ~target msg]: [w] appends a message to [target]'s buffer. *)

@@ -57,6 +57,8 @@ let global_area = Trace.Area.Parcall_global
 
 let rd m (w : Machine.worker) ~area addr = Memory.read m.Machine.mem ~pe:w.id ~area addr
 let wr m (w : Machine.worker) ~area addr v = Memory.write m.Machine.mem ~pe:w.id ~area addr v
+let sync m (w : Machine.worker) ~kind addr =
+  Memory.sync m.Machine.mem ~pe:w.id ~kind addr
 
 (* Allocate a frame on [w]'s local stack and make it current; the
    frame becomes the worker's backtrack barrier until the join. *)
@@ -83,6 +85,9 @@ let alloc m (w : Machine.worker) k ~join_addr =
   for i = 0 to k - 1 do
     wg (off_slots + i) (-1)
   done;
+  (* the frame is now fully initialized and about to become visible to
+     other PEs through pushed goal frames *)
+  sync m w ~kind:Trace.Ref_record.Publish base;
   w.pf <- base;
   w.barrier <- w.b;
   w.lst <- base + size k;
@@ -135,14 +140,18 @@ let decode_slot v =
   else (v, true, false)
 
 (* Locked read-modify-write: the lock acquire/release traffic is
-   modeled as one read and two writes on the lock word. *)
+   modeled as one read and two writes on the lock word.  The explicit
+   Acquire/Release events bracket the critical section so the trace
+   checker can order cross-PE counter updates. *)
 let locked_update m w pf ~off f =
+  sync m w ~kind:Trace.Ref_record.Acquire (pf + off_lock);
   ignore (rd m w ~area:count_area (pf + off_lock)); (* acquire: test *)
   wr m w ~area:count_area (pf + off_lock) (Cell.raw 1); (* acquire: set *)
   let v = Cell.payload (rd m w ~area:count_area (pf + off)) in
   let v' = f v in
   wr m w ~area:count_area (pf + off) (Cell.raw v');
   wr m w ~area:count_area (pf + off_lock) (Cell.raw 0); (* release *)
+  sync m w ~kind:Trace.Ref_record.Release (pf + off_lock);
   v'
 
 (* A goal checks in: decrement the counter (optionally raising the

@@ -11,6 +11,9 @@
 val size : int -> int
 (** Frame size in words for [k] pushed goals. *)
 
+val off_lock : int
+(** The lock word; Acquire/Release and Join sync events reference it. *)
+
 val off_status : int
 val off_slots : int
 val done_bit : int

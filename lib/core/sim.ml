@@ -296,6 +296,11 @@ let handle_parcall_failure sim (w : Machine.worker) pf ~join_addr =
   else begin
     let expected = List.length (unwind_targets m w pf ~peek:true) in
     if Parcall.peek_acks m pf >= expected then begin
+      (* all remote executors acknowledged their unwinds (locked
+         updates on the frame): joining here orders the recovery
+         reads/writes after the remote trail replays *)
+      Memory.sync m.Machine.mem ~pe:w.id ~kind:Trace.Ref_record.Join
+        (pf + Parcall.off_lock);
       w.failing_pf <- -1;
       (* parent recovery from the parcall frame *)
       let saved_tr = Parcall.saved_tr m w pf in
@@ -327,6 +332,11 @@ let par_join sim (w : Machine.worker) =
   let counter = Parcall.peek_counter m pf in
   let status = Parcall.peek_status m pf in
   if counter = 0 then begin
+    (* every goal checked in (locked counter updates): the join edge
+       orders the parent's confirmation reads -- and, on failure, its
+       traced slot-word reads -- after the children's check-ins *)
+    Memory.sync m.Machine.mem ~pe:w.id ~kind:Trace.Ref_record.Join
+      (pf + Parcall.off_lock);
     if status = 0 then begin
       (* commit: traced confirmation reads, restore PF and barrier.
          The CGE commits as a unit: choice points its goals left

@@ -57,7 +57,19 @@ let simulate grid ~kind ~n_pes ~cache_words buf =
       (Cachesim.Multi.simulate_best ~line_words ~kind ~cache_words ~n_pes
          buf)
 
-let run ?jobs ?(echo = false) ?(traces = []) grid =
+(* Optional verify stage: replay the freshly generated (or
+   pre-supplied) trace through the happens-before checker before any
+   simulation consumes it.  A violation fails the producer job, and
+   the DAG's fault propagation marks every dependent cell Error. *)
+let checked key thunk () =
+  let buf = thunk () in
+  let s = Tracecheck.check_buffer buf in
+  if not (Tracecheck.ok s) then
+    failwith
+      (Format.asprintf "tracecheck %s: %a" key Tracecheck.pp_summary s);
+  buf
+
+let run ?jobs ?(echo = false) ?(check = false) ?(traces = []) grid =
   let t0 = Unix.gettimeofday () in
   let jobs_requested =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
@@ -76,6 +88,10 @@ let run ?jobs ?(echo = false) ?(traces = []) grid =
                 generate_trace b n_pes ))
             grid.pe_counts)
         grid.benchmarks
+  in
+  let produce =
+    if check then List.map (fun (key, thunk) -> (key, checked key thunk)) produce
+    else produce
   in
   let configs =
     List.concat_map

@@ -41,11 +41,15 @@ type outcome = {
 val run :
   ?jobs:int ->
   ?echo:bool ->
+  ?check:bool ->
   ?traces:((string * int) * Trace.Sink.Buffer_sink.t) list ->
   grid ->
   outcome
 (** [traces] pre-supplies packed traces for (benchmark name, PE
-    count) keys, bypassing stage-1 emulation for those cells. *)
+    count) keys, bypassing stage-1 emulation for those cells.
+    [check] replays every trace (generated or pre-supplied) through
+    {!Tracecheck} before simulation; violations fail the producing
+    job and, through DAG fault propagation, every dependent cell. *)
 
 val write_perf_record :
   path:string -> ?extra:(string * float) list -> outcome -> unit

@@ -10,6 +10,7 @@ type t = {
   mutable local : int;
   mutable remote : int;
   mutable total : int;
+  mutable syncs : int; (* sync events seen; not counted as references *)
   pe_of_addr : int -> int;
 }
 
@@ -20,6 +21,7 @@ let create ~pe_of_addr () =
     local = 0;
     remote = 0;
     total = 0;
+    syncs = 0;
     pe_of_addr;
   }
 
@@ -39,8 +41,13 @@ let record t (r : Ref_record.t) =
     else t.remote <- t.remote + 1);
   t.total <- t.total + 1
 
-let sink t : Sink.t = { Sink.emit = (fun r -> record t r) }
+let sink t : Sink.t =
+  {
+    Sink.emit = (fun r -> record t r);
+    emit_sync = (fun _ -> t.syncs <- t.syncs + 1);
+  }
 
+let syncs t = t.syncs
 let reads t area = t.reads.(Area.to_int area)
 let writes t area = t.writes.(Area.to_int area)
 let refs t area = reads t area + writes t area

@@ -22,6 +22,9 @@ val total : t -> int
 val total_reads : t -> int
 val total_writes : t -> int
 
+val syncs : t -> int
+(** Synchronization events seen (not counted as references). *)
+
 val data_refs : t -> int
 (** All references except instruction fetches (the paper's
     "references"). *)

@@ -6,7 +6,13 @@
      bit 0      : 1 = write
      bits 1-5   : area tag
      bits 6-13  : issuing PE id (up to 255)
-     bits 14-.. : word address                                         *)
+     bits 14-.. : word address
+
+   The same packing carries explicit synchronization events (parcall
+   publish, goal steal, join, lock acquire/release): areas use tag
+   values 0..Area.count-1, sync kinds use 16..20, so a single tag-field
+   test ([is_sync_word]) separates the two record families and every
+   pre-sync consumer can skip events it does not understand.          *)
 
 type op = Read | Write
 
@@ -37,3 +43,58 @@ let pp fmt t =
   Format.fprintf fmt "PE%d %s %s @%d" t.pe
     (match t.op with Read -> "R" | Write -> "W")
     (Area.name t.area) t.addr
+
+(* ---- synchronization events ---- *)
+
+type sync_kind = Acquire | Release | Publish | Steal | Join
+
+type sync = { spe : int; saddr : int; kind : sync_kind }
+
+let sync_tag_base = 16
+
+let sync_kind_to_int = function
+  | Acquire -> 0
+  | Release -> 1
+  | Publish -> 2
+  | Steal -> 3
+  | Join -> 4
+
+let sync_kind_of_int = function
+  | 0 -> Acquire
+  | 1 -> Release
+  | 2 -> Publish
+  | 3 -> Steal
+  | 4 -> Join
+  | n -> invalid_arg (Printf.sprintf "Ref_record.sync_kind_of_int %d" n)
+
+let sync_kind_name = function
+  | Acquire -> "acquire"
+  | Release -> "release"
+  | Publish -> "publish"
+  | Steal -> "steal"
+  | Join -> "join"
+
+let pack_sync { spe; saddr; kind } =
+  assert (spe >= 0 && spe <= max_pe);
+  assert (saddr >= 0);
+  (saddr lsl addr_bits_shift)
+  lor (spe lsl 6)
+  lor ((sync_tag_base + sync_kind_to_int kind) lsl 1)
+
+(* Is this packed word a sync event rather than a memory access? *)
+let is_sync_word word = (word lsr 1) land 0x1f >= sync_tag_base
+
+let unpack_sync word =
+  {
+    spe = (word lsr 6) land 0xff;
+    saddr = word lsr addr_bits_shift;
+    kind = sync_kind_of_int (((word lsr 1) land 0x1f) - sync_tag_base);
+  }
+
+type entry = Access of t | Sync of sync
+
+let unpack_entry word =
+  if is_sync_word word then Sync (unpack_sync word) else Access (unpack word)
+
+let pp_sync fmt s =
+  Format.fprintf fmt "PE%d %s @%d" s.spe (sync_kind_name s.kind) s.saddr

@@ -5,9 +5,18 @@
     retain the packed trace ({!Buffer_sink}) for the cache
     simulators. *)
 
-type t = { emit : Ref_record.t -> unit }
+type t = {
+  emit : Ref_record.t -> unit;
+  emit_sync : Ref_record.sync -> unit;
+}
 
 val emit : t -> Ref_record.t -> unit
+
+val emit_sync : t -> Ref_record.sync -> unit
+(** Record an explicit synchronization event (lock acquire/release,
+    parcall publish, goal steal, join).  Aggregate sinks ignore these;
+    {!Buffer_sink} retains them interleaved with the accesses so the
+    happens-before checker can replay the ordering. *)
 
 val null : t
 (** Drops everything. *)
@@ -39,12 +48,27 @@ module Buffer_sink : sig
   val sink : t -> sink
   (** The sink that appends to this buffer. *)
 
+  val push : t -> int -> unit
+  (** Append a raw packed word (access or sync; see {!Ref_record}). *)
+
   val length : t -> int
+  (** Total packed words retained, accesses plus sync events. *)
+
   val get : t -> int -> Ref_record.t
+  (** Decode word [i] as an access (raises if it is a sync event). *)
+
   val iter : (Ref_record.t -> unit) -> t -> unit
+  (** Visit the memory accesses only, skipping sync events. *)
 
   val iter_packed : (int -> unit) -> t -> unit
-  (** Iterate raw packed words (hot path for the cache simulator). *)
+  (** Iterate raw packed words (hot path for the cache simulator);
+      includes sync words -- test {!Ref_record.is_sync_word}. *)
+
+  val iter_entries : (Ref_record.entry -> unit) -> t -> unit
+  (** Visit accesses and sync events, decoded, in emission order. *)
+
+  val n_syncs : t -> int
+  (** How many of the retained words are sync events. *)
 
   val clear : t -> unit
 end

@@ -10,7 +10,11 @@
    little-endian. *)
 
 let magic = "RAPWAMTR"
-let version = 1
+
+(* Version 1 held access records only; version 2 interleaves the
+   synchronization events (tag values >= Ref_record.sync_tag_base) in
+   the same packed-word format.  Readers accept both. *)
+let version = 2
 
 exception Bad_file of string
 
@@ -40,15 +44,17 @@ let read_channel ic =
     Int64.to_int (Bytes.get_int64_le b8 0)
   in
   let v = get64 () in
-  if v <> version then
+  if v <> 1 && v <> version then
     raise (Bad_file (Printf.sprintf "unsupported trace version %d" v));
   let count = get64 () in
   if count < 0 then raise (Bad_file "negative record count");
   let buf = Sink.Buffer_sink.create ~capacity:(max 16 count) () in
-  let sink = Sink.buffer buf in
   (try
      for _ = 1 to count do
-       sink.Sink.emit (Ref_record.unpack (get64 ()))
+       let word = get64 () in
+       (* validate by decoding, then retain the packed form *)
+       ignore (Ref_record.unpack_entry word);
+       Sink.Buffer_sink.push buf word
      done
    with End_of_file -> raise (Bad_file "truncated trace file"));
   buf

@@ -47,6 +47,12 @@ let write t ~pe ~area addr word =
     { Trace.Ref_record.pe; addr; area; op = Trace.Ref_record.Write };
   poke t addr word
 
+(* Record an explicit synchronization event in the trace (no memory
+   access is performed; [addr] names the word the edge hangs off). *)
+let sync t ~pe ~kind addr =
+  t.sink.Trace.Sink.emit_sync
+    { Trace.Ref_record.spe = pe; saddr = addr; kind }
+
 (* Generic term-cell access with the area derived from the address. *)
 let read_auto t ~pe addr = read t ~pe ~area:(Layout.area_of_addr addr) addr
 

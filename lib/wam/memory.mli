@@ -14,6 +14,11 @@ val set_sink : t -> Trace.Sink.t -> unit
 val read : t -> pe:int -> area:Trace.Area.t -> int -> int
 val write : t -> pe:int -> area:Trace.Area.t -> int -> int -> unit
 
+val sync : t -> pe:int -> kind:Trace.Ref_record.sync_kind -> int -> unit
+(** Record an explicit synchronization event in the trace; no memory
+    access is performed.  The address names the word the
+    happens-before edge hangs off (a lock word, a published frame). *)
+
 val read_auto : t -> pe:int -> int -> int
 (** Like {!read} with the area derived from the address. *)
 

@@ -19,6 +19,7 @@ type env_state = No_env | Env of int
 type state = {
   xs : IS.t; (* defined X/A registers *)
   ys : IS.t; (* defined Y slots *)
+  levels : IS.t; (* Y slots holding a level saved by get_level *)
   env : env_state;
   nargs : int; (* registers a choice point would save/restore *)
   in_struct : bool; (* a get/put structure opened a unify context *)
@@ -31,6 +32,7 @@ let entry_state ~nargs =
       List.fold_left (fun s i -> IS.add i s) IS.empty
         (List.init nargs (fun i -> i + 1));
     ys = IS.empty;
+    levels = IS.empty;
     env = No_env;
     nargs;
     in_struct = false;
@@ -38,7 +40,8 @@ let entry_state ~nargs =
   }
 
 let equal_state a b =
-  IS.equal a.xs b.xs && IS.equal a.ys b.ys && a.env = b.env
+  IS.equal a.xs b.xs && IS.equal a.ys b.ys
+  && IS.equal a.levels b.levels && a.env = b.env
   && a.nargs = b.nargs && a.in_struct = b.in_struct
   && (match (a.parcall, b.parcall) with
      | None, None -> true
@@ -52,6 +55,7 @@ let merge_state a b =
   {
     xs = IS.inter a.xs b.xs;
     ys = IS.inter a.ys b.ys;
+    levels = IS.inter a.levels b.levels;
     env = a.env;
     nargs = a.nargs;
     in_struct = a.in_struct && b.in_struct;
@@ -158,7 +162,8 @@ let check symbols code =
           report "bad-env-slot" "Y%d outside the %d-slot environment" y n;
           st
         end
-        else { st with ys = IS.add y st.ys }
+        (* an ordinary write clobbers any level the slot held *)
+        else { st with ys = IS.add y st.ys; levels = IS.remove y st.levels }
     in
     let use_reg st = function
       | Instr.X n -> use_x st n
@@ -238,7 +243,7 @@ let check symbols code =
       (match st.env with
       | Env _ -> report "double-allocate" "environment already allocated"
       | No_env -> ());
-      next { st with env = Env n; ys = IS.empty }
+      next { st with env = Env n; ys = IS.empty; levels = IS.empty }
     | Instr.Deallocate ->
       let st = exit_struct st in
       (match st.env with
@@ -250,7 +255,7 @@ let check symbols code =
          | _ ->
            report "dangling-frame"
              "deallocate not immediately followed by execute/proceed");
-      next { st with env = No_env; ys = IS.empty }
+      next { st with env = No_env; ys = IS.empty; levels = IS.empty }
     | Instr.Call fid ->
       let st = exit_struct st in
       let arity = Symbols.functor_arity symbols fid in
@@ -314,10 +319,21 @@ let check symbols code =
         targets
     (* ---- cut ---- *)
     | Instr.Neck_cut -> next (exit_struct st)
-    | Instr.Get_level y -> next (def_y (exit_struct st) y)
+    | Instr.Get_level y ->
+      let st = def_y (exit_struct st) y in
+      next { st with levels = IS.add y st.levels }
     | Instr.Cut_to y ->
       let st = exit_struct st in
       use_y st y;
+      (* trail discipline: the slot must hold a level saved by
+         get_level on every path, or the cut would unwind the trail
+         to a garbage mark *)
+      (match st.env with
+      | Env n when y >= 0 && y < n && IS.mem y st.ys ->
+        if not (IS.mem y st.levels) then
+          report "trail-discipline"
+            "cut_to Y%d: slot does not hold a level saved by get_level" y
+      | _ -> ());
       next st
     (* ---- escapes ---- *)
     | Instr.Builtin (_, n) ->

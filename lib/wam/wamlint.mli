@@ -20,6 +20,10 @@
     - [alloc_parcall] points at a [par_join]; each of its goal slots
       is pushed exactly once before the join; pushed goals name
       predicates with real code entries and consistent arities.
+    - trail discipline: [cut_to Y_n] only names a slot that holds a
+      choice-point level saved by [get_level Y_n] on every path (and
+      not clobbered since), so the cut unwinds the trail to a real
+      mark.
     - unify instructions appear only in a structure context; every
       instruction is reachable from some entry. *)
 

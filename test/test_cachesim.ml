@@ -265,6 +265,37 @@ let test_timing_fixed_point_consistent () =
        -. (e.Cachesim.Timing.ideal_cycles +. e.Cachesim.Timing.stall_cycles))
     < 1e-6)
 
+(* The hybrid protocol's static area tags must land between the two
+   ablation extremes: forcing every tag Local (all copy-back) is a
+   lower bound on bus traffic, forcing every tag Global (all
+   write-through) an upper bound, and the real tag assignment sits
+   strictly between them on a parallel trace. *)
+let test_tag_ablation_ordering () =
+  let b =
+    List.find
+      (fun (x : Benchlib.Programs.benchmark) ->
+        x.Benchlib.Programs.name = "qsort")
+      (Benchlib.Inputs.small_benchmarks ())
+  in
+  let r = Benchlib.Runner.run_rapwam ~n_pes:8 b in
+  let ratio ?locality_override () =
+    Cachesim.Metrics.traffic_ratio
+      (Cachesim.Multi.simulate ?locality_override
+         ~kind:Cachesim.Protocol.Hybrid ~cache_words:1024 ~n_pes:8
+         r.Benchlib.Runner.trace)
+  in
+  let all_local = ratio ~locality_override:false () in
+  let tags = ratio () in
+  let all_global = ratio ~locality_override:true () in
+  Alcotest.(check bool)
+    (Printf.sprintf "all-local %.3f <= tags %.3f" all_local tags)
+    true (all_local <= tags);
+  Alcotest.(check bool)
+    (Printf.sprintf "tags %.3f <= all-global %.3f" tags all_global)
+    true (tags <= all_global);
+  Alcotest.(check bool) "ablation extremes differ" true
+    (all_global -. all_local > 0.01)
+
 let suite =
   [
     Alcotest.test_case "LRU basics" `Quick test_lru_basics;
@@ -284,6 +315,8 @@ let suite =
     Alcotest.test_case "WIB dirty flush" `Quick test_write_in_remote_dirty_flush;
     Alcotest.test_case "update protocol" `Quick test_update_protocol_updates;
     Alcotest.test_case "hybrid tags" `Quick test_hybrid_tag_difference;
+    Alcotest.test_case "tag ablation ordering" `Quick
+      test_tag_ablation_ordering;
     Alcotest.test_case "no-write-allocate" `Quick test_no_write_allocate;
     Alcotest.test_case "ratio bounds" `Quick test_traffic_ratio_bounds;
     Alcotest.test_case "protocol ordering" `Quick

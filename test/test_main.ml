@@ -14,6 +14,7 @@ let () =
       ("wamlint", Test_wamlint.suite);
       ("benchlib", Test_benchlib.suite);
       ("engine", Test_engine.suite);
+      ("tracecheck", Test_tracecheck.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("properties", Test_properties.suite);
     ]

@@ -211,6 +211,71 @@ let test_unreachable () =
   in
   check_has "unreachable" diags
 
+let test_trail_discipline_clean () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        ignore (entry symbols code "p" 1);
+        emit code (Allocate 1);
+        emit code (Get_level 0);
+        emit code (Get_nil 1);
+        emit code (Cut_to 0);
+        emit code Deallocate;
+        emit code Proceed)
+  in
+  check_clean "get_level/cut_to pair" diags
+
+let test_trail_discipline_no_get_level () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        ignore (entry symbols code "p" 1);
+        emit code (Allocate 1);
+        (* Y0 is defined, but by get_variable, not get_level *)
+        emit code (Get_variable (Y 0, 1));
+        emit code (Cut_to 0);
+        emit code Deallocate;
+        emit code Proceed)
+  in
+  check_has "trail-discipline" diags
+
+let test_trail_discipline_clobbered_level () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        ignore (entry symbols code "p" 1);
+        emit code (Allocate 1);
+        emit code (Get_level 0);
+        (* an ordinary store overwrites the saved level *)
+        emit code (Get_variable (Y 0, 1));
+        emit code (Cut_to 0);
+        emit code Deallocate;
+        emit code Proceed)
+  in
+  check_has "trail-discipline" diags
+
+let test_trail_discipline_partial_path () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        ignore (entry symbols code "p" 1);
+        emit code (Allocate 1);
+        (* the level is saved on only one of the two paths to the cut *)
+        let sw = Wam.Code.emit code (Get_nil 1) in
+        ignore sw;
+        let branch = Wam.Code.emit code (Jump 0) in
+        emit code (Get_level 0);
+        let cut = Wam.Code.emit code (Cut_to 0) in
+        emit code Deallocate;
+        emit code Proceed;
+        (* the other path defines Y0 without get_level and joins *)
+        let alt = Wam.Code.here code in
+        emit code (Get_variable (Y 0, 1));
+        emit code (Jump cut);
+        Wam.Code.patch code branch (Check_ground (X 1, alt)))
+  in
+  check_has "trail-discipline" diags
+
 let test_bad_target () =
   let diags =
     fixture (fun symbols code ->
@@ -254,6 +319,14 @@ let suite =
     Alcotest.test_case "push outside parcall" `Quick test_push_outside_parcall;
     Alcotest.test_case "stray unify" `Quick test_stray_unify;
     Alcotest.test_case "unreachable code" `Quick test_unreachable;
+    Alcotest.test_case "trail discipline clean" `Quick
+      test_trail_discipline_clean;
+    Alcotest.test_case "trail discipline: no get_level" `Quick
+      test_trail_discipline_no_get_level;
+    Alcotest.test_case "trail discipline: clobbered level" `Quick
+      test_trail_discipline_clobbered_level;
+    Alcotest.test_case "trail discipline: partial path" `Quick
+      test_trail_discipline_partial_path;
     Alcotest.test_case "bad jump target" `Quick test_bad_target;
     Alcotest.test_case "benchmarks clean (parallel)" `Quick
       test_benchmarks_clean_parallel;
