@@ -948,10 +948,7 @@ let write_annotation_json path rows =
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ]\n}\n";
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc buf)
+  Resilience.Atomic_io.write_string path (Buffer.contents buf)
 
 let annotation setup =
   section
@@ -1032,10 +1029,7 @@ let write_tracecheck_json path rows =
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ]\n}\n";
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc buf)
+  Resilience.Atomic_io.write_string path (Buffer.contents buf)
 
 let tracecheck setup =
   section "Tracecheck: happens-before checker overhead";

@@ -69,18 +69,37 @@ let print_tables ~pes ~line ~sizes ~selected cells =
       Stats.Table.print t)
     benches
 
-let write_file path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+(* Typed exit codes, so the CI chaos job (and any wrapper script) can
+   tell data corruption from an injected crash from failed cells. *)
+let exit_dataerr = 65 (* corrupt/truncated trace file (EX_DATAERR) *)
+let exit_crash = 70 (* injected crash fault: "process killed" (EX_SOFTWARE) *)
+let exit_failed_cells = 4
+
+let lookup_bench ~quick name =
+  if quick then
+    match
+      List.find_opt
+        (fun b -> b.Benchlib.Programs.name = name)
+        (Benchlib.Inputs.small_benchmarks ())
+    with
+    | Some b -> b
+    | None -> Benchlib.Inputs.benchmark name
+  else Benchlib.Inputs.benchmark name
 
 let run_cmd bench_names pes protocol_name line sizes jobs check json_out
-    csv_out perf_record baseline_wall verbose trace_file =
+    csv_out perf_record baseline_wall verbose trace_file quick faults
+    journal resume watchdog_s salvage =
+  if resume && journal = None then begin
+    prerr_endline "cache_sweep: --resume requires --journal FILE";
+    exit 2
+  end;
   let selected =
     match protocol_name with
     | None -> protocols
     | Some n -> List.filter (fun (name, _) -> name = n) protocols
+  in
+  let watchdog =
+    Option.map (fun timeout_s -> Engine.Job.watchdog ~timeout_s ()) watchdog_s
   in
   let grid_of benchmarks =
     {
@@ -93,22 +112,58 @@ let run_cmd bench_names pes protocol_name line sizes jobs check json_out
     }
   in
   let outcome =
-    match trace_file with
-    | Some path ->
-      (* sweep a pre-recorded trace: no stage-1 emulation *)
-      Printf.eprintf "reading trace %s...\n%!" path;
-      let buf = Trace.Tracefile.read path in
-      Printf.eprintf "trace: %d references\n%!"
-        (Trace.Sink.Buffer_sink.length buf);
-      let name = List.hd bench_names in
-      let bench = Benchlib.Inputs.benchmark name in
-      Engine.Sweep.run ?jobs ~echo:verbose ~check
-        ~traces:[ ((name, pes), buf) ]
-        (grid_of [ bench ])
-    | None ->
-      let benchmarks = List.map Benchlib.Inputs.benchmark bench_names in
-      Engine.Sweep.run ?jobs ~echo:true ~check (grid_of benchmarks)
+    try
+      match trace_file with
+      | Some path ->
+        (* sweep a pre-recorded trace: no stage-1 emulation *)
+        Printf.eprintf "reading trace %s...\n%!" path;
+        let buf =
+          if salvage then begin
+            let buf, damage = Trace.Tracefile.read_salvage path in
+            if not (Trace.Tracefile.clean damage) then
+              Format.eprintf "%a@." Trace.Tracefile.pp_damage damage;
+            buf
+          end
+          else Trace.Tracefile.read path
+        in
+        Printf.eprintf "trace: %d references\n%!"
+          (Trace.Sink.Buffer_sink.length buf);
+        let name = List.hd bench_names in
+        let bench = lookup_bench ~quick name in
+        Engine.Sweep.run ?jobs ~echo:verbose ~check ?faults ?watchdog
+          ?journal ~resume
+          ~traces:[ ((name, pes), buf) ]
+          (grid_of [ bench ])
+      | None ->
+        let benchmarks = List.map (lookup_bench ~quick) bench_names in
+        Engine.Sweep.run ?jobs ~echo:true ~check ?faults ?watchdog ?journal
+          ~resume (grid_of benchmarks)
+    with
+    | Trace.Tracefile.Bad_file msg ->
+      Printf.eprintf "cache_sweep: not a usable trace file: %s\n%!" msg;
+      exit exit_dataerr
+    | Trace.Tracefile.Trace_error { offset; reason } ->
+      Printf.eprintf
+        "cache_sweep: corrupt trace at byte %d: %s\n\
+         (re-run with --salvage to sweep the intact prefix)\n%!"
+        offset reason;
+      exit exit_dataerr
+    | Resilience.Fault.Injected
+        { site; kind = Resilience.Fault.Crash; occurrence } ->
+      Printf.eprintf
+        "cache_sweep: killed by injected crash at %s (occurrence %d)%s\n%!"
+        site occurrence
+        (if journal <> None then "; re-run with --resume to continue"
+         else "");
+      exit exit_crash
   in
+  if resume then
+    Printf.eprintf "resumed %d cells from the journal%s\n%!"
+      outcome.Engine.Sweep.resumed_cells
+      (if outcome.Engine.Sweep.journal_skipped > 0 then
+         Printf.sprintf " (%d corrupt frames skipped)"
+           outcome.Engine.Sweep.journal_skipped
+       else "");
   List.iter
     (fun s -> Format.eprintf "%a@." Engine.Report.pp_stage s)
     outcome.Engine.Sweep.stages;
@@ -138,11 +193,13 @@ let run_cmd bench_names pes protocol_name line sizes jobs check json_out
       (List.length outcome.Engine.Sweep.cells);
   Option.iter
     (fun path ->
-      write_file path (Engine.Results.to_json outcome.Engine.Sweep.cells))
+      Resilience.Atomic_io.write_string path
+        (Engine.Results.to_json outcome.Engine.Sweep.cells))
     json_out;
   Option.iter
     (fun path ->
-      write_file path (Engine.Results.to_csv outcome.Engine.Sweep.cells))
+      Resilience.Atomic_io.write_string path
+        (Engine.Results.to_csv outcome.Engine.Sweep.cells))
     csv_out;
   Option.iter
     (fun path ->
@@ -156,7 +213,8 @@ let run_cmd bench_names pes protocol_name line sizes jobs check json_out
           ]
       in
       Engine.Sweep.write_perf_record ~path ~extra outcome)
-    perf_record
+    perf_record;
+  if failed <> [] then exit exit_failed_cells
 
 open Cmdliner
 
@@ -260,6 +318,70 @@ let trace_file_arg =
         ~doc:"Sweep a trace written by trace_dump --binary instead of \
               running a benchmark.")
 
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:
+          "Use the reduced benchmark inputs (small, seconds-long runs; \
+           the CI chaos job's setting).")
+
+let fault_plan =
+  let parse s =
+    match Resilience.Fault.of_spec s with
+    | Ok p -> Ok p
+    | Error m -> Error (`Msg m)
+  in
+  let print fmt p = Format.pp_print_string fmt (Resilience.Fault.to_string p) in
+  Arg.conv ~docv:"SPEC" (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some fault_plan) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Inject deterministic faults: $(b,seed:N) for a seeded plan, or \
+           comma-separated $(b,SITE:KIND\\@N) items (sites: trace-write, \
+           block-flush, cell-start, sim-step, journal-append; kinds: \
+           truncate, bit-flip, eio, stall, crash), optionally with \
+           $(b,stall-s:SECONDS).")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Checkpoint every completed cell to this append-only fsync'd \
+           journal, making the sweep resumable after a crash.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Load completed cells from --journal and compute only the rest; \
+           the merged output is byte-identical to an uninterrupted sweep.")
+
+let watchdog_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "watchdog" ] ~docv:"SECONDS"
+        ~doc:
+          "Abandon and retry any sweep cell that stalls beyond this many \
+           seconds (3 attempts with exponential backoff).")
+
+let salvage_arg =
+  Arg.(
+    value & flag
+    & info [ "salvage" ]
+        ~doc:
+          "With --trace-file: keep every block whose checksum verifies, \
+           skip damaged ones, and sweep the salvaged trace instead of \
+           failing on the first corruption.")
+
 let cmd =
   let doc = "sweep cache protocols and sizes over benchmark traces" in
   Cmd.v
@@ -267,7 +389,9 @@ let cmd =
     Term.(
       const run_cmd $ bench_arg $ pes_arg $ protocol_arg $ line_arg
       $ sizes_arg $ jobs_arg $ check_arg $ json_arg $ csv_arg
-      $ perf_record_arg $ baseline_wall_arg $ verbose_arg $ trace_file_arg)
+      $ perf_record_arg $ baseline_wall_arg $ verbose_arg $ trace_file_arg
+      $ quick_arg $ faults_arg $ journal_arg $ resume_arg $ watchdog_arg
+      $ salvage_arg)
 
 let () =
   match Cmd.eval_value cmd with

@@ -12,7 +12,8 @@ let read_file path =
   close_in ic;
   s
 
-let run_cmd src_path query pes sequential stats listing disasm_only prelude =
+let run_cmd src_path query pes sequential stats listing disasm_only prelude
+    json_out =
   let src = match src_path with Some p -> read_file p | None -> "" in
   let src = if prelude then Prolog.Prelude.source ^ "\n" ^ src else src in
   let prog =
@@ -26,7 +27,22 @@ let run_cmd src_path query pes sequential stats listing disasm_only prelude =
     Trace.Areastats.create ~pe_of_addr:Wam.Layout.pe_of_addr ()
   in
   let sink = Trace.Areastats.sink area_stats in
+  let write_json path m rounds =
+    let b = Buffer.create 256 in
+    Buffer.add_string b "{\n";
+    Printf.bprintf b "  \"instructions\": %d,\n" (Wam.Machine.total_instr m);
+    Printf.bprintf b "  \"inferences\": %d,\n" m.Wam.Machine.inferences;
+    Printf.bprintf b "  \"data_refs\": %d,\n"
+      (Trace.Areastats.data_refs area_stats);
+    Printf.bprintf b "  \"total_refs\": %d,\n" (Trace.Areastats.total area_stats);
+    Printf.bprintf b "  \"parcalls\": %d,\n" m.Wam.Machine.parcalls;
+    Printf.bprintf b "  \"goals_stolen\": %d,\n" m.Wam.Machine.goals_stolen;
+    Printf.bprintf b "  \"rounds\": %d\n" rounds;
+    Buffer.add_string b "}\n";
+    Resilience.Atomic_io.write_string path (Buffer.contents b)
+  in
   let report_machine m rounds =
+    Option.iter (fun path -> write_json path m rounds) json_out;
     if stats then begin
       Format.printf "@.-- statistics --@.";
       Format.printf "instructions : %d@." (Wam.Machine.total_instr m);
@@ -138,13 +154,23 @@ let prelude_arg =
     & info [ "prelude" ]
         ~doc:"Preload the list/arithmetic prelude (append/3, member/2, ...).")
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write run statistics (instructions, inferences, references, \
+           parcalls, ...) as JSON; the file is written atomically (tmp + \
+           fsync + rename), so it is never observed half-written.")
+
 let cmd =
   let doc = "run annotated Prolog on the RAP-WAM simulator" in
   Cmd.v
     (Cmd.info "rapwam_run" ~doc)
     Term.(
       const run_cmd $ src_arg $ query_arg $ pes_arg $ seq_arg $ stats_arg
-      $ listing_arg $ disasm_arg $ prelude_arg)
+      $ listing_arg $ disasm_arg $ prelude_arg $ json_arg)
 
 let () =
   match Cmd.eval_value cmd with

@@ -12,10 +12,22 @@ let read_file path =
   close_in ic;
   s
 
-let run_cmd bench_name src_path query pes limit out_path include_code binary =
+let run_cmd bench_name src_path query pes limit out_path include_code binary
+    quick =
+  let lookup name =
+    if quick then
+      match
+        List.find_opt
+          (fun b -> b.Benchlib.Programs.name = name)
+          (Benchlib.Inputs.small_benchmarks ())
+      with
+      | Some b -> b
+      | None -> Benchlib.Inputs.benchmark name
+    else Benchlib.Inputs.benchmark name
+  in
   let bench =
     match (bench_name, query) with
-    | Some name, _ -> Benchlib.Inputs.benchmark name
+    | Some name, _ -> lookup name
     | None, Some q ->
       {
         Benchlib.Programs.name = "user";
@@ -115,13 +127,19 @@ let binary_arg =
     & info [ "binary" ]
         ~doc:"Write a binary trace file (for cache_sweep --trace-file).")
 
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"Use the reduced benchmark inputs (small, seconds-long runs).")
+
 let cmd =
   let doc = "dump a tagged RAP-WAM memory-reference trace" in
   Cmd.v
     (Cmd.info "trace_dump" ~doc)
     Term.(
       const run_cmd $ bench_arg $ src_arg $ query_arg $ pes_arg $ limit_arg
-      $ out_arg $ code_arg $ binary_arg)
+      $ out_arg $ code_arg $ binary_arg $ quick_arg)
 
 let () =
   match Cmd.eval_value cmd with

@@ -20,7 +20,7 @@ let dedupe_by_key jobs =
       end)
     jobs
 
-let run ?jobs ?(echo = false) ?(retries = 1)
+let run ?jobs ?(echo = false) ?(retries = 1) ?watchdog ?on_consumed
     ?(stage_labels = ("generate", "simulate")) dag =
   let label1, label2 = stage_labels in
   (* Stage 1: producers. *)
@@ -30,7 +30,7 @@ let run ?jobs ?(echo = false) ?(retries = 1)
     Pool.map ?jobs
       ~on_done:(fun (c : _ Job.completed) ->
         Report.step rep1 ~ok:(Job.ok c) ~wall_s:c.Job.wall_s)
-      (fun (key, gen) -> Job.run ~retries (Job.make ~key gen))
+      (fun (key, gen) -> Job.run ~retries ?watchdog (Job.make ~key gen))
       produce
   in
   let stage1 = Report.finish rep1 in
@@ -46,7 +46,10 @@ let run ?jobs ?(echo = false) ?(retries = 1)
   let cells =
     Pool.map ?jobs
       ~on_done:(fun (c : _ Job.completed) ->
-        Report.step rep2 ~ok:(Job.ok c) ~wall_s:c.Job.wall_s)
+        Report.step rep2 ~ok:(Job.ok c) ~wall_s:c.Job.wall_s;
+        (* under the pool's on_done mutex: checkpoint hooks are
+           serialized, so the journal never interleaves frames *)
+        match on_consumed with Some h -> h c | None -> ())
       (fun (key, dep, consumer) ->
         match Hashtbl.find_opt artifacts dep with
         | None ->
@@ -65,7 +68,7 @@ let run ?jobs ?(echo = false) ?(retries = 1)
             attempts = 0;
           }
         | Some (Ok artifact) ->
-          Job.run ~retries (Job.make ~key (fun () -> consumer artifact)))
+          Job.run ~retries ?watchdog (Job.make ~key (fun () -> consumer artifact)))
       consume
   in
   let stage2 = Report.finish rep2 in

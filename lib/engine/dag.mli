@@ -20,9 +20,16 @@ val run :
   ?jobs:int ->
   ?echo:bool ->
   ?retries:int ->
+  ?watchdog:Job.watchdog ->
+  ?on_consumed:('b Job.completed -> unit) ->
   ?stage_labels:string * string ->
   ('a, 'b) t ->
   'b Job.completed array * Report.stage list
 (** Returns the stage-2 cells in the same order as [consume], plus
     the two stage summaries.  Determinism: the cell array's order and
-    contents are independent of [jobs]. *)
+    contents are independent of [jobs].
+
+    [watchdog] bounds every job attempt (stalled cells are killed and
+    retried, see {!Job.run}); [on_consumed] fires once per completed
+    stage-2 cell under a single mutex — the sweep's checkpoint journal
+    hangs off it. *)

@@ -1,5 +1,6 @@
 (* One unit of engine work: a keyed thunk run with timing, exception
-   capture, and bounded retry. *)
+   capture, bounded retry, and (optionally) a watchdog that kills a
+   stalled attempt instead of wedging the pool. *)
 
 type 'a t = { key : string; thunk : unit -> 'a }
 
@@ -10,6 +11,22 @@ type 'a completed = {
   attempts : int;
 }
 
+type watchdog = {
+  timeout_s : float;
+  max_attempts : int;
+  backoff_s : float;
+  poll_s : float;
+}
+
+let watchdog ?(timeout_s = 30.) ?(max_attempts = 3) ?(backoff_s = 0.05)
+    ?(poll_s = 0.002) () =
+  {
+    timeout_s = Float.max 0.001 timeout_s;
+    max_attempts = max 1 max_attempts;
+    backoff_s = Float.max 0. backoff_s;
+    poll_s = Float.max 0.0005 poll_s;
+  }
+
 let make ~key thunk = { key; thunk }
 
 let describe_exn exn bt =
@@ -17,17 +34,100 @@ let describe_exn exn bt =
   if String.trim b = "" then Printexc.to_string exn
   else Printexc.to_string exn ^ "\n" ^ String.trim b
 
-let run ?(retries = 1) job =
-  let t0 = Unix.gettimeofday () in
-  let rec attempt n =
-    match job.thunk () with
-    | v -> (Ok v, n)
-    | exception exn ->
-      let bt = Printexc.get_raw_backtrace () in
-      if n <= retries then attempt (n + 1)
-      else (Error (describe_exn exn bt), n)
+(* An injected crash models a process kill: it must abort the whole
+   run (the checkpoint journal is what makes that survivable), so it
+   is the one exception retry/containment deliberately lets through. *)
+let lethal = function
+  | Resilience.Fault.Injected { kind = Resilience.Fault.Crash; _ } -> true
+  | _ -> false
+
+(* Exponential backoff with deterministic jitter: the delay depends
+   only on the job key and attempt number, never on a random source,
+   so retry schedules are reproducible. *)
+let backoff_delay w ~key attempt =
+  let base = w.backoff_s *. (2. ** float_of_int (attempt - 1)) in
+  let jitter =
+    w.backoff_s *. float_of_int (Hashtbl.hash (key, attempt) mod 997) /. 997.
   in
-  let outcome, attempts = attempt 1 in
+  Float.min 5.0 (base +. jitter)
+
+(* Run one attempt on a helper thread, polling its completion slot.
+   On timeout the thread cannot be killed (OCaml has no safe thread
+   kill), so it is abandoned: its eventual result is written to a slot
+   nobody reads, while the caller moves on to the retry.  Stalls
+   injected by the fault plan are finite sleeps, so abandoned threads
+   drain; a genuinely wedged thread parks until process exit. *)
+let run_guarded ~timeout_s ~poll_s thunk =
+  let slot = Atomic.make None in
+  let t =
+    Thread.create
+      (fun () ->
+        let r =
+          match thunk () with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        Atomic.set slot (Some r))
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec wait () =
+    match Atomic.get slot with
+    | Some r ->
+      Thread.join t;
+      `Done r
+    | None ->
+      if Unix.gettimeofday () > deadline then `Timed_out
+      else begin
+        Thread.yield ();
+        Unix.sleepf poll_s;
+        wait ()
+      end
+  in
+  wait ()
+
+let run ?(retries = 1) ?watchdog:w job =
+  let t0 = Unix.gettimeofday () in
+  let outcome, attempts =
+    match w with
+    | None ->
+      let rec attempt n =
+        match job.thunk () with
+        | v -> (Ok v, n)
+        | exception e when lethal e ->
+          Printexc.raise_with_backtrace e (Printexc.get_raw_backtrace ())
+        | exception exn ->
+          let bt = Printexc.get_raw_backtrace () in
+          if n <= retries then attempt (n + 1)
+          else (Error (describe_exn exn bt), n)
+      in
+      attempt 1
+    | Some w ->
+      let rec attempt n =
+        match run_guarded ~timeout_s:w.timeout_s ~poll_s:w.poll_s job.thunk with
+        | `Done (Ok v) -> (Ok v, n)
+        | `Done (Error (e, bt)) when lethal e ->
+          Printexc.raise_with_backtrace e bt
+        | `Done (Error (e, bt)) ->
+          if n < w.max_attempts then begin
+            Unix.sleepf (backoff_delay w ~key:job.key n);
+            attempt (n + 1)
+          end
+          else (Error (describe_exn e bt), n)
+        | `Timed_out ->
+          if n < w.max_attempts then begin
+            Unix.sleepf (backoff_delay w ~key:job.key n);
+            attempt (n + 1)
+          end
+          else
+            ( Error
+                (Printf.sprintf
+                   "watchdog: %S stalled beyond %.2fs on all %d attempts"
+                   job.key w.timeout_s n),
+              n )
+      in
+      attempt 1
+  in
   { key = job.key; outcome; wall_s = Unix.gettimeofday () -. t0; attempts }
 
 let ok c = Result.is_ok c.outcome

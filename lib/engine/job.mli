@@ -1,10 +1,17 @@
 (** One unit of engine work: a keyed thunk executed with wall-clock
     timing, exception capture, and bounded retry.
 
-    A job never lets an exception escape: the first failure is retried
-    (once by default), and a persistent failure becomes an [Error]
-    outcome carrying the exception text, so one bad cell can never
-    abort a sweep. *)
+    A job never lets an exception escape — the first failure is
+    retried, and a persistent failure becomes an [Error] outcome
+    carrying the exception text — with one deliberate exception: an
+    injected {e crash} fault ({!Resilience.Fault.Injected} with kind
+    [Crash]) models a process kill, so it is re-raised and aborts the
+    run; the sweep checkpoint journal is what makes that survivable.
+
+    With a {!watchdog}, each attempt runs on a helper thread and is
+    abandoned if it exceeds [timeout_s]; retries back off
+    exponentially with deterministic (key-derived) jitter, so a
+    stalled cell is killed and retried instead of wedging the pool. *)
 
 type 'a t = private { key : string; thunk : unit -> 'a }
 
@@ -15,10 +22,26 @@ type 'a completed = {
   attempts : int;
 }
 
+type watchdog = private {
+  timeout_s : float;  (** an attempt exceeding this is abandoned *)
+  max_attempts : int;
+  backoff_s : float;  (** base of the exponential backoff *)
+  poll_s : float;  (** completion-poll interval *)
+}
+
+val watchdog :
+  ?timeout_s:float -> ?max_attempts:int -> ?backoff_s:float ->
+  ?poll_s:float -> unit -> watchdog
+(** Defaults: 30 s timeout, 3 attempts, 50 ms backoff base. *)
+
 val make : key:string -> (unit -> 'a) -> 'a t
 
-val run : ?retries:int -> 'a t -> 'a completed
-(** Execute the job; on an exception, retry up to [retries] (default
-    1) more times before recording an [Error]. *)
+val run : ?retries:int -> ?watchdog:watchdog -> 'a t -> 'a completed
+(** Execute the job.  Without a watchdog: on an exception, retry up to
+    [retries] (default 1) more times before recording an [Error].
+    With a watchdog: up to [max_attempts] attempts, each bounded by
+    [timeout_s], with backoff between attempts; a stalled attempt's
+    thread is abandoned (OCaml cannot kill threads), so plan stall
+    durations finitely when injecting faults. *)
 
 val ok : 'a completed -> bool

@@ -4,7 +4,14 @@
    input slot, so the output order never depends on which domain ran
    what.  The calling domain participates as a worker, so [jobs = 1]
    runs everything in the caller (no domains spawned) and is the
-   determinism baseline the parallel runs are compared against. *)
+   determinism baseline the parallel runs are compared against.
+
+   Exception discipline: [f] is expected not to raise (fallible work
+   goes through [Job.run]), but a lethal exception — e.g. an injected
+   crash fault that must abort the whole run — is contained cleanly:
+   the first one poisons the queue so every worker stops taking items,
+   all helper domains are joined, and only then is it re-raised on the
+   calling domain.  No domain is ever leaked. *)
 
 let default_jobs () = Domain.recommended_domain_count ()
 
@@ -16,6 +23,7 @@ let map ?jobs ?on_done f items =
   let jobs = min jobs (max 1 n) in
   let results = Array.make n None in
   let next = Atomic.make 0 in
+  let poison = Atomic.make None in
   let hook_lock = Mutex.create () in
   let notify r =
     match on_done with
@@ -24,12 +32,18 @@ let map ?jobs ?on_done f items =
   in
   let worker () =
     let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        let r = f items.(i) in
-        results.(i) <- Some r;
-        notify r;
-        loop ()
+      if Atomic.get poison = None then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f items.(i) with
+          | r ->
+            results.(i) <- Some r;
+            notify r
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set poison None (Some (e, bt))));
+          loop ()
+        end
       end
     in
     loop ()
@@ -38,6 +52,16 @@ let map ?jobs ?on_done f items =
   else begin
     let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
-    List.iter Domain.join helpers
+    List.iter
+      (fun d ->
+        match Domain.join d with
+        | () -> ()
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set poison None (Some (e, bt))))
+      helpers
   end;
+  (match Atomic.get poison with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
   Array.map (function Some r -> r | None -> assert false) results

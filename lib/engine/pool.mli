@@ -8,8 +8,11 @@
     the engine's determinism rule rests on this.
 
     [f] is expected not to raise: wrap fallible work in {!Job.run}.
-    An exception from [f] on a helper domain is re-raised at the join
-    in [map]. *)
+    A lethal exception from [f] (on any domain — e.g. an injected
+    crash fault that {!Job.run} deliberately lets through) poisons the
+    work queue, every worker stops taking items, all helper domains
+    are joined, and the first exception is re-raised on the calling
+    domain.  Items not yet started are abandoned; no domain leaks. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)

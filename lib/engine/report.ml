@@ -96,7 +96,4 @@ let write_perf_record ~path ~jobs ~wall_s ?(extra = []) (stages : stage list) =
            (if i = List.length stages - 1 then "" else ",")))
     stages;
   Buffer.add_string buf "  ]\n}\n";
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc buf)
+  Resilience.Atomic_io.write_string path (Buffer.contents buf)

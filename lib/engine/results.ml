@@ -33,6 +33,46 @@ let sort cells =
   List.sort (fun a b -> compare_config a.config b.config) cells
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint-journal payloads: one completed cell as
+   "config_key\nten counters".  Only the integer counters are stored
+   (the renderers derive every ratio from them), so a resumed sweep
+   reproduces the fault-free grid bit-for-bit. *)
+
+let encode_cell key (m : Cachesim.Metrics.t) =
+  Printf.sprintf "%s\n%d %d %d %d %d %d %d %d %d %d" key
+    m.Cachesim.Metrics.reads m.Cachesim.Metrics.writes
+    m.Cachesim.Metrics.read_misses m.Cachesim.Metrics.write_misses
+    m.Cachesim.Metrics.fills m.Cachesim.Metrics.writebacks
+    m.Cachesim.Metrics.wt_words m.Cachesim.Metrics.invalidations
+    m.Cachesim.Metrics.updates m.Cachesim.Metrics.bus_words
+
+let decode_cell payload =
+  match String.index_opt payload '\n' with
+  | None -> None
+  | Some i -> (
+    let key = String.sub payload 0 i in
+    let rest = String.sub payload (i + 1) (String.length payload - i - 1) in
+    match
+      Scanf.sscanf_opt rest "%d %d %d %d %d %d %d %d %d %d"
+        (fun reads writes read_misses write_misses fills writebacks wt_words
+             invalidations updates bus_words ->
+          {
+            Cachesim.Metrics.reads;
+            writes;
+            read_misses;
+            write_misses;
+            fills;
+            writebacks;
+            wt_words;
+            invalidations;
+            updates;
+            bus_words;
+          })
+    with
+    | Some m -> Some (key, m)
+    | None -> None)
+
+(* ------------------------------------------------------------------ *)
 (* Rendering.  Floats are printed with a fixed number of decimals and
    counters as plain ints, so output bytes depend only on the cell
    values, never on scheduling. *)

@@ -29,5 +29,13 @@ val compare_config : config -> config -> int
 
 val sort : cell list -> cell list
 
+val encode_cell : string -> Cachesim.Metrics.t -> string
+(** Checkpoint-journal payload for one completed cell: the config key
+    plus the ten integer counters (ratios are derived, so a resumed
+    sweep renders bit-identical JSON/CSV). *)
+
+val decode_cell : string -> (string * Cachesim.Metrics.t) option
+(** Inverse of {!encode_cell}; [None] on a malformed payload. *)
+
 val to_json : cell list -> string
 val to_csv : cell list -> string

@@ -24,6 +24,8 @@ type outcome = {
   stages : Report.stage list;
   wall_s : float;
   jobs : int;
+  resumed_cells : int;
+  journal_skipped : int;
 }
 
 let cells_of_grid g =
@@ -69,30 +71,30 @@ let checked key thunk () =
       (Format.asprintf "tracecheck %s: %a" key Tracecheck.pp_summary s);
   buf
 
-let run ?jobs ?(echo = false) ?(check = false) ?(traces = []) grid =
+let run ?jobs ?(echo = false) ?(check = false) ?(traces = []) ?faults
+    ?watchdog ?journal ?(resume = false) grid =
   let t0 = Unix.gettimeofday () in
   let jobs_requested =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
   in
-  let produce =
-    (* pre-supplied traces become instant producers, so the DAG's
-       dependency and fault-propagation story is uniform *)
-    List.map
-      (fun ((name, n_pes), buf) -> (trace_key name n_pes, fun () -> buf))
-      traces
-    @ List.concat_map
-        (fun b ->
-          List.map
-            (fun n_pes ->
-              ( trace_key b.Benchlib.Programs.name n_pes,
-                generate_trace b n_pes ))
-            grid.pe_counts)
-        grid.benchmarks
-  in
-  let produce =
-    if check then List.map (fun (key, thunk) -> (key, checked key thunk)) produce
-    else produce
-  in
+  (* Resume: trust exactly the journal frames whose checksums verify
+     (Journal.replay already skipped the rest), keyed by config. *)
+  let journaled : (string, Cachesim.Metrics.t) Hashtbl.t = Hashtbl.create 64 in
+  let journal_skipped = ref 0 in
+  if resume then begin
+    match journal with
+    | None -> invalid_arg "Sweep.run: ~resume requires ~journal"
+    | Some path when Sys.file_exists path ->
+      let r = Resilience.Journal.replay path in
+      journal_skipped := r.Resilience.Journal.skipped_frames;
+      List.iter
+        (fun payload ->
+          match Results.decode_cell payload with
+          | Some (key, m) -> Hashtbl.replace journaled key m
+          | None -> incr journal_skipped)
+        r.Resilience.Journal.entries
+    | Some _ -> ()
+  end;
   let configs =
     List.concat_map
       (fun b ->
@@ -114,32 +116,101 @@ let run ?jobs ?(echo = false) ?(check = false) ?(traces = []) grid =
           grid.pe_counts)
       grid.benchmarks
   in
+  let done_cells, todo =
+    List.partition_map
+      (fun (c : Results.config) ->
+        match Hashtbl.find_opt journaled (Results.config_key c) with
+        | Some m -> Left { Results.config = c; metrics = Ok m }
+        | None -> Right c)
+      configs
+  in
+  (* Producers only for traces a remaining cell still needs. *)
+  let needed = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Results.config) ->
+      Hashtbl.replace needed (trace_key c.Results.bench c.Results.n_pes) ())
+    todo;
+  let produce =
+    (* pre-supplied traces become instant producers, so the DAG's
+       dependency and fault-propagation story is uniform *)
+    List.map
+      (fun ((name, n_pes), buf) -> (trace_key name n_pes, fun () -> buf))
+      traces
+    @ List.concat_map
+        (fun b ->
+          List.map
+            (fun n_pes ->
+              ( trace_key b.Benchlib.Programs.name n_pes,
+                generate_trace b n_pes ))
+            grid.pe_counts)
+        grid.benchmarks
+  in
+  let produce =
+    List.filter (fun (key, _) -> Hashtbl.mem needed key) produce
+  in
+  let produce =
+    if check then List.map (fun (key, thunk) -> (key, checked key thunk)) produce
+    else produce
+  in
   let consume =
     List.map
       (fun (c : Results.config) ->
         ( Results.config_key c,
           trace_key c.Results.bench c.Results.n_pes,
           fun buf ->
+            Resilience.Fault.hit ?plan:faults "cell-start";
+            Resilience.Fault.hit ?plan:faults "sim-step";
             simulate grid ~kind:c.Results.protocol ~n_pes:c.Results.n_pes
               ~cache_words:c.Results.cache_words buf ))
-      configs
+      todo
+  in
+  (* Checkpointing: append every completed cell to the journal,
+     fsync'd, under the DAG's serialized on_consumed hook.  A
+     non-lethal journal I/O failure degrades to warn-once (the sweep's
+     results are unaffected; only resumability of those cells is
+     lost); an injected crash propagates — that is the disaster the
+     journal exists to survive. *)
+  let writer =
+    Option.map
+      (fun path -> Resilience.Journal.create ?plan:faults ~append:resume path)
+      journal
+  in
+  let on_consumed (c : _ Job.completed) =
+    match (writer, c.Job.outcome) with
+    | Some w, Ok m -> (
+      try Resilience.Journal.append w (Results.encode_cell c.Job.key m)
+      with
+      | Resilience.Fault.Injected { kind = Resilience.Fault.Crash; _ } as e ->
+        raise e
+      | e ->
+        Printf.eprintf
+          "sweep: checkpoint journal write failed (%s); journaling disabled\n%!"
+          (Printexc.to_string e);
+        Resilience.Journal.close w)
+    | _ -> ()
   in
   let completed, stages =
-    Dag.run ?jobs ~echo ~stage_labels:("trace-gen", "cache-sim")
-      { Dag.produce; consume }
+    Fun.protect
+      ~finally:(fun () -> Option.iter Resilience.Journal.close writer)
+      (fun () ->
+        Dag.run ?jobs ~echo ?watchdog ~on_consumed
+          ~stage_labels:("trace-gen", "cache-sim")
+          { Dag.produce; consume })
   in
-  let cells =
+  let fresh =
     List.map2
       (fun config (c : _ Job.completed) ->
         { Results.config; metrics = c.Job.outcome })
-      configs
+      todo
       (Array.to_list completed)
   in
   {
-    cells = Results.sort cells;
+    cells = Results.sort (done_cells @ fresh);
     stages;
     wall_s = Unix.gettimeofday () -. t0;
     jobs = jobs_requested;
+    resumed_cells = List.length done_cells;
+    journal_skipped = !journal_skipped;
   }
 
 let write_perf_record ~path ?extra outcome =

@@ -36,6 +36,8 @@ type outcome = {
   stages : Report.stage list;
   wall_s : float;
   jobs : int;  (** domains actually requested *)
+  resumed_cells : int;  (** cells restored from the checkpoint journal *)
+  journal_skipped : int;  (** corrupt journal frames passed over *)
 }
 
 val run :
@@ -43,13 +45,29 @@ val run :
   ?echo:bool ->
   ?check:bool ->
   ?traces:((string * int) * Trace.Sink.Buffer_sink.t) list ->
+  ?faults:Resilience.Fault.plan ->
+  ?watchdog:Job.watchdog ->
+  ?journal:string ->
+  ?resume:bool ->
   grid ->
   outcome
 (** [traces] pre-supplies packed traces for (benchmark name, PE
     count) keys, bypassing stage-1 emulation for those cells.
     [check] replays every trace (generated or pre-supplied) through
     {!Tracecheck} before simulation; violations fail the producing
-    job and, through DAG fault propagation, every dependent cell. *)
+    job and, through DAG fault propagation, every dependent cell.
+
+    Fault tolerance: [faults] arms the ["cell-start"]/["sim-step"]
+    injection sites (plus ["journal-append"] if journaling);
+    [watchdog] kills and retries stalled cells ({!Job.run});
+    [journal] checkpoints every completed cell to an append-only
+    fsync'd file, and [resume] first loads every checksummed cell
+    from that journal, skipping their recomputation — and the trace
+    generation of any benchmark whose cells are all done — so the
+    merged outcome reproduces the uninterrupted grid bit-for-bit.
+    An injected [Crash] fault aborts the whole run with
+    {!Resilience.Fault.Injected} (modelling a process kill); resuming
+    afterwards completes the sweep. *)
 
 val write_perf_record :
   path:string -> ?extra:(string * float) list -> outcome -> unit

@@ -1,0 +1,34 @@
+(* Atomic file writes: tmp + fsync + rename.
+
+   An interrupted writer must never leave a half-written result where
+   a reader expects a complete one, so all persistent pipeline outputs
+   (JSON/CSV grids, perf records, binary traces) go through here: the
+   payload is written to a sibling temp file, fsync'd, and renamed
+   over the destination.  On any exception the temp file is removed
+   and the destination is untouched. *)
+
+let fsync_channel oc =
+  (* flush the OCaml buffer, then the kernel's *)
+  flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc)
+  with Unix.Unix_error _ -> ()
+
+let write_file ?(fsync = true) ?before_commit path f =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path) ".tmp"
+  in
+  let oc = open_out_bin tmp in
+  (try
+     f oc;
+     if fsync then fsync_channel oc;
+     close_out oc;
+     Option.iter (fun g -> g tmp) before_commit
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let write_string ?fsync path s =
+  write_file ?fsync path (fun oc -> output_string oc s)

@@ -1,0 +1,20 @@
+(** Atomic file writes (tmp + fsync + rename).
+
+    Either the destination keeps its previous contents or it holds the
+    complete new payload — an interrupt or I/O error mid-write never
+    leaves a torn file behind. *)
+
+val write_file :
+  ?fsync:bool -> ?before_commit:(string -> unit) -> string ->
+  (out_channel -> unit) -> unit
+(** [write_file path f] runs [f] on a temp file in [path]'s directory,
+    fsyncs (unless [~fsync:false]), then renames over [path].
+    [before_commit tmp] runs after the channel is closed but before
+    the rename — the fault injector uses it to model torn disk state.
+    On exception the temp file is removed and re-raised. *)
+
+val write_string : ?fsync:bool -> string -> string -> unit
+
+val fsync_channel : out_channel -> unit
+(** Flush the channel, then [Unix.fsync] its descriptor (errors from
+    descriptors that cannot sync, e.g. pipes, are ignored). *)

@@ -1,0 +1,54 @@
+(** Deterministic fault injection for the trace/engine pipeline.
+
+    A plan names a fixed set of faults, each pinned to a registered
+    {e site} and an {e occurrence} (the Nth time that site is reached,
+    counted under a lock so the plan is schedule-independent).  Every
+    planned fault fires at most once.
+
+    Kinds: [Truncate] (stop an I/O operation partway, leaving a torn
+    artifact), [Bit_flip] (corrupt one bit of the written payload),
+    [Eio] (the operation fails as if the device returned EIO),
+    [Stall] (the site sleeps for {!stall_seconds}, long enough to trip
+    a watchdog), [Crash] (the typed {!Injected} exception is treated
+    as lethal and aborts the whole run, simulating a process kill). *)
+
+type kind = Truncate | Bit_flip | Eio | Stall | Crash
+
+val kinds : kind list
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+val sites : string list
+(** The closed site registry: ["trace-write"] (per trace block),
+    ["block-flush"] (trace-file finalization), ["cell-start"] (a sweep
+    cell begins), ["sim-step"] (the cache simulation of a cell
+    begins), ["journal-append"] (a checkpoint record is appended). *)
+
+exception Injected of { site : string; kind : kind; occurrence : int }
+
+type plan
+
+val make : ?stall_s:float -> (string * kind * int) list -> plan
+(** Explicit plan from (site, kind, occurrence) triples.
+    @raise Invalid_argument on an unregistered site. *)
+
+val of_seed : ?stall_s:float -> ?faults:int -> int -> plan
+(** Deterministic pseudo-random plan: [faults] (default 3) triples
+    drawn from the site/kind registry by a seeded LCG. *)
+
+val of_spec : string -> (plan, string) result
+(** Parse a CLI spec: comma-separated [SITE:KIND\@N] items (\@N
+    defaults to 0), or [seed:N] for {!of_seed}, optionally with
+    [stall-s:SECONDS]. *)
+
+val to_string : plan -> string
+val stall_seconds : plan -> float
+
+val fire : plan option -> string -> (kind * int) option
+(** [fire plan site] advances [site]'s occurrence counter and returns
+    the fault to apply now, if one was planned.  I/O sites use this to
+    corrupt their own bytes. *)
+
+val hit : ?plan:plan -> string -> unit
+(** Compute-site shorthand: [Stall] sleeps, any other planned kind
+    raises {!Injected}. *)

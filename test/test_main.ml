@@ -15,6 +15,7 @@ let () =
       ("benchlib", Test_benchlib.suite);
       ("engine", Test_engine.suite);
       ("tracecheck", Test_tracecheck.suite);
+      ("resilience", Test_resilience.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("properties", Test_properties.suite);
     ]

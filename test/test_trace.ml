@@ -194,9 +194,50 @@ let test_tracefile_truncated () =
       Out_channel.with_open_bin path (fun oc ->
           Out_channel.output_string oc
             (String.sub full 0 (String.length full - 4)));
-      match Trace.Tracefile.read path with
-      | exception Trace.Tracefile.Bad_file _ -> ()
-      | _ -> Alcotest.fail "expected Bad_file on truncation")
+      (match Trace.Tracefile.read path with
+      | exception Trace.Tracefile.Trace_error { offset; reason = _ } ->
+        Alcotest.(check bool) "error offset past the header" true (offset >= 24)
+      | _ -> Alcotest.fail "expected Trace_error on truncation");
+      (* salvage keeps the clean prefix and reports the loss *)
+      let buf2, damage = Trace.Tracefile.read_salvage path in
+      Alcotest.(check bool) "salvage flags truncation" true
+        damage.Trace.Tracefile.truncated;
+      Alcotest.(check bool) "salvaged a strict prefix" true
+        (Trace.Sink.Buffer_sink.length buf2
+        < Trace.Sink.Buffer_sink.length buf))
+
+(* Legacy (version 2, unframed) files written before the checksummed
+   framing existed must stay readable. *)
+let test_tracefile_legacy_v2 () =
+  let buf = Trace.Sink.Buffer_sink.create () in
+  let sink = Trace.Sink.buffer buf in
+  for i = 0 to 99 do
+    Trace.Sink.emit sink
+      { Trace.Ref_record.pe = i mod 4; addr = 64 + i; area = Trace.Area.Heap;
+        op = Trace.Ref_record.Read }
+  done;
+  let path = Filename.temp_file "rapwam" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          output_string oc Trace.Tracefile.magic;
+          let b8 = Bytes.create 8 in
+          let put64 v =
+            Bytes.set_int64_le b8 0 (Int64.of_int v);
+            output_bytes oc b8
+          in
+          put64 2;
+          put64 (Trace.Sink.Buffer_sink.length buf);
+          Trace.Sink.Buffer_sink.iter_packed put64 buf);
+      let buf2 = Trace.Tracefile.read path in
+      Alcotest.(check int) "legacy length"
+        (Trace.Sink.Buffer_sink.length buf)
+        (Trace.Sink.Buffer_sink.length buf2);
+      for i = 0 to Trace.Sink.Buffer_sink.length buf - 1 do
+        if Trace.Sink.Buffer_sink.get buf i <> Trace.Sink.Buffer_sink.get buf2 i
+        then Alcotest.failf "legacy record %d differs" i
+      done)
 
 let suite =
   [
@@ -210,4 +251,5 @@ let suite =
     Alcotest.test_case "tracefile roundtrip" `Quick test_tracefile_roundtrip;
     Alcotest.test_case "tracefile bad magic" `Quick test_tracefile_bad_magic;
     Alcotest.test_case "tracefile truncated" `Quick test_tracefile_truncated;
+    Alcotest.test_case "tracefile legacy v2" `Quick test_tracefile_legacy_v2;
   ]

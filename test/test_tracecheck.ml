@@ -329,6 +329,60 @@ let test_defect_list_complete () =
   Alcotest.(check bool) "find unknown" true
     (Tracecheck.Defects.find "no-such-defect" = None)
 
+(* ---- salvaged traces ---- *)
+
+let test_salvaged_prefix_checks_clean () =
+  (* a trace truncated in transit: the salvaged prefix must check
+     clean — losing the tail must not invent read-before-write or
+     race violations in what remains *)
+  let r = Benchlib.Runner.run_rapwam ~n_pes:2 (small "deriv") in
+  let buf = r.Benchlib.Runner.trace in
+  let path = Filename.temp_file "rapwam" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.Tracefile.write path buf;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let cut = String.length full * 60 / 100 in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub full 0 cut));
+      let salvaged, damage = Trace.Tracefile.read_salvage path in
+      Alcotest.(check bool) "truncation reported" true
+        damage.Trace.Tracefile.truncated;
+      Alcotest.(check bool) "something salvaged" true (B.length salvaged > 0);
+      let s = Tracecheck.check_buffer salvaged in
+      if not (Tracecheck.ok s) then
+        Alcotest.failf "salvaged prefix not clean: %s"
+          (Format.asprintf "%a" Tracecheck.pp_summary s);
+      (* now damage the middle instead of the tail: resync skips a
+         block, so only the pre-damage prefix is checkable — and that
+         prefix must still be clean *)
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc full);
+      let mid = String.length full / 2 in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.mapi
+               (fun i c ->
+                 if i = mid then Char.chr (Char.code c lxor 0x08) else c)
+               full));
+      let salvaged2, damage2 = Trace.Tracefile.read_salvage path in
+      if damage2.Trace.Tracefile.skipped_blocks > 0 then begin
+        let prefix = B.create () in
+        let taken = ref 0 in
+        B.iter_packed
+          (fun w ->
+            if !taken < damage2.Trace.Tracefile.prefix_records then begin
+              B.push prefix w;
+              incr taken
+            end)
+          salvaged2;
+        let s2 = Tracecheck.check_buffer prefix in
+        if not (Tracecheck.ok s2) then
+          Alcotest.failf "pre-damage prefix not clean: %s"
+            (Format.asprintf "%a" Tracecheck.pp_summary s2)
+      end)
+
 (* ---- sweep engine integration ---- *)
 
 let test_sweep_check_integration () =
@@ -396,6 +450,8 @@ let suite =
     Alcotest.test_case "sync kinds emitted" `Quick test_sync_kinds_emitted;
     Alcotest.test_case "defects detected" `Quick test_defects_detected;
     Alcotest.test_case "defect list complete" `Quick test_defect_list_complete;
+    Alcotest.test_case "salvaged prefix checks clean" `Quick
+      test_salvaged_prefix_checks_clean;
     Alcotest.test_case "sweep check integration" `Quick
       test_sweep_check_integration;
   ]
