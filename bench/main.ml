@@ -20,7 +20,7 @@ let usage () =
   print_endline
     "usage: main.exe [--quick] [--perf] [--jobs N] [table1|table2|table3|\n\
     \       figure2|figure4|mlips|ablation-tags|ablation-sched|\n\
-    \       ablation-line|ablation-alloc|tracecheck]...";
+    \       ablation-line|ablation-alloc|tracecheck|costan]...";
   exit 1
 
 let parse_args args =
@@ -85,6 +85,7 @@ let () =
       | "ablation-alloc" -> Experiments.ablation_alloc setup
       | "ablation-granularity" -> Experiments.ablation_granularity setup
       | "tracecheck" -> Experiments.tracecheck setup
+      | "costan" -> Experiments.costan setup
       | "all" -> Experiments.all setup
       | other ->
         Printf.eprintf "unknown experiment %S\n" other;

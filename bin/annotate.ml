@@ -2,12 +2,20 @@
 
      annotate program.pl                 -- print the &-annotated source
      annotate --run 'main(X)' program.pl -- annotate, then run on 4 PEs
+     annotate --granularity 150 p.pl     -- cost-based granularity control
+     annotate --dump-costs p.pl          -- print the cost table to stderr
 
    By default a global groundness/sharing analysis runs first: mode
    declarations (`:- mode f(+, -, ?).`) and the --run query seed the
    interprocedural fixpoint, and the inferred call/success patterns
    let the annotator drop run-time groundness/independence checks.
-   --no-analysis falls back to the purely local annotator. *)
+   --no-analysis falls back to the purely local annotator.
+
+   With --granularity N the static cost analysis (lib/costan) also
+   runs: parallel groups whose arms are all provably cheaper than N
+   data references are emitted sequentially, and arms whose cost
+   depends on an input size get a size_ge/2 guard in the CGE
+   condition. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -16,8 +24,16 @@ let read_file path =
   close_in ic;
   s
 
-let annotate_db ~no_analysis ~dump ~run_query db =
-  if no_analysis then (Prolog.Annotate.database db, None)
+let annotate_db ~no_analysis ~dump ~granularity ~run_query db =
+  let granularity =
+    match granularity with
+    | None -> None
+    | Some threshold ->
+      let an = Costan.Analyze.analyze db in
+      Some (Costan.Analyze.annotator an ~threshold)
+  in
+  if no_analysis then
+    (Prolog.Annotate.database ?granularity db, None, granularity)
   else
     let entries =
       match run_query with
@@ -27,29 +43,36 @@ let annotate_db ~no_analysis ~dump ~run_query db =
     let summary = Analysis.Analyze.database ~entries db in
     if dump then Format.eprintf "%a@." Analysis.Summary.pp summary;
     let patterns = Analysis.Summary.patterns summary in
-    (Prolog.Annotate.database ~patterns db, Some patterns)
+    ( Prolog.Annotate.database ~patterns ?granularity db,
+      Some patterns,
+      granularity )
 
-let run_cmd src_path run_query pes no_analysis dump =
+let run_cmd src_path run_query pes no_analysis dump granularity dump_costs =
   let src = read_file src_path in
   let db = Prolog.Database.of_string src in
-  let annotated, patterns =
-    annotate_db ~no_analysis ~dump ~run_query db
+  if dump_costs then begin
+    let an = Costan.Analyze.analyze db in
+    Costan.Report.pp_costs ?threshold:granularity Format.err_formatter an
+  end;
+  let annotated, patterns, gran =
+    annotate_db ~no_analysis ~dump ~granularity ~run_query db
   in
   Format.printf "%a@." Prolog.Annotate.pp_database annotated;
-  let _, stats = Prolog.Annotate.database_stats ?patterns db in
+  let _, stats = Prolog.Annotate.database_stats ?patterns ?granularity:gran db in
   Format.eprintf
     "%% %d parallel call(s), %d check(s) emitted, %d discharged by \
-     analysis@."
+     analysis, %d group(s) sequentialized by cost@."
     (Prolog.Annotate.parallelism_found annotated)
     stats.Prolog.Annotate.checks_emitted
-    stats.Prolog.Annotate.checks_discharged;
+    stats.Prolog.Annotate.checks_discharged
+    stats.Prolog.Annotate.sequentialized;
   match run_query with
   | None -> ()
   | Some query ->
     (* recompile from a fresh annotation: the printed db already holds
        the query-free program *)
-    let fresh, _ =
-      annotate_db ~no_analysis ~dump:false ~run_query
+    let fresh, _, _ =
+      annotate_db ~no_analysis ~dump:false ~granularity ~run_query
         (Prolog.Database.of_string src)
     in
     let prog = Wam.Program.of_database ~parallel:true fresh ~query () in
@@ -99,13 +122,32 @@ let dump_arg =
     & info [ "dump-analysis" ]
         ~doc:"Print the inferred call/success patterns to stderr.")
 
+let granularity_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "granularity" ] ~docv:"N"
+        ~doc:
+          "Enable cost-based granularity control with a spawn-overhead \
+           threshold of N data references: provably-small parallel \
+           groups are sequentialized and data-dependent ones get \
+           size_ge/2 guards.")
+
+let dump_costs_arg =
+  Arg.(
+    value & flag
+    & info [ "dump-costs" ]
+        ~doc:
+          "Print the per-predicate cost table (class, decreasing \
+           argument, unit cost, determinacy) to stderr.")
+
 let cmd =
   let doc = "insert CGE annotations via independence analysis" in
   Cmd.v
     (Cmd.info "annotate" ~doc)
     Term.(
       const run_cmd $ src_arg $ run_arg $ pes_arg $ no_analysis_arg
-      $ dump_arg)
+      $ dump_arg $ granularity_arg $ dump_costs_arg)
 
 let () =
   match Cmd.eval_value cmd with Ok _ -> () | Error _ -> exit 1

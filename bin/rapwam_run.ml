@@ -13,7 +13,7 @@ let read_file path =
   s
 
 let run_cmd src_path query pes sequential stats listing disasm_only prelude
-    json_out =
+    json_out profile =
   let src = match src_path with Some p -> read_file p | None -> "" in
   let src = if prelude then Prolog.Prelude.source ^ "\n" ^ src else src in
   let prog =
@@ -27,6 +27,16 @@ let run_cmd src_path query pes sequential stats listing disasm_only prelude
     Trace.Areastats.create ~pe_of_addr:Wam.Layout.pe_of_addr ()
   in
   let sink = Trace.Areastats.sink area_stats in
+  let profiler =
+    if profile then
+      Some (Wam.Profile.create prog.Wam.Program.symbols prog.Wam.Program.code)
+    else None
+  in
+  let sink =
+    match profiler with
+    | None -> sink
+    | Some p -> Trace.Sink.tee sink (Wam.Profile.sink p)
+  in
   let write_json path m rounds =
     let b = Buffer.create 256 in
     Buffer.add_string b "{\n";
@@ -37,12 +47,22 @@ let run_cmd src_path query pes sequential stats listing disasm_only prelude
     Printf.bprintf b "  \"total_refs\": %d,\n" (Trace.Areastats.total area_stats);
     Printf.bprintf b "  \"parcalls\": %d,\n" m.Wam.Machine.parcalls;
     Printf.bprintf b "  \"goals_stolen\": %d,\n" m.Wam.Machine.goals_stolen;
-    Printf.bprintf b "  \"rounds\": %d\n" rounds;
+    Printf.bprintf b "  \"rounds\": %d" rounds;
+    (match profiler with
+    | None -> Buffer.add_string b "\n"
+    | Some p ->
+      Buffer.add_string b ",\n  \"profile\": ";
+      Wam.Profile.to_json b p;
+      Buffer.add_string b "\n");
     Buffer.add_string b "}\n";
     Resilience.Atomic_io.write_string path (Buffer.contents b)
   in
   let report_machine m rounds =
     Option.iter (fun path -> write_json path m rounds) json_out;
+    Option.iter
+      (fun p ->
+        Format.printf "@.-- per-predicate profile --@.%a" Wam.Profile.pp p)
+      profiler;
     if stats then begin
       Format.printf "@.-- statistics --@.";
       Format.printf "instructions : %d@." (Wam.Machine.total_instr m);
@@ -164,13 +184,22 @@ let json_arg =
            parcalls, ...) as JSON; the file is written atomically (tmp + \
            fsync + rename), so it is never observed half-written.")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Collect per-predicate dynamic counters (calls, instructions, \
+           per-area data references) from the trace and print them; with \
+           $(b,--json) they are also recorded under \"profile\".")
+
 let cmd =
   let doc = "run annotated Prolog on the RAP-WAM simulator" in
   Cmd.v
     (Cmd.info "rapwam_run" ~doc)
     Term.(
       const run_cmd $ src_arg $ query_arg $ pes_arg $ seq_arg $ stats_arg
-      $ listing_arg $ disasm_arg $ prelude_arg $ json_arg)
+      $ listing_arg $ disasm_arg $ prelude_arg $ json_arg $ profile_arg)
 
 let () =
   match Cmd.eval_value cmd with

@@ -102,3 +102,8 @@ let sccs t =
 let scc_index t key =
   ignore (sccs t);
   match Hashtbl.find_opt t.index key with Some i -> i | None -> -1
+
+(* Flattened SCC list: a deterministic bottom-up (callees before
+   callers) visit order shared by the fixpoint seeding and the cost
+   analyzer's recurrence pass. *)
+let topo_order t = List.concat (sccs t)

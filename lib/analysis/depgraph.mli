@@ -19,3 +19,9 @@ val sccs : t -> key list list
 val scc_index : t -> key -> int
 (** Index of a predicate's component in the {!sccs} list (-1 if the
     predicate is unknown). *)
+
+val topo_order : t -> key list
+(** The {!sccs} list flattened: every predicate exactly once, callees
+    before callers, ties broken by first-definition order.  Both the
+    fixpoint seeding and the costan recurrence pass iterate in this
+    order, so analysis output is stable across runs. *)

@@ -311,10 +311,10 @@ let run ?(entries = []) ?modes ?(widen_after = 40) db =
   in
   let open_world = has_var_goal db entries in
   let graph = Depgraph.build db in
+  (* Seed in the shared bottom-up visit order (callees before
+     callers), restricted to the keys being seeded. *)
   let seed_order keys =
-    List.sort
-      (fun a b -> compare (Depgraph.scc_index graph a) (Depgraph.scc_index graph b))
-      keys
+    List.filter (fun k -> List.mem k keys) (Depgraph.topo_order graph)
   in
   (* mode contracts *)
   let moded =

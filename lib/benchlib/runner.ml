@@ -72,12 +72,20 @@ let of_machine bench ~n_pes ~succeeded ~answer ~rounds m stats buf =
     trail_words = sum_high_water m Wam.Machine.trail_used;
   }
 
-(* Sequential WAM run (the paper's baseline). *)
-let run_wam ?(keep_trace = true) (bench : Programs.benchmark) =
-  let prog =
-    Wam.Program.prepare ~parallel:false ~src:bench.Programs.src
+(* Compile the benchmark, optionally rewriting the parsed database
+   first (e.g. re-annotation with granularity control). *)
+let prepare ~parallel ?transform (bench : Programs.benchmark) =
+  match transform with
+  | None ->
+    Wam.Program.prepare ~parallel ~src:bench.Programs.src
       ~query:bench.Programs.query ()
-  in
+  | Some f ->
+    let db = f (Prolog.Database.of_string bench.Programs.src) in
+    Wam.Program.of_database ~parallel db ~query:bench.Programs.query ()
+
+(* Sequential WAM run (the paper's baseline). *)
+let run_wam ?(keep_trace = true) ?transform (bench : Programs.benchmark) =
+  let prog = prepare ~parallel:false ?transform bench in
   let stats, buf, sink = collectors ~keep_trace in
   let result, m = Wam.Seq.run ~sink prog in
   let succeeded, answer = answer_of bench.Programs.answer_var result in
@@ -85,12 +93,9 @@ let run_wam ?(keep_trace = true) (bench : Programs.benchmark) =
     stats buf
 
 (* RAP-WAM run on [n_pes] workers. *)
-let run_rapwam ?(keep_trace = true) ?steal ?allow_steal ~n_pes
+let run_rapwam ?(keep_trace = true) ?steal ?allow_steal ?transform ~n_pes
     (bench : Programs.benchmark) =
-  let prog =
-    Wam.Program.prepare ~parallel:true ~src:bench.Programs.src
-      ~query:bench.Programs.query ()
-  in
+  let prog = prepare ~parallel:true ?transform bench in
   let stats, buf, sink = collectors ~keep_trace in
   let sim = Rapwam.Sim.create ~sink ?steal ?allow_steal ~n_workers:n_pes prog in
   let result = Rapwam.Sim.run_prepared sim prog in

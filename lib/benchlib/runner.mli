@@ -29,11 +29,18 @@ type result = {
   trail_words : int;
 }
 
-val run_wam : ?keep_trace:bool -> Programs.benchmark -> result
-(** Sequential WAM run (the paper's baseline). *)
+val run_wam :
+  ?keep_trace:bool ->
+  ?transform:(Prolog.Database.t -> Prolog.Database.t) ->
+  Programs.benchmark ->
+  result
+(** Sequential WAM run (the paper's baseline).  [transform] rewrites
+    the parsed database before compilation (e.g. re-annotation with
+    granularity control). *)
 
 val run_rapwam :
   ?keep_trace:bool -> ?steal:Rapwam.Sim.steal_policy -> ?allow_steal:bool ->
+  ?transform:(Prolog.Database.t -> Prolog.Database.t) ->
   n_pes:int -> Programs.benchmark -> result
 
 val answers_agree : result -> result -> bool

@@ -1,0 +1,107 @@
+(* Rendering: the per-predicate cost table (deterministic, in the
+   shared SCC order -- CI diffs two runs of it) and JSON fragments for
+   the CLI and the bench harness. *)
+
+open Domain
+
+let pp_verdict fmt = function
+  | Analyze.Keep -> Format.pp_print_string fmt "keep"
+  | Analyze.Small -> Format.pp_print_string fmt "small"
+  | Analyze.Guard (i, k) -> Format.fprintf fmt "guard(arg %d, size >= %d)" i k
+
+(* The --dump-costs table: one line per predicate, topo order. *)
+let pp_costs ?threshold fmt an =
+  Format.fprintf fmt "%-20s %-10s %5s %10s %12s %4s%s@."
+    "predicate" "class" "dec" "unit(mid)" "unit(hi)" "det"
+    (match threshold with Some _ -> "  verdict" | None -> "");
+  List.iter
+    (fun key ->
+      match Analyze.find an key with
+      | None -> ()
+      | Some p ->
+        Format.fprintf fmt "%-20s %-10s %5s %10d %12d %4s"
+          (Printf.sprintf "%s/%d" (fst key) (snd key))
+          (cls_name p.Analyze.cls)
+          (match p.Analyze.dec with
+          | Some i -> string_of_int i
+          | None -> "-")
+          p.Analyze.unit_cost p.Analyze.unit_hi
+          (if p.Analyze.det then "yes" else "no");
+        (match threshold with
+        | Some th ->
+          Format.fprintf fmt "  %a" pp_verdict
+            (Analyze.verdict_key an ~threshold:th key)
+        | None -> ());
+        Format.pp_print_newline fmt ())
+    (Analyze.order an)
+
+(* ------------------------------------------------------------------ *)
+(* JSON (hand-rolled, like the bench harness's writers). *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_interval buf (i : interval) =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"lo\": %d, \"hi\": %d, \"mid\": %d}" i.lo i.hi (mid i))
+
+let json_refs buf (refs : Footprint.t) =
+  Buffer.add_string buf "{";
+  let first = ref true in
+  List.iter
+    (fun area ->
+      let i = refs.(Trace.Area.to_int area) in
+      if not (is_zero i) then begin
+        if not !first then Buffer.add_string buf ", ";
+        first := false;
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\": " (json_escape (Trace.Area.name area)));
+        json_interval buf i
+      end)
+    Trace.Area.all;
+  Buffer.add_string buf "}"
+
+let json_prediction buf (p : Eval.prediction) =
+  Buffer.add_string buf "{\"steps\": ";
+  json_interval buf p.Eval.p_steps;
+  Buffer.add_string buf ", \"refs\": ";
+  json_refs buf p.Eval.p_refs;
+  Buffer.add_string buf
+    (Printf.sprintf ", \"evals\": %d, \"exact\": %b}" p.Eval.p_evals
+       (p.Eval.p_exactness = Eval.Yes))
+
+let json_predicates buf an =
+  Buffer.add_string buf "[";
+  let first = ref true in
+  List.iter
+    (fun key ->
+      match Analyze.find an key with
+      | None -> ()
+      | Some p ->
+        if not !first then Buffer.add_string buf ", ";
+        first := false;
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\": \"%s\", \"arity\": %d, \"class\": \"%s\", \
+              \"dec\": %s, \"unit_cost\": %d, \"unit_hi\": %d, \
+              \"determinate\": %b}"
+             (json_escape (fst key))
+             (snd key)
+             (cls_name p.Analyze.cls)
+             (match p.Analyze.dec with
+             | Some i -> string_of_int i
+             | None -> "null")
+             p.Analyze.unit_cost p.Analyze.unit_hi p.Analyze.det))
+    (Analyze.order an);
+  Buffer.add_string buf "]"

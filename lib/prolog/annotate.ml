@@ -43,7 +43,15 @@ type stats = {
   checks_emitted : int;
   checks_discharged : int;
   groups_abandoned : int;
+  sequentialized : int;
 }
+
+(* Granularity control (Debray/Hermenegildo): a cost oracle classifies
+   each candidate goal.  [Small] goals cost less than the spawn
+   overhead no matter what, [Guard (t, k)] goals are worth spawning
+   only when the input [t] is big enough (a [size_ge(t, k)] run-time
+   check), [Keep] goals parallelize unconditionally. *)
+type verdict = Keep | Small | Guard of Term.t * int
 
 (* ------------------------------------------------------------------ *)
 (* Abstract state.                                                    *)
@@ -373,9 +381,36 @@ type counters = {
   mutable c_groups : int;
   mutable c_checks : int;
   mutable c_abandoned : int;
+  mutable c_sequentialized : int;
 }
 
-let flush_group ?patterns modes st group out counters =
+(* Granularity filter over a would-be parallel group.  When every arm
+   is provably below the spawn-overhead threshold the group runs
+   sequentially (the CGE never pays for itself); otherwise arms whose
+   cost depends on an input size contribute a [size_ge] guard to the
+   CGE condition, so small instances take the sequential else-branch
+   at run time. *)
+let apply_granularity granularity counters checks arms =
+  match granularity with
+  | None -> [ Cge.Par { checks; arms } ]
+  | Some verdict_of ->
+    let verdicts = List.map verdict_of arms in
+    if List.for_all (fun v -> v = Small) verdicts then begin
+      counters.c_sequentialized <- counters.c_sequentialized + 1;
+      List.map (fun g -> Cge.Lit g) arms
+    end
+    else begin
+      let guards =
+        List.filter_map
+          (function
+            | Guard (t, k) -> Some (Cge.Size_ge (t, k))
+            | Keep | Small -> None)
+          verdicts
+      in
+      [ Cge.Par { checks = dedup_checks (checks @ guards); arms } ]
+    end
+
+let flush_group ?patterns ?granularity modes st group out counters =
   match group with
   | None -> ()
   | Some g ->
@@ -383,33 +418,37 @@ let flush_group ?patterns modes st group out counters =
     (match goals with
     | [] -> ()
     | [ single ] -> out (Cge.Lit single)
-    | _ :: _ :: _ ->
+    | _ :: _ :: _ -> (
       let checks = dedup_checks g.checks in
-      counters.c_groups <- counters.c_groups + 1;
-      counters.c_checks <- counters.c_checks + List.length checks;
-      out (Cge.Par { checks; arms = goals }));
+      match apply_granularity granularity counters checks goals with
+      | [ Cge.Par { checks; _ } ] as items ->
+        counters.c_groups <- counters.c_groups + 1;
+        counters.c_checks <- counters.c_checks + List.length checks;
+        List.iter out items
+      | items -> List.iter out items));
     (* effects of the group's goals apply at the join *)
     List.iter (apply_effect ?patterns modes st) goals
 
-let annotate_body ?patterns modes db st counters body =
+let annotate_body ?patterns ?granularity modes db st counters body =
   let items = ref [] in
   let out item = items := item :: !items in
   let group : group option ref = ref None in
   let flush () =
-    flush_group ?patterns modes st !group out counters;
+    flush_group ?patterns ?granularity modes st !group out counters;
     group := None
   in
   List.iter
     (fun item ->
       match item with
       | Cge.Par _ ->
-        (* already annotated by the programmer: keep, after a flush *)
+        (* already annotated by the programmer: keep (after a flush),
+           but still subject to granularity control *)
         flush ();
-        out item;
         (match item with
-        | Cge.Par { arms; _ } ->
+        | Cge.Par { checks; arms } ->
+          List.iter out (apply_granularity granularity counters checks arms);
           List.iter (apply_effect ?patterns modes st) arms
-        | Cge.Lit _ -> ())
+        | Cge.Lit _ -> out item)
       | Cge.Lit g ->
         if not (parallelizable db g) then begin
           flush ();
@@ -463,10 +502,12 @@ let annotate_body ?patterns modes db st counters body =
    analysis results; a clause uses them only when its own predicate
    was reached by the analysis (otherwise its entry states would be
    unsound), falling back to the purely local mode analysis. *)
-let annotate ?modes ?patterns db =
+let annotate ?modes ?patterns ?granularity db =
   let modes = match modes with Some m -> m | None -> Modes.of_database db in
   let out = Database.create () in
-  let counters = { c_groups = 0; c_checks = 0; c_abandoned = 0 } in
+  let counters =
+    { c_groups = 0; c_checks = 0; c_abandoned = 0; c_sequentialized = 0 }
+  in
   List.iter
     (fun (name, arity) ->
       let clause_patterns =
@@ -480,18 +521,19 @@ let annotate ?modes ?patterns db =
           seed_from_head ?patterns:clause_patterns modes clause.Database.head
             st;
           let body =
-            annotate_body ?patterns:clause_patterns modes db st counters
-              clause.Database.body
+            annotate_body ?patterns:clause_patterns ?granularity modes db st
+              counters clause.Database.body
           in
           Database.add_clause out { Database.head = clause.head; body })
         (Database.clauses db (name, arity)))
     (Database.predicates db);
   (out, counters)
 
-let database ?modes ?patterns db = fst (annotate ?modes ?patterns db)
+let database ?modes ?patterns ?granularity db =
+  fst (annotate ?modes ?patterns ?granularity db)
 
-let database_stats ?modes ?patterns db =
-  let out, c = annotate ?modes ?patterns db in
+let database_stats ?modes ?patterns ?granularity db =
+  let out, c = annotate ?modes ?patterns ?granularity db in
   let discharged =
     match patterns with
     | None -> 0
@@ -506,6 +548,7 @@ let database_stats ?modes ?patterns db =
       checks_emitted = c.c_checks;
       checks_discharged = discharged;
       groups_abandoned = c.c_abandoned;
+      sequentialized = c.c_sequentialized;
     } )
 
 (* Count the parallel goals introduced (for reporting). *)

@@ -21,12 +21,29 @@
     when every shared variable is ground and no pair of their
     possibly-aliased variables may share structure. *)
 
+type verdict = Keep | Small | Guard of Term.t * int
+(** Granularity-control verdict for one candidate goal, produced by a
+    cost oracle (see [lib/costan]): [Keep] parallelizes
+    unconditionally, [Small] is provably cheaper than the spawn
+    overhead and must stay sequential, [Guard (t, k)] is worth
+    spawning only when [t]'s term size is at least [k] (compiled to a
+    [size_ge(t, k)] check in the CGE condition, so small instances
+    take the sequential else-branch at run time). *)
+
 val database :
-  ?modes:Modes.t -> ?patterns:Abspat.t -> Database.t -> Database.t
+  ?modes:Modes.t ->
+  ?patterns:Abspat.t ->
+  ?granularity:(Term.t -> verdict) ->
+  Database.t ->
+  Database.t
 (** Annotate every clause; returns a new database (the input is not
     modified).  Modes default to the database's [:- mode ...]
     directives.  [patterns] are consulted only for clauses of
-    predicates the analysis reached. *)
+    predicates the analysis reached.  [granularity] filters every
+    parallel group -- both the ones this analysis builds and
+    programmer-written ['&'] groups: a group whose arms are all
+    [Small] is emitted as a sequential conjunction, and [Guard]
+    verdicts add size checks to the group's CGE condition. *)
 
 type stats = {
   groups : int;  (** parallel groups (CGEs) emitted *)
@@ -37,10 +54,16 @@ type stats = {
   groups_abandoned : int;
       (** joins rejected: a parallelizable goal was left sequential
           because joining needed too many checks or was dependent *)
+  sequentialized : int;
+      (** parallel groups turned sequential by the [granularity]
+          oracle (all arms below the spawn-overhead threshold) *)
 }
 
 val database_stats :
-  ?modes:Modes.t -> ?patterns:Abspat.t -> Database.t ->
+  ?modes:Modes.t ->
+  ?patterns:Abspat.t ->
+  ?granularity:(Term.t -> verdict) ->
+  Database.t ->
   Database.t * stats
 (** [database] plus annotation-quality statistics (surfaced by the
     bench harness's annotation-quality table). *)

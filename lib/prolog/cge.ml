@@ -15,6 +15,9 @@
 type check =
   | Ground of Term.t
   | Indep of Term.t * Term.t
+  | Size_ge of Term.t * int
+      (* granularity guard: parallelize only when the term's size
+         reaches the bound (spawn overhead not worth smaller goals) *)
 
 type item =
   | Lit of Term.t
@@ -30,6 +33,7 @@ let rec checks_of_term t =
   | Term.Struct (",", [ a; b ]) -> checks_of_term a @ checks_of_term b
   | Term.Struct ("ground", [ x ]) -> [ Ground x ]
   | Term.Struct ("indep", [ x; y ]) -> [ Indep (x, y) ]
+  | Term.Struct ("size_ge", [ x; Term.Int k ]) -> [ Size_ge (x, k) ]
   | Term.Atom _ | Term.Int _ | Term.Var _ | Term.Struct _ ->
     raise
       (Ill_formed
@@ -61,6 +65,7 @@ let item_vars = function
     let check_term = function
       | Ground x -> [ x ]
       | Indep (x, y) -> [ x; y ]
+      | Size_ge (x, _) -> [ x ]
     in
     let terms = List.concat_map check_term checks @ arms in
     List.concat_map Term.vars terms
@@ -70,6 +75,8 @@ let pp_check fmt = function
   | Indep (x, y) ->
     Format.fprintf fmt "indep(%a,%a)" (Pretty.pp ?ops:None) x
       (Pretty.pp ?ops:None) y
+  | Size_ge (x, k) ->
+    Format.fprintf fmt "size_ge(%a,%d)" (Pretty.pp ?ops:None) x k
 
 let pp_item fmt = function
   | Lit g -> Pretty.pp fmt g

@@ -11,6 +11,9 @@
 type check =
   | Ground of Term.t  (** [ground(X)]: X bound to a ground term *)
   | Indep of Term.t * Term.t  (** [indep(X,Y)]: no shared variable *)
+  | Size_ge of Term.t * int
+      (** [size_ge(X,K)]: X's term size reaches K — the granularity
+          guard; smaller goals take the sequential fallback *)
 
 type item =
   | Lit of Term.t  (** an ordinary goal *)
@@ -26,7 +29,8 @@ val items_of_term : Term.t -> body
     @raise Ill_formed on unsupported CGE conditions. *)
 
 val checks_of_term : Term.t -> check list
-(** Parse a CGE condition (conjunction of [ground/1] and [indep/2]). *)
+(** Parse a CGE condition (conjunction of [ground/1], [indep/2] and
+    [size_ge/2]). *)
 
 val has_par : Term.t -> bool
 (** Does a parallel conjunction appear at the top of this term? *)

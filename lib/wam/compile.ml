@@ -411,7 +411,9 @@ let compile_clause ~parallel symbols code db alloc
             | Prolog.Cge.Ground x -> note_term ctx ~chunk:!chunk ~top:false x
             | Prolog.Cge.Indep (x, y) ->
               note_term ctx ~chunk:!chunk ~top:false x;
-              note_term ctx ~chunk:!chunk ~top:false y)
+              note_term ctx ~chunk:!chunk ~top:false y
+            | Prolog.Cge.Size_ge (x, _) ->
+              note_term ctx ~chunk:!chunk ~top:false x)
           checks;
         (* With run-time checks the compiler also emits a sequential
            fallback in which the arms are separate calls, so each arm
@@ -459,7 +461,8 @@ let compile_clause ~parallel symbols code db alloc
               | Prolog.Cge.Ground x -> collect x
               | Prolog.Cge.Indep (x, y) ->
                 collect x;
-                collect y)
+                collect y
+              | Prolog.Cge.Size_ge (x, _) -> collect x)
             checks;
           List.iter (fun arm -> List.iter collect (snd (goal_parts arm))) arms)
       body;
@@ -549,7 +552,8 @@ let compile_clause ~parallel symbols code db alloc
             | Prolog.Cge.Ground x -> materialize x
             | Prolog.Cge.Indep (x, y) ->
               materialize x;
-              materialize y)
+              materialize y
+            | Prolog.Cge.Size_ge (x, _) -> materialize x)
           checks;
         let check_patch_addrs =
           List.map
@@ -560,7 +564,10 @@ let compile_clause ~parallel symbols code db alloc
               | Prolog.Cge.Indep (x, y) ->
                 Code.emit code
                   (Instr.Check_indep
-                     (check_var_reg ctx x, check_var_reg ctx y, -1)))
+                     (check_var_reg ctx x, check_var_reg ctx y, -1))
+              | Prolog.Cge.Size_ge (x, k) ->
+                Code.emit code
+                  (Instr.Check_size (check_var_reg ctx x, k, -1)))
             checks
         in
         (* Both branches (parallel and sequential fallback) must
@@ -617,6 +624,8 @@ let compile_clause ~parallel symbols code db alloc
               | Prolog.Cge.Indep _, Instr.Check_indep (r1, r2, _) ->
                 Code.patch code patch_addr
                   (Instr.Check_indep (r1, r2, seq_start))
+              | Prolog.Cge.Size_ge _, Instr.Check_size (r, k, _) ->
+                Code.patch code patch_addr (Instr.Check_size (r, k, seq_start))
               | _, _ -> error "check backpatch mismatch")
             checks check_patch_addrs;
           (* Sequential fallback: plain calls in textual order,

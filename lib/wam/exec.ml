@@ -295,6 +295,34 @@ let independent m w c1 c2 =
   go c2;
   not !shared
 
+(* Bounded term-size walk for the granularity guard (counting as
+   Prolog.Term.size: one per node).  Only whether the size reaches [k]
+   matters, so the walk touches at most [k] nodes. *)
+let size_at_least m w cell k =
+  let count = ref 0 in
+  let exception Enough in
+  let rec go cell =
+    incr count;
+    if !count >= k then raise Enough;
+    match Cell.view (deref m w cell) with
+    | Cell.Ref _ | Cell.Con _ | Cell.Num _ -> ()
+    | Cell.Lis a ->
+      go (rd_auto m w a);
+      go (rd_auto m w (a + 1))
+    | Cell.Str a ->
+      let fid = functor_cell m w a in
+      for i = 1 to Symbols.functor_arity m.symbols fid do
+        go (rd_auto m w (a + i))
+      done
+    | Cell.Fun _ | Cell.Raw _ -> runtime_error "size_at_least: raw cell"
+  in
+  k <= 0
+  ||
+  (try
+     go cell;
+     false
+   with Enough -> true)
+
 (* Standard order: Var < Num < Atom < Compound. *)
 let rec compare_terms m w c1 c2 =
   let d1 = deref m w c1 in
@@ -999,6 +1027,8 @@ let step_core m (w : worker) instr =
     if not (is_ground m w (get_reg m w r)) then w.p <- l
   | Instr.Check_indep (r1, r2, l) ->
     if not (independent m w (get_reg m w r1) (get_reg m w r2)) then w.p <- l
+  | Instr.Check_size (r, k, l) ->
+    if not (size_at_least m w (get_reg m w r) k) then w.p <- l
   (* ---- parallel (handled by the RAP-WAM simulator) ---- *)
   | Instr.Alloc_parcall _ | Instr.Push_goal _ | Instr.Par_join
   | Instr.Goal_done ->

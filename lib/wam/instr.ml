@@ -65,6 +65,7 @@ type t =
   (* RAP-WAM parallel extensions *)
   | Check_ground of reg * int (* else-label: run sequential version *)
   | Check_indep of reg * reg * int
+  | Check_size of reg * int * int (* minimum term size, else-label *)
   | Alloc_parcall of int * int (* pushed-goal count, join address *)
   | Push_goal of int * int * int (* slot, predicate functor id, arity *)
   | Par_join
@@ -117,8 +118,9 @@ let opcode = function
   | Push_goal _ -> 43
   | Par_join -> 44
   | Goal_done -> 45
+  | Check_size _ -> 46
 
-let opcode_count = 46
+let opcode_count = 47
 
 let opcode_name = function
   | 0 -> "put_variable"
@@ -167,6 +169,7 @@ let opcode_name = function
   | 43 -> "push_goal"
   | 44 -> "par_join"
   | 45 -> "goal_done"
+  | 46 -> "check_size"
   | n -> Printf.sprintf "op%d" n
 
 let pp_reg fmt = function
@@ -211,5 +214,7 @@ let pp fmt i =
   | Check_ground (r, l) -> Format.fprintf fmt "%s %a, else:%d" name pp_reg r l
   | Check_indep (r1, r2, l) ->
     Format.fprintf fmt "%s %a, %a, else:%d" name pp_reg r1 pp_reg r2 l
+  | Check_size (r, k, l) ->
+    Format.fprintf fmt "%s %a, %d, else:%d" name pp_reg r k l
   | Push_goal (slot, f, n) ->
     Format.fprintf fmt "%s slot:%d pred:%d/%d" name slot f n

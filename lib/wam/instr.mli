@@ -75,6 +75,11 @@ type t =
       (** jump to the sequential version unless the register holds a
           ground term *)
   | Check_indep of reg * reg * int
+  | Check_size of reg * int * int
+      (** (register, minimum size, else-label): jump to the sequential
+          version unless the term's size (structure cells walked, bounded
+          by the constant) reaches the minimum — the granularity-control
+          guard emitted by [bin/annotate --granularity] *)
   | Alloc_parcall of int * int
       (** (number of PUSHED goals, join address): push a parcall frame
           and make it the backtrack barrier; the CGE's first goal runs

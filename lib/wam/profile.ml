@@ -1,0 +1,161 @@
+(* Per-predicate dynamic profiling from the reference stream.
+
+   The compiler lays each predicate's code out contiguously starting
+   at its entry address, so sorting the entry map yields a partition
+   of the code area into predicate-owned ranges.  The profiler then
+   replays the trace: an instruction fetch (Code-area read) selects
+   the owning predicate as the PE's current attribution target, and
+   every data reference is charged to the predicate whose instruction
+   the PE last fetched.  A fetch of the entry address itself is a call
+   (backtracking re-enters predicates at clause or retry addresses,
+   never at the entry, so entry fetches count procedure calls the same
+   way the machine's inference counter does).
+
+   Parallel traces interleave PEs; attribution is tracked per PE, so
+   the scheme works unchanged for RAP-WAM runs.  References made by a
+   PE before its first fetch (scheduler activity on an idle PE) land
+   in the [other] bucket. *)
+
+type counters = {
+  fid : int;
+  entry : int;  (** entry instruction index *)
+  mutable calls : int;
+  mutable instrs : int;  (** instruction fetches in this range *)
+  refs : int array;  (** data references, indexed by [Trace.Area.to_int] *)
+}
+
+type t = {
+  symbols : Symbols.t;
+  bounds : int array;  (** sorted entry indices, one per predicate *)
+  owners : counters array;  (** owner of [bounds.(i) ..] *)
+  other : int array;  (** data refs with no current predicate *)
+  current : counters option array;  (** per-PE attribution target *)
+}
+
+let create symbols code =
+  let entries = ref [] in
+  Code.iter_entries code (fun fid addr -> entries := (addr, fid) :: !entries);
+  let entries =
+    Array.of_list (List.sort (fun (a, _) (b, _) -> compare a b) !entries)
+  in
+  {
+    symbols;
+    bounds = Array.map fst entries;
+    owners =
+      Array.map
+        (fun (entry, fid) ->
+          {
+            fid;
+            entry;
+            calls = 0;
+            instrs = 0;
+            refs = Array.make Trace.Area.count 0;
+          })
+        entries;
+    other = Array.make Trace.Area.count 0;
+    current = Array.make (Trace.Ref_record.max_pe + 1) None;
+  }
+
+(* Greatest entry <= idx, by binary search; None below the first. *)
+let owner t idx =
+  let n = Array.length t.bounds in
+  if n = 0 || idx < t.bounds.(0) then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let m = (!lo + !hi + 1) / 2 in
+      if t.bounds.(m) <= idx then lo := m else hi := m - 1
+    done;
+    Some t.owners.(!lo)
+  end
+
+let on_record t (r : Trace.Ref_record.t) =
+  if r.Trace.Ref_record.area = Trace.Area.Code then begin
+    let idx = r.Trace.Ref_record.addr - Layout.code_base in
+    match owner t idx with
+    | Some p ->
+      t.current.(r.Trace.Ref_record.pe) <- Some p;
+      p.instrs <- p.instrs + 1;
+      if idx = p.entry then p.calls <- p.calls + 1
+    | None -> t.current.(r.Trace.Ref_record.pe) <- None
+  end
+  else begin
+    let k = Trace.Area.to_int r.Trace.Ref_record.area in
+    match t.current.(r.Trace.Ref_record.pe) with
+    | Some p -> p.refs.(k) <- p.refs.(k) + 1
+    | None -> t.other.(k) <- t.other.(k) + 1
+  end
+
+let sink t : Trace.Sink.t =
+  { Trace.Sink.emit = on_record t; emit_sync = (fun _ -> ()) }
+
+let data_refs (c : counters) = Array.fold_left ( + ) 0 c.refs
+let spec t (c : counters) = Symbols.spec_string t.symbols c.fid
+
+(* Predicates that did any work, busiest first; name order breaks
+   ties so output is deterministic. *)
+let ranked t =
+  let active =
+    List.filter
+      (fun c -> c.calls > 0 || c.instrs > 0 || data_refs c > 0)
+      (Array.to_list t.owners)
+  in
+  List.sort
+    (fun a b ->
+      match compare (data_refs b) (data_refs a) with
+      | 0 -> (
+        match compare b.instrs a.instrs with
+        | 0 -> compare (spec t a) (spec t b)
+        | n -> n)
+      | n -> n)
+    active
+
+let pp fmt t =
+  Format.fprintf fmt "%-22s %8s %10s %10s  %s@." "predicate" "calls"
+    "instrs" "data refs" "top areas";
+  let areas_of c =
+    let pairs =
+      List.filter
+        (fun (_, n) -> n > 0)
+        (List.map
+           (fun a -> (Trace.Area.name a, c.refs.(Trace.Area.to_int a)))
+           Trace.Area.all)
+    in
+    let pairs = List.sort (fun (_, a) (_, b) -> compare b a) pairs in
+    String.concat ", "
+      (List.map
+         (fun (n, v) -> Printf.sprintf "%s %d" n v)
+         (List.filteri (fun i _ -> i < 3) pairs))
+  in
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "%-22s %8d %10d %10d  %s@." (spec t c) c.calls
+        c.instrs (data_refs c) (areas_of c))
+    (ranked t);
+  let other = Array.fold_left ( + ) 0 t.other in
+  if other > 0 then
+    Format.fprintf fmt "%-22s %8s %10s %10d@." "(scheduler)" "-" "-" other
+
+let to_json buf t =
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"predicate\": %S, \"calls\": %d, \"instrs\": %d, \"refs\": {"
+           (spec t c) c.calls c.instrs);
+      let first = ref true in
+      List.iter
+        (fun a ->
+          let n = c.refs.(Trace.Area.to_int a) in
+          if n > 0 then begin
+            if not !first then Buffer.add_string buf ", ";
+            first := false;
+            Buffer.add_string buf
+              (Printf.sprintf "%S: %d" (Trace.Area.name a) n)
+          end)
+        Trace.Area.all;
+      Buffer.add_string buf "}}")
+    (ranked t);
+  Buffer.add_string buf "]"

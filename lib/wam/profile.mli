@@ -1,0 +1,36 @@
+(** Per-predicate dynamic profiling from the reference stream.
+
+    Attribution works by code-range ownership: the compiler lays each
+    predicate out contiguously from its entry address, so instruction
+    fetches select the owning predicate and subsequent data references
+    (by the same PE) are charged to it.  Entry-address fetches count
+    procedure calls.  Works for sequential and parallel traces. *)
+
+type counters = {
+  fid : int;
+  entry : int;
+  mutable calls : int;
+  mutable instrs : int;
+  refs : int array;  (** data references, indexed by [Trace.Area.to_int] *)
+}
+
+type t
+
+val create : Symbols.t -> Code.t -> t
+
+val sink : t -> Trace.Sink.t
+(** Feed this sink (tee it with others) during a run. *)
+
+val owner : t -> int -> counters option
+(** Owning predicate of an instruction index, if any. *)
+
+val data_refs : counters -> int
+val spec : t -> counters -> string
+(** ["name/arity"]. *)
+
+val ranked : t -> counters list
+(** Predicates that did any work, busiest (most data refs) first;
+    deterministic order. *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : Buffer.t -> t -> unit

@@ -24,6 +24,10 @@ type state = {
   nargs : int; (* registers a choice point would save/restore *)
   in_struct : bool; (* a get/put structure opened a unify context *)
   parcall : (int * IS.t) option; (* (pushed-goal count, slots seen) *)
+  builtin_only : bool;
+      (* the path since [allocate] has run only builtins and data
+         instructions -- no [call] that could justify keeping the
+         frame live.  Fuels the env-drift rule. *)
 }
 
 let entry_state ~nargs =
@@ -37,12 +41,14 @@ let entry_state ~nargs =
     nargs;
     in_struct = false;
     parcall = None;
+    builtin_only = false;
   }
 
 let equal_state a b =
   IS.equal a.xs b.xs && IS.equal a.ys b.ys
   && IS.equal a.levels b.levels && a.env = b.env
   && a.nargs = b.nargs && a.in_struct = b.in_struct
+  && a.builtin_only = b.builtin_only
   && (match (a.parcall, b.parcall) with
      | None, None -> true
      | Some (k1, s1), Some (k2, s2) -> k1 = k2 && IS.equal s1 s2
@@ -59,6 +65,9 @@ let merge_state a b =
     env = a.env;
     nargs = a.nargs;
     in_struct = a.in_struct && b.in_struct;
+    (* any builtin-only path reaching the join keeps the drift alarm
+       armed, so a leak reachable through such a path is still seen *)
+    builtin_only = a.builtin_only || b.builtin_only;
     parcall =
       (match (a.parcall, b.parcall) with
       | Some (k, s1), Some (_, s2) -> Some (k, IS.inter s1 s2)
@@ -243,7 +252,14 @@ let check symbols code =
       (match st.env with
       | Env _ -> report "double-allocate" "environment already allocated"
       | No_env -> ());
-      next { st with env = Env n; ys = IS.empty; levels = IS.empty }
+      next
+        {
+          st with
+          env = Env n;
+          ys = IS.empty;
+          levels = IS.empty;
+          builtin_only = true;
+        }
     | Instr.Deallocate ->
       let st = exit_struct st in
       (match st.env with
@@ -255,7 +271,14 @@ let check symbols code =
          | _ ->
            report "dangling-frame"
              "deallocate not immediately followed by execute/proceed");
-      next { st with env = No_env; ys = IS.empty; levels = IS.empty }
+      next
+        {
+          st with
+          env = No_env;
+          ys = IS.empty;
+          levels = IS.empty;
+          builtin_only = false;
+        }
     | Instr.Call fid ->
       let st = exit_struct st in
       let arity = Symbols.functor_arity symbols fid in
@@ -264,7 +287,7 @@ let check symbols code =
         report "undefined-predicate" "call to %s with no code entry"
           (Symbols.spec_string symbols fid);
       (* the callee clobbers the X bank; Y slots survive *)
-      next { st with xs = IS.empty }
+      next { st with xs = IS.empty; builtin_only = false }
     | Instr.Execute fid ->
       let st = exit_struct st in
       let arity = Symbols.functor_arity symbols fid in
@@ -273,7 +296,13 @@ let check symbols code =
         report "undefined-predicate" "execute of %s with no code entry"
           (Symbols.spec_string symbols fid);
       (match st.env with
-      | Env _ -> report "frame-leak" "execute with an environment allocated"
+      | Env n ->
+        report "frame-leak" "execute with an environment allocated";
+        if st.builtin_only then
+          report "env-drift"
+            "%d-slot environment reaches execute through a builtin-only \
+             path (allocate with no matching deallocate)"
+            n
       | No_env -> ());
       (match st.parcall with
       | Some _ -> report "open-parcall" "execute inside a parcall region"
@@ -281,7 +310,13 @@ let check symbols code =
       []
     | Instr.Proceed ->
       (match st.env with
-      | Env _ -> report "frame-leak" "proceed with an environment allocated"
+      | Env n ->
+        report "frame-leak" "proceed with an environment allocated";
+        if st.builtin_only then
+          report "env-drift"
+            "%d-slot environment reaches proceed through a builtin-only \
+             path (allocate with no matching deallocate)"
+            n
       | No_env -> ());
       (match st.parcall with
       | Some _ -> report "open-parcall" "proceed inside a parcall region"
@@ -351,6 +386,13 @@ let check symbols code =
       let st = exit_struct st in
       use_reg st r1;
       use_reg st r2;
+      if l < 0 || l >= len then
+        report "bad-target" "check else-label %d out of code" l;
+      [ (addr + 1, st); (l, st) ]
+    | Instr.Check_size (r, k, l) ->
+      let st = exit_struct st in
+      use_reg st r;
+      if k < 0 then report "bad-size" "check_size bound %d negative" k;
       if l < 0 || l >= len then
         report "bad-target" "check else-label %d out of code" l;
       [ (addr + 1, st); (l, st) ]

@@ -25,7 +25,12 @@
       not clobbered since), so the cut unwinds the trail to a real
       mark.
     - unify instructions appear only in a structure context; every
-      instruction is reachable from some entry. *)
+      instruction is reachable from some entry.
+    - environment-size drift ([env-drift]): an environment that is
+      still allocated at [proceed]/[execute] where the path since its
+      [allocate] ran only builtins and data instructions -- an
+      allocate/deallocate imbalance no call could excuse, so each
+      activation leaks a frame and the stack drifts upward. *)
 
 type diag = {
   addr : int;  (** code address of the offending instruction *)

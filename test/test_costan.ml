@@ -1,0 +1,218 @@
+(* Tests for the static cost & granularity analyzer (lib/costan):
+   recurrence classification, verdicts and the annotator bridge,
+   granularity-driven sequentialization, prediction soundness against
+   the running machine (unit and qcheck), end-to-end answer equality
+   with granularity control on/off, and the dynamic profiler. *)
+
+let threshold = 150
+
+let analyze_src src =
+  let db = Prolog.Database.of_string src in
+  (db, Costan.Analyze.analyze db)
+
+let bench name =
+  List.find
+    (fun b -> b.Benchlib.Programs.name = name)
+    (Benchlib.Inputs.small_benchmarks () @ Benchlib.Large.population ())
+
+let class_of an key =
+  match Costan.Analyze.find an key with
+  | Some p -> p.Costan.Analyze.cls
+  | None -> Costan.Domain.Unknown
+
+let check_class an key expect =
+  let got = class_of an key in
+  if got <> expect then
+    Alcotest.failf "%s/%d: expected %s, got %s" (fst key) (snd key)
+      (Costan.Domain.cls_name expect)
+      (Costan.Domain.cls_name got)
+
+(* ---- recurrence classification ---- *)
+
+let nrev_src =
+  "nrev([], []).\n\
+   nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).\n\
+   append([], L, L).\n\
+   append([H|T], L, [H|R]) :- append(T, L, R).\n"
+
+let test_classes () =
+  let _, an = analyze_src nrev_src in
+  check_class an ("nrev", 2) (Costan.Domain.Poly 2);
+  check_class an ("append", 3) Costan.Domain.Linear;
+  let deriv = bench "deriv" in
+  let _, an = analyze_src deriv.Benchlib.Programs.src in
+  (* tree recursion over distinct subterms: degree + 1, not expo *)
+  check_class an ("d", 3) Costan.Domain.Linear;
+  let tak = bench "tak" in
+  let _, an = analyze_src tak.Benchlib.Programs.src in
+  (* arithmetic descent on several arguments, not structural *)
+  check_class an ("tak", 4) Costan.Domain.Unknown
+
+(* ---- verdicts and the annotator bridge ---- *)
+
+let test_verdicts () =
+  let deriv = bench "deriv" in
+  let db, an = analyze_src deriv.Benchlib.Programs.src in
+  ignore db;
+  let goal = Analysis.Analyze.entry_of_string "d(U, x, DU)" in
+  let k =
+    match Costan.Analyze.verdict an ~threshold goal with
+    | Costan.Analyze.Guard (0, k) ->
+      if k < 2 then Alcotest.failf "guard size %d below the minimum" k;
+      k
+    | Costan.Analyze.Guard (i, _) ->
+      Alcotest.failf "guard on argument %d, expected 0" i
+    | Costan.Analyze.Keep -> Alcotest.fail "expected Guard, got Keep"
+    | Costan.Analyze.Small -> Alcotest.fail "expected Guard, got Small"
+  in
+  (* variable argument: the guard becomes a run-time size check *)
+  (match Costan.Analyze.annotator an ~threshold goal with
+  | Prolog.Annotate.Guard (Prolog.Term.Var "U", k') when k' = k -> ()
+  | _ -> Alcotest.fail "annotator: expected Guard on Var U");
+  (* ground argument below the guard size resolves statically *)
+  let ground = Analysis.Analyze.entry_of_string "d(x, x, DU)" in
+  (match Costan.Analyze.annotator an ~threshold ground with
+  | Prolog.Annotate.Small -> ()
+  | _ -> Alcotest.fail "annotator: small ground argument should be Small")
+
+let test_sequentializes_constant_goals () =
+  let src = "a(1).\nb(2).\nmain(X, Y) :- a(X), b(Y).\n" in
+  let db = Prolog.Database.of_string src in
+  let an = Costan.Analyze.analyze db in
+  let _, plain = Prolog.Annotate.database_stats db in
+  if plain.Prolog.Annotate.groups < 1 then
+    Alcotest.fail "expected a parallel group without granularity control";
+  let _, gran =
+    Prolog.Annotate.database_stats
+      ~granularity:(Costan.Analyze.annotator an ~threshold)
+      db
+  in
+  if gran.Prolog.Annotate.sequentialized < 1 then
+    Alcotest.fail "constant-cost group was not sequentialized";
+  if gran.Prolog.Annotate.groups <> plain.Prolog.Annotate.groups - 1 then
+    Alcotest.failf "groups %d, expected %d" gran.Prolog.Annotate.groups
+      (plain.Prolog.Annotate.groups - 1)
+
+(* ---- prediction vs the running machine ---- *)
+
+let test_deriv_prediction_contains_measured () =
+  let deriv = bench "deriv" in
+  let _, an = analyze_src deriv.Benchlib.Programs.src in
+  let goal =
+    Analysis.Analyze.entry_of_string deriv.Benchlib.Programs.query
+  in
+  match Costan.Eval.predict an goal with
+  | Error reason -> Alcotest.failf "deriv should be predictable: %s" reason
+  | Ok p ->
+    let r = Benchlib.Runner.run_wam deriv in
+    let steps = p.Costan.Eval.p_steps in
+    if
+      r.Benchlib.Runner.inferences < steps.Costan.Domain.lo
+      || r.Benchlib.Runner.inferences > steps.Costan.Domain.hi
+    then
+      Alcotest.failf "steps [%d,%d] does not contain measured %d"
+        steps.Costan.Domain.lo steps.Costan.Domain.hi
+        r.Benchlib.Runner.inferences;
+    List.iter
+      (fun area ->
+        let i = p.Costan.Eval.p_refs.(Trace.Area.to_int area) in
+        let measured =
+          Trace.Areastats.refs r.Benchlib.Runner.area_stats area
+        in
+        if measured < i.Costan.Domain.lo || measured > i.Costan.Domain.hi
+        then
+          Alcotest.failf "%s: [%d,%d] does not contain measured %d"
+            (Trace.Area.name area) i.Costan.Domain.lo i.Costan.Domain.hi
+            measured)
+      Trace.Area.all
+
+(* qcheck soundness: on randomized list-recursive queries the
+   predicted lower bound never exceeds what the machine measures. *)
+let prop_lower_bound_sound =
+  QCheck.Test.make ~name:"costan lower bound <= measured steps" ~count:30
+    QCheck.(list_of_size (Gen.int_range 0 15) (int_bound 99))
+    (fun xs ->
+      let query =
+        Printf.sprintf "nrev([%s], R)"
+          (String.concat "," (List.map string_of_int xs))
+      in
+      let _, an = analyze_src nrev_src in
+      let goal = Analysis.Analyze.entry_of_string query in
+      match Costan.Eval.predict an goal with
+      | Error _ -> false (* nrev on a ground list must be predictable *)
+      | Ok p ->
+        let prog =
+          Wam.Program.prepare ~parallel:false ~src:nrev_src ~query ()
+        in
+        let _, m = Wam.Seq.run prog in
+        let inf = m.Wam.Machine.inferences in
+        p.Costan.Eval.p_steps.Costan.Domain.lo <= inf
+        && inf <= p.Costan.Eval.p_steps.Costan.Domain.hi)
+
+(* ---- end-to-end: granularity control never changes answers ---- *)
+
+let granularity_transform threshold db =
+  Prolog.Annotate.database
+    ?granularity:
+      (Option.map
+         (fun th ->
+           Costan.Analyze.annotator (Costan.Analyze.analyze db) ~threshold:th)
+         threshold)
+    db
+
+let test_answers_agree_with_granularity () =
+  List.iter
+    (fun (b : Benchlib.Programs.benchmark) ->
+      let off =
+        Benchlib.Runner.run_rapwam ~n_pes:2
+          ~transform:(granularity_transform None) b
+      in
+      let on =
+        Benchlib.Runner.run_rapwam ~n_pes:2
+          ~transform:(granularity_transform (Some threshold)) b
+      in
+      if not (Benchlib.Runner.answers_agree off on) then
+        Alcotest.failf "%s: answers differ with granularity control"
+          b.Benchlib.Programs.name)
+    (Benchlib.Inputs.small_benchmarks () @ Benchlib.Large.population ())
+
+(* ---- dynamic profiler ---- *)
+
+let test_profile_counts_calls () =
+  let src = "count(0).\ncount(s(X)) :- count(X).\n" in
+  let query = "count(s(s(s(0))))" in
+  let prog = Wam.Program.prepare ~parallel:false ~src ~query () in
+  let p =
+    Wam.Profile.create prog.Wam.Program.symbols prog.Wam.Program.code
+  in
+  let result, _ = Wam.Seq.run ~sink:(Wam.Profile.sink p) prog in
+  (match result with
+  | Wam.Seq.Success _ -> ()
+  | Wam.Seq.Failure -> Alcotest.fail "count query failed");
+  let c =
+    match
+      List.find_opt
+        (fun c -> Wam.Profile.spec p c = "count/1")
+        (Wam.Profile.ranked p)
+    with
+    | Some c -> c
+    | None -> Alcotest.fail "count/1 missing from the profile"
+  in
+  if c.Wam.Profile.calls <> 4 then
+    Alcotest.failf "count/1 calls = %d, expected 4" c.Wam.Profile.calls;
+  if c.Wam.Profile.instrs = 0 then Alcotest.fail "count/1 ran no instructions"
+
+let suite =
+  [
+    Alcotest.test_case "recurrence classes" `Quick test_classes;
+    Alcotest.test_case "verdicts and annotator bridge" `Quick test_verdicts;
+    Alcotest.test_case "constant goals sequentialize" `Quick
+      test_sequentializes_constant_goals;
+    Alcotest.test_case "deriv prediction contains measured" `Quick
+      test_deriv_prediction_contains_measured;
+    QCheck_alcotest.to_alcotest prop_lower_bound_sound;
+    Alcotest.test_case "answers agree with granularity on/off" `Slow
+      test_answers_agree_with_granularity;
+    Alcotest.test_case "profiler counts calls" `Quick
+      test_profile_counts_calls;
+  ]

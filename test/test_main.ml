@@ -17,5 +17,6 @@ let () =
       ("tracecheck", Test_tracecheck.suite);
       ("resilience", Test_resilience.suite);
       ("edge-cases", Test_edge_cases.suite);
+      ("costan", Test_costan.suite);
       ("properties", Test_properties.suite);
     ]

@@ -285,6 +285,41 @@ let test_bad_target () =
   in
   check_has "bad-target" diags
 
+(* Environment-size drift: the frame allocated at entry reaches
+   proceed through a path that ran only builtins, so no call could
+   excuse keeping it -- every activation leaks one frame. *)
+let test_env_drift () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        ignore (entry symbols code "p" 0);
+        emit code (Allocate 2);
+        emit code (Builtin (Wam.Builtin.True_b, 0));
+        emit code Proceed)
+  in
+  check_has "env-drift" diags
+
+let check_lacks rule diags =
+  if List.exists (fun d -> d.Wam.Wamlint.rule = rule) diags then
+    Alcotest.failf "did not expect a %s diagnostic" rule
+
+(* A leak past a real call is still a frame-leak, but not drift: the
+   call could have needed the frame, so only the generic rule fires. *)
+let test_env_drift_needs_builtin_only () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        let q = Wam.Symbols.functor_ symbols "q" 0 in
+        ignore (entry symbols code "p" 0);
+        emit code (Allocate 2);
+        emit code (Call q);
+        emit code Proceed;
+        ignore (entry symbols code "q" 0);
+        emit code Proceed)
+  in
+  check_has "frame-leak" diags;
+  check_lacks "env-drift" diags
+
 (* ---- every shipped benchmark compiles clean ---- *)
 
 let all_benchmarks () =
@@ -328,6 +363,9 @@ let suite =
     Alcotest.test_case "trail discipline: partial path" `Quick
       test_trail_discipline_partial_path;
     Alcotest.test_case "bad jump target" `Quick test_bad_target;
+    Alcotest.test_case "env drift (builtin-only leak)" `Quick test_env_drift;
+    Alcotest.test_case "env drift needs builtin-only path" `Quick
+      test_env_drift_needs_builtin_only;
     Alcotest.test_case "benchmarks clean (parallel)" `Quick
       test_benchmarks_clean_parallel;
     Alcotest.test_case "benchmarks clean (sequential)" `Quick
