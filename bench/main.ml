@@ -8,19 +8,22 @@
 
    Experiments: table1 table2 table3 figure2 figure4 mlips timing
                 ablation-tags ablation-sched ablation-line ablation-alloc
-                ablation-granularity
+                ablation-granularity tracecheck costan server
 
    The emulation runs and cache sweeps the experiments share are
    pre-generated on the engine's domain pool (--jobs N, default the
    host's recommended domain count); the tables themselves are then
    printed sequentially from the memo, so output is identical for any
-   --jobs value. *)
+   --jobs value.  The exception is `server`, which measures live
+   concurrent domains: its answers and table contents are
+   seed-deterministic, but throughput/latency lines and the
+   race-dependent duplicate-dedup counter vary run to run. *)
 
 let usage () =
   print_endline
     "usage: main.exe [--quick] [--perf] [--jobs N] [table1|table2|table3|\n\
     \       figure2|figure4|mlips|ablation-tags|ablation-sched|\n\
-    \       ablation-line|ablation-alloc|tracecheck|costan]...";
+    \       ablation-line|ablation-alloc|tracecheck|costan|server]...";
   exit 1
 
 let parse_args args =
@@ -86,6 +89,7 @@ let () =
       | "ablation-granularity" -> Experiments.ablation_granularity setup
       | "tracecheck" -> Experiments.tracecheck setup
       | "costan" -> Experiments.costan setup
+      | "server" -> Experiments.server setup
       | "all" -> Experiments.all setup
       | other ->
         Printf.eprintf "unknown experiment %S\n" other;

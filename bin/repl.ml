@@ -15,6 +15,7 @@ type state = {
   mutable sequential : bool;
   mutable stats : bool;
   mutable all_solutions : bool;
+  mutable time : bool; (* per-query wall clock + per-predicate profile *)
 }
 
 let read_file path =
@@ -41,11 +42,53 @@ let consult st path =
       Format.printf "%% load error in %s: %s@." path msg)
   | exception Sys_error msg -> Format.printf "%% cannot read: %s@." msg
 
+let print_result result =
+  match result with
+  | Wam.Seq.Failure -> Format.printf "no@."
+  | Wam.Seq.Success [] -> Format.printf "yes@."
+  | Wam.Seq.Success bindings ->
+    List.iter
+      (fun (v, t) -> Format.printf "%s = %s@." v (Prolog.Pretty.to_string t))
+      bindings
+
+(* --time mode: run through an explicit program so a Wam.Profile sink
+   can ride along, then print wall clock, inference count, and the
+   per-predicate table. *)
+let run_timed st ~src ~query ~t0 =
+  let prog =
+    Wam.Program.prepare ~parallel:(not st.sequential) ~src ~query ()
+  in
+  let prof =
+    Wam.Profile.create prog.Wam.Program.symbols prog.Wam.Program.code
+  in
+  let sink = Wam.Profile.sink prof in
+  let result, instrs, inferences =
+    if st.sequential then begin
+      let result, m = Wam.Seq.run ~sink prog in
+      (result, Wam.Machine.total_instr m, m.Wam.Machine.inferences)
+    end
+    else begin
+      let sim = Rapwam.Sim.create ~sink ~n_workers:st.pes prog in
+      let result = Rapwam.Sim.run_prepared sim prog in
+      ( result,
+        Wam.Machine.total_instr sim.Rapwam.Sim.m,
+        sim.Rapwam.Sim.m.Wam.Machine.inferences )
+    end
+  in
+  print_result result;
+  Format.printf "%% time: %.3fs, %d inferences, %d instructions (%s)@."
+    (Unix.gettimeofday () -. t0)
+    inferences instrs
+    (if st.sequential then "WAM"
+     else Printf.sprintf "RAP-WAM, %d PEs" st.pes);
+  Format.printf "%a@." Wam.Profile.pp prof
+
 let run_query st query =
   let t0 = Unix.gettimeofday () in
   try
     let src = program_text st in
-    if st.all_solutions then begin
+    if st.time && not st.all_solutions then run_timed st ~src ~query ~t0
+    else if st.all_solutions then begin
       (* enumeration is sequential by construction *)
       let solutions, m = Wam.Seq.solve_all ~max_solutions:64 ~src ~query () in
       (match solutions with
@@ -120,6 +163,7 @@ let help () =
     \  :pes N            use N processing elements (current setting shown)\n\
     \  :sequential       toggle sequential-WAM mode\n\
     \  :stats            toggle per-query statistics\n\
+    \  :time             toggle per-query wall clock + per-predicate profile\n\
     \  :all              toggle all-solutions enumeration (sequential)\n\
     \  :listing          disassemble the current program\n\
     \  :annotate         show the auto-annotated program\n\
@@ -146,6 +190,10 @@ let handle st line =
   else if line = ":stats" then begin
     st.stats <- not st.stats;
     Format.printf "%% statistics %s@." (if st.stats then "on" else "off")
+  end
+  else if line = ":time" then begin
+    st.time <- not st.time;
+    Format.printf "%% timing %s@." (if st.time then "on" else "off")
   end
   else if line = ":all" then begin
     st.all_solutions <- not st.all_solutions;
@@ -202,6 +250,23 @@ let handle st line =
     run_query st query
   end
 
+(* Counts that must be at least 1 (--pes): same validation and wording
+   as cache_sweep's pos_int converter. *)
+let pos_int_arg ~flag s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 -> n
+  | Some n ->
+    Printf.eprintf "repl: %s: %d is not a positive count (expected >= 1)\n"
+      flag n;
+    exit 2
+  | None ->
+    Printf.eprintf "repl: %s: expected a positive count, got %S\n" flag s;
+    exit 2
+
+let usage () =
+  prerr_endline "usage: repl [--pes N] [--time] [file.pl ...]";
+  exit 2
+
 let () =
   let st =
     {
@@ -210,14 +275,37 @@ let () =
       sequential = false;
       stats = true;
       all_solutions = false;
+      time = false;
     }
   in
-  (* files on the command line are consulted at startup *)
-  Array.iteri (fun i arg -> if i > 0 then consult st arg) Sys.argv;
+  (* flags, then files to consult at startup *)
+  let rec parse_args = function
+    | [] -> []
+    | "--time" :: rest ->
+      st.time <- true;
+      parse_args rest
+    | "--pes" :: v :: rest ->
+      st.pes <- pos_int_arg ~flag:"--pes" v;
+      parse_args rest
+    | [ "--pes" ] ->
+      prerr_endline "repl: --pes expects an argument";
+      usage ()
+    | arg :: rest when String.length arg > 6 && String.sub arg 0 6 = "--pes=" ->
+      st.pes <- pos_int_arg ~flag:"--pes"
+          (String.sub arg 6 (String.length arg - 6));
+      parse_args rest
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' && arg <> "-" ->
+      Printf.eprintf "repl: unknown option %S\n" arg;
+      usage ()
+    | file :: rest -> file :: parse_args rest
+  in
+  let files = parse_args (List.tl (Array.to_list Sys.argv)) in
+  List.iter (consult st) files;
   Format.printf
     "RAP-WAM interactive toplevel -- :help for commands, :quit to leave@.";
-  Format.printf
-    "%% %d PEs, parallel mode, statistics on, prelude loaded@." st.pes;
+  Format.printf "%% %d PEs, parallel mode, statistics on%s, prelude loaded@."
+    st.pes
+    (if st.time then ", timing on" else "");
   try
     while true do
       print_string "rapwam> ";

@@ -1,0 +1,220 @@
+(* The three-phase traffic experiment (memo_off / cold / warm), the
+   answer cross-check, and the M/G/1 comparison. *)
+
+type params = {
+  mix : Traffic.mix;
+  seed : int;
+  zipf_s : float;
+  requests : int;
+  batch : int;
+  pes : int;
+  workers : int;
+  memo_words : int;
+  memo_shards : int;
+  threshold : int;
+  max_queue : int;
+  max_solutions : int;
+  faults : Resilience.Fault.plan option;
+}
+
+let default_params ?(quick = false) () =
+  {
+    mix =
+      (if quick then [ ("qsort", 12); ("tak", 8); ("matrix", 6) ]
+       else
+         [ ("deriv", 24); ("qsort", 24); ("tak", 12); ("matrix", 12) ]);
+    seed = 42;
+    zipf_s = 1.1;
+    requests = (if quick then 400 else 2000);
+    batch = (if quick then 200 else 500);
+    pes = 1;
+    workers = Engine.Pool.default_jobs ();
+    memo_words = 64 * 1024 * 1024 / 8;  (* 64 MB of 8-byte words *)
+    memo_shards = 16;
+    threshold = 150;
+    max_queue = 256;
+    max_solutions = 1;
+    faults = None;
+  }
+
+type phase = {
+  ph_name : string;
+  ph_requests : int;
+  ph_wall_s : float;
+  ph_qps : float;
+  ph_latency : Metrics.summary;
+  ph_service : Metrics.summary;
+  ph_hit_rate : float;
+  ph_stats : Serve.stats;
+}
+
+type mg1_check = {
+  q_lambda : float;
+  q_service_s : float;
+  q_cs2 : float;
+  q_capped : bool;
+  q_predicted_s : float;
+  q_measured_s : float;
+  q_ratio : float;
+}
+
+type outcome = {
+  o_params : params;
+  o_pool_size : int;
+  o_off : phase;
+  o_cold : phase;
+  o_warm : phase;
+  o_memo : Memo.Table.totals;
+  o_answers_checked : int;
+  o_answers_equal : bool;
+  o_mismatches : (string * string * string) list;
+  o_mg1 : mg1_check;
+}
+
+let batches ~batch requests =
+  let n = Array.length requests in
+  let out = ref [] in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min batch (n - !pos) in
+    out := Array.to_list (Array.sub requests !pos len) :: !out;
+    pos := !pos + len
+  done;
+  List.rev !out
+
+(* Serve the whole stream on [server], batch by batch, and summarize
+   the phase from the server's own accounting (each phase uses a fresh
+   Serve.t, so stats and metrics are per-phase even when the memo
+   table is shared). *)
+let run_phase ~name server requests ~batch =
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun b -> ignore (Serve.serve server b))
+    (batches ~batch requests);
+  let wall = Unix.gettimeofday () -. t0 in
+  let st = Serve.stats server in
+  {
+    ph_name = name;
+    ph_requests = st.Serve.served;
+    ph_wall_s = wall;
+    ph_qps =
+      (if wall <= 0.0 then 0.0 else float_of_int st.Serve.served /. wall);
+    ph_latency = Metrics.summary (Serve.latencies server);
+    ph_service = Metrics.summary (Serve.services server);
+    ph_hit_rate =
+      (if st.Serve.served = 0 then 0.0
+       else float_of_int st.Serve.hits /. float_of_int st.Serve.served);
+    ph_stats = st;
+  }
+
+(* Served answers vs the direct engine: every distinct pool query,
+   canonical text vs canonical text. *)
+let cross_check oracle_server server pool =
+  let mismatches = ref [] in
+  let checked = ref 0 in
+  Array.iter
+    (fun query ->
+      let direct = Serve.run_direct oracle_server query in
+      let responses =
+        Serve.serve server [ { Serve.rq_id = 0; rq_query = query } ]
+      in
+      match responses with
+      | [ rs ] when rs.Serve.rs_error = None ->
+        incr checked;
+        let text answers =
+          String.concat " ; " (List.map Memo.Canon.answer_text answers)
+        in
+        let served = text rs.Serve.rs_answers and want = text direct in
+        if served <> want then
+          mismatches := (query, served, want) :: !mismatches
+      | _ -> ())
+    pool;
+  (!checked, List.rev !mismatches)
+
+(* The M/G/1 cross-check reads the memo-off phase: service time from
+   the measured per-execution distribution, arrival rate per worker
+   from the measured throughput.  A batch-saturated server sits at the
+   model's stability edge, so the arrival rate is capped at 95%
+   utilization before evaluating — the cap is recorded. *)
+let mg1_of ~service ~cs2 ~off ~workers =
+  let arrival = off.ph_qps /. float_of_int (max 1 workers) in
+  let cap = if service > 0.0 then 0.95 /. service else arrival in
+  let capped = arrival > cap in
+  let lambda = if capped then cap else arrival in
+  let model = Queueing.Mg1.make ~cs2 ~lambda ~service () in
+  let predicted = Queueing.Mg1.mean_response model in
+  let measured = off.ph_latency.Metrics.mean_s in
+  {
+    q_lambda = lambda;
+    q_service_s = service;
+    q_cs2 = cs2;
+    q_capped = capped;
+    q_predicted_s = predicted;
+    q_measured_s = measured;
+    q_ratio = (if measured > 0.0 then predicted /. measured else 0.0);
+  }
+
+let run ?(progress = fun _ -> ()) p =
+  let src = Traffic.database p.mix in
+  let pool = Traffic.pool p.mix ~seed:p.seed in
+  let requests =
+    Traffic.requests p.mix ~seed:p.seed ~s:p.zipf_s ~n:p.requests
+  in
+  let mk ?memo ?faults () =
+    Serve.create
+      (Serve.config ~pes:p.pes ~workers:p.workers ?memo
+         ~threshold:p.threshold ~max_queue:p.max_queue
+         ~max_solutions:p.max_solutions ?faults ~src ())
+  in
+  progress
+    (Printf.sprintf "pool %d distinct queries, %d requests, zipf s=%.2f"
+       (Array.length pool) p.requests p.zipf_s);
+  (* phase 1: no table *)
+  let off_server = mk () in
+  let off = run_phase ~name:"memo_off" off_server requests ~batch:p.batch in
+  progress
+    (Printf.sprintf "memo_off: %.0f q/s, p99 %.2f ms" off.ph_qps
+       (off.ph_latency.Metrics.p99_s *. 1000.0));
+  (* phase 2: cold table; the chaos phase *)
+  let memo =
+    Memo.Table.create ~shards:p.memo_shards ~capacity_words:p.memo_words ()
+  in
+  let cold_server = mk ~memo ?faults:p.faults () in
+  let cold = run_phase ~name:"cold" cold_server requests ~batch:p.batch in
+  progress
+    (Printf.sprintf "cold: %.0f q/s, hit rate %.2f" cold.ph_qps
+       cold.ph_hit_rate);
+  (* phase 3: same table, fresh accounting *)
+  let warm_server = mk ~memo () in
+  let warm = run_phase ~name:"warm" warm_server requests ~batch:p.batch in
+  progress
+    (Printf.sprintf "warm: %.0f q/s, hit rate %.2f" warm.ph_qps
+       warm.ph_hit_rate);
+  (* cross-check through yet another server sharing the table: answers
+     must survive memoing; the oracle runs direct *)
+  let checked, mismatches =
+    cross_check off_server (mk ~memo ()) pool
+  in
+  let service, cs2 = Metrics.mean_and_cs2 (Serve.services off_server) in
+  {
+    o_params = p;
+    o_pool_size = Array.length pool;
+    o_off = off;
+    o_cold = cold;
+    o_warm = warm;
+    o_memo = Memo.Table.totals memo;
+    o_answers_checked = checked;
+    o_answers_equal = mismatches = [];
+    o_mismatches = mismatches;
+    o_mg1 = mg1_of ~service ~cs2 ~off ~workers:p.workers;
+  }
+
+let hit_rate_ok o = o.o_cold.ph_hit_rate >= 0.5
+let warm_speedup_ok o = o.o_warm.ph_qps > o.o_off.ph_qps
+
+let p99_finite o =
+  let f = o.o_cold.ph_latency.Metrics.p99_s in
+  Float.is_finite f && f >= 0.0
+
+let mg1_ratio_ok o =
+  Float.is_finite o.o_mg1.q_ratio && o.o_mg1.q_ratio > 0.0

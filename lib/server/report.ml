@@ -1,0 +1,160 @@
+(* BENCH_server.json writer + text summary.  Hand-rolled JSON, like
+   the bench harness's other writers; floats are printed with enough
+   digits to round-trip. *)
+
+open Harness
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let fl x =
+  if Float.is_finite x then Printf.sprintf "%.6g" x
+  else Printf.sprintf "%S" (Float.to_string x)
+
+let add_latency buf (s : Metrics.summary) =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"n\": %d, \"mean_s\": %s, \"p50_s\": %s, \"p95_s\": %s, \
+        \"p99_s\": %s, \"max_s\": %s}"
+       s.Metrics.n (fl s.Metrics.mean_s) (fl s.Metrics.p50_s)
+       (fl s.Metrics.p95_s) (fl s.Metrics.p99_s) (fl s.Metrics.max_s))
+
+let add_phase buf (ph : phase) =
+  let st = ph.ph_stats in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    {\"phase\": %S, \"requests\": %d, \"wall_s\": %s, \
+        \"throughput_qps\": %s, \"hit_rate\": %s, \"latency\": "
+       ph.ph_name ph.ph_requests (fl ph.ph_wall_s) (fl ph.ph_qps)
+       (fl ph.ph_hit_rate));
+  add_latency buf ph.ph_latency;
+  Buffer.add_string buf ", \"service\": ";
+  add_latency buf ph.ph_service;
+  Buffer.add_string buf
+    (Printf.sprintf
+       ", \"lanes\": {\"hits\": %d, \"inline\": %d, \"pooled\": %d}, \
+        \"waves\": %d, \"max_queue_depth\": %d, \"faulted\": %d, \
+        \"errors\": %d}"
+       st.Serve.hits st.Serve.inline_ st.Serve.pooled st.Serve.waves
+       st.Serve.max_depth st.Serve.faulted st.Serve.errors)
+
+let to_json_string (o : outcome) =
+  let p = o.o_params in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"rapwam-server/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"params\": {\"mix\": %S, \"seed\": %d, \"zipf_s\": %s, \
+        \"requests\": %d, \"batch\": %d, \"pes\": %d, \"workers\": %d, \
+        \"memo_words\": %d, \"memo_shards\": %d, \"threshold\": %d, \
+        \"max_queue\": %d, \"max_solutions\": %d, \"faults\": %S},\n"
+       (Traffic.mix_to_string p.mix) p.seed (fl p.zipf_s) p.requests p.batch
+       p.pes p.workers p.memo_words p.memo_shards p.threshold p.max_queue
+       p.max_solutions
+       (match p.faults with
+       | None -> ""
+       | Some plan -> Resilience.Fault.to_string plan));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"pool_size\": %d,\n" o.o_pool_size);
+  Buffer.add_string buf "  \"phases\": [\n";
+  List.iteri
+    (fun i ph ->
+      add_phase buf ph;
+      Buffer.add_string buf (if i = 2 then "\n" else ",\n"))
+    [ o.o_off; o.o_cold; o.o_warm ];
+  Buffer.add_string buf "  ],\n";
+  let m = o.o_memo in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"memo\": {\"hits\": %d, \"misses\": %d, \"inserts\": %d, \
+        \"duplicates\": %d, \"evictions\": %d, \"entries\": %d, \
+        \"words\": %d, \"hit_rate\": %s},\n"
+       m.Memo.Table.hits m.Memo.Table.misses m.Memo.Table.inserts
+       m.Memo.Table.duplicates m.Memo.Table.evictions m.Memo.Table.entries
+       m.Memo.Table.words
+       (fl (Memo.Table.hit_rate m)));
+  let q = o.o_mg1 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"mg1\": {\"lambda_per_worker\": %s, \"service_s\": %s, \
+        \"cs2\": %s, \"capped_for_stability\": %b, \"predicted_mean_s\": \
+        %s, \"measured_mean_s\": %s, \"predicted_over_measured\": %s},\n"
+       (fl q.q_lambda) (fl q.q_service_s) (fl q.q_cs2) q.q_capped
+       (fl q.q_predicted_s) (fl q.q_measured_s) (fl q.q_ratio));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"answers_checked\": %d,\n" o.o_answers_checked);
+  (match o.o_mismatches with
+  | [] -> ()
+  | ms ->
+    Buffer.add_string buf "  \"mismatches\": [\n";
+    List.iteri
+      (fun i (query, served, want) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"query\": \"%s\", \"served\": \"%s\", \"direct\": \
+              \"%s\"}%s\n"
+             (json_escape query) (json_escape served) (json_escape want)
+             (if i = List.length ms - 1 then "" else ",")))
+      ms;
+    Buffer.add_string buf "  ],\n");
+  Buffer.add_string buf
+    (Printf.sprintf "  \"answers_equal\": %b,\n" o.o_answers_equal);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"hit_rate_ok\": %b,\n" (hit_rate_ok o));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"warm_speedup_ok\": %b,\n" (warm_speedup_ok o));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"p99_finite\": %b,\n" (p99_finite o));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"mg1_ratio_ok\": %b\n" (mg1_ratio_ok o));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_json path o =
+  Resilience.Atomic_io.write_string path (to_json_string o)
+
+let pp fmt (o : outcome) =
+  let p = o.o_params in
+  Format.fprintf fmt "mix %s, %d requests over %d distinct queries@."
+    (Traffic.mix_to_string p.mix) p.requests o.o_pool_size;
+  Format.fprintf fmt "%-9s %9s %10s %10s %10s %10s %8s@." "phase" "q/s"
+    "mean" "p50" "p95" "p99" "hit%";
+  List.iter
+    (fun ph ->
+      let l = ph.ph_latency in
+      Format.fprintf fmt "%-9s %9.0f %9.2fms %9.2fms %9.2fms %9.2fms %7.1f%%@."
+        ph.ph_name ph.ph_qps
+        (l.Metrics.mean_s *. 1000.0)
+        (l.Metrics.p50_s *. 1000.0)
+        (l.Metrics.p95_s *. 1000.0)
+        (l.Metrics.p99_s *. 1000.0)
+        (100.0 *. ph.ph_hit_rate))
+    [ o.o_off; o.o_cold; o.o_warm ];
+  let m = o.o_memo in
+  Format.fprintf fmt
+    "memo: %d entries, %d words, %d inserts, %d duplicates deduped, %d \
+     evictions@."
+    m.Memo.Table.entries m.Memo.Table.words m.Memo.Table.inserts
+    m.Memo.Table.duplicates m.Memo.Table.evictions;
+  Format.fprintf fmt
+    "answers: %d/%d distinct queries checked, equal = %b@."
+    o.o_answers_checked o.o_pool_size o.o_answers_equal;
+  let q = o.o_mg1 in
+  Format.fprintf fmt
+    "M/G/1: predicted %.2f ms vs measured %.2f ms (ratio %.3f%s)@."
+    (q.q_predicted_s *. 1000.0)
+    (q.q_measured_s *. 1000.0)
+    q.q_ratio
+    (if q.q_capped then ", lambda capped at 95% utilization" else "")

@@ -1,0 +1,11 @@
+(** Rendering for the traffic experiment: the BENCH_server.json
+    artifact (written atomically) and a human-readable summary.
+
+    The JSON carries the acceptance invariants as pre-evaluated
+    booleans ([answers_equal], [hit_rate_ok], [warm_speedup_ok],
+    [p99_finite], [mg1_ratio_ok]) so CI can grep instead of parsing
+    floats. *)
+
+val write_json : string -> Harness.outcome -> unit
+val to_json_string : Harness.outcome -> string
+val pp : Format.formatter -> Harness.outcome -> unit

@@ -1,0 +1,93 @@
+(** The concurrent query server.
+
+    A server holds one loaded database (source text), a static cost
+    analysis of it, and optionally a shared {!Memo.Table}.  A batch of
+    requests is served in two lanes chosen by admission control:
+
+    {ul
+    {- memo hits answer immediately from the table;}
+    {- misses whose {!Costan.Analyze.verdict} is [Small] (statically
+       cheaper than the spawn/queue overhead) run {e inline} on the
+       accepting thread;}
+    {- everything else ([Keep]/[Guard]) is queued and fanned out over
+       an {!Engine.Pool} of worker domains, in waves of at most
+       [max_queue] (queue-depth backpressure: a deeper backlog waits
+       for the current wave to drain).}}
+
+    Every execution parses and compiles the database fresh (the
+    machines are single-shot), so worker domains share nothing but the
+    memo table — which is what its sharded locks are for.  Computed
+    answer sets are inserted back into the table from whichever domain
+    finished first; variant-checking dedupes the race.
+
+    Fault injection reuses the {!Resilience.Fault} registry: each
+    admission passes the ["cell-start"] site, each execution the
+    ["sim-step"] site.  A planned [Crash] is lethal (the caller maps
+    it to exit 70, like the sweep engine); any other kind marks just
+    that request as faulted. *)
+
+type config = {
+  src : string;  (** database source text *)
+  pes : int;  (** 1 = sequential WAM; >1 = RAP-WAM simulation *)
+  workers : int;  (** pool domains for the queued lane *)
+  memo : Memo.Table.t option;  (** [None] = memoing off *)
+  threshold : int;  (** admission-control cost threshold (data refs) *)
+  max_queue : int;  (** wave size for the queued lane *)
+  max_solutions : int;  (** answer-set cap (sequential engine only) *)
+  faults : Resilience.Fault.plan option;
+}
+
+val config :
+  ?pes:int -> ?workers:int -> ?memo:Memo.Table.t -> ?threshold:int ->
+  ?max_queue:int -> ?max_solutions:int ->
+  ?faults:Resilience.Fault.plan -> src:string -> unit -> config
+(** Defaults: [pes = 1], [workers = Engine.Pool.default_jobs ()],
+    no memo, [threshold = 150], [max_queue = 256],
+    [max_solutions = 1], no faults. *)
+
+type t
+
+val create : config -> t
+(** Parses the database and runs the cost analysis once.
+    @raise Prolog.Parser.Error or {!Prolog.Database.Load_error} on a
+    bad source. *)
+
+type request = { rq_id : int; rq_query : string }
+type lane = Hit | Inline | Pooled
+
+type response = {
+  rs_id : int;
+  rs_query : string;
+  rs_answers : Memo.Canon.answer list;  (** solutions, [] on failure *)
+  rs_lane : lane;
+  rs_error : string option;  (** parse/runtime error, or injected fault *)
+  rs_latency_s : float;  (** batch arrival to completion *)
+  rs_service_s : float;  (** execution only; 0 for memo hits *)
+  rs_inferences : int;  (** 0 for memo hits *)
+}
+
+val serve : t -> request list -> response list
+(** Serve one batch; responses come back in request order.  Re-raises
+    {!Resilience.Fault.Injected} only for a planned [Crash]. *)
+
+val run_direct : t -> string -> Memo.Canon.answer list
+(** One query straight through the engine — no memo, no admission, no
+    faults.  The cross-check oracle. *)
+
+type stats = {
+  served : int;
+  hits : int;
+  inline_ : int;
+  pooled : int;
+  waves : int;
+  max_depth : int;  (** deepest queued backlog seen at a batch start *)
+  faulted : int;
+  errors : int;
+}
+
+val stats : t -> stats
+val latencies : t -> Metrics.t
+val services : t -> Metrics.t
+(** Per-execution service times (memo hits excluded). *)
+
+val memo_totals : t -> Memo.Table.totals option

@@ -1,0 +1,114 @@
+(* Deterministic zipfian traffic over a ranked pool of distinct query
+   instances.  (mix, seed) fully determines the pool and the request
+   sequence; instance parameters are sized well below the paper-scale
+   benchmark inputs so a traffic run is thousands of cheap queries,
+   not four heavy ones. *)
+
+type mix = (string * int) list
+
+let default_distinct = 16
+
+let parse_mix spec =
+  let items = String.split_on_char ',' spec in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | item :: rest -> (
+      let item = String.trim item in
+      if item = "" then go acc rest
+      else
+        let name, count =
+          match String.index_opt item ':' with
+          | None -> (item, Ok default_distinct)
+          | Some i ->
+            let n = String.sub item (i + 1) (String.length item - i - 1) in
+            ( String.sub item 0 i,
+              match int_of_string_opt n with
+              | Some c when c >= 1 -> Ok c
+              | Some _ | None ->
+                Error (Printf.sprintf "bad count %S in mix item %S" n item) )
+        in
+        match count with
+        | Error _ as e -> e
+        | Ok count ->
+          if List.mem name Benchlib.Programs.all_names then
+            go ((name, count) :: acc) rest
+          else
+            Error
+              (Printf.sprintf "unknown benchmark %S (expected %s)" name
+                 (String.concat "|" Benchlib.Programs.all_names)))
+  in
+  match go [] items with
+  | Ok [] -> Error "empty mix"
+  | other -> other
+
+let mix_to_string mix =
+  String.concat ","
+    (List.map (fun (name, count) -> Printf.sprintf "%s:%d" name count) mix)
+
+let source_of = function
+  | "deriv" -> Benchlib.Programs.deriv
+  | "tak" -> Benchlib.Programs.tak
+  | "qsort" -> Benchlib.Programs.qsort
+  | "matrix" -> Benchlib.Programs.matrix
+  | name -> invalid_arg (Printf.sprintf "Traffic.database: unknown %S" name)
+
+let database mix =
+  let seen = Hashtbl.create 4 in
+  String.concat "\n"
+    (List.filter_map
+       (fun (name, _) ->
+         if Hashtbl.mem seen name then None
+         else begin
+           Hashtbl.add seen name ();
+           Some (source_of name)
+         end)
+       mix)
+
+(* One distinct instance of a benchmark query, derived from (seed,
+   rank).  The parameter spaces are wide enough that ranks below ~50
+   per benchmark are genuinely distinct queries. *)
+let instance ~seed name rank =
+  match name with
+  | "deriv" ->
+    Benchlib.Inputs.deriv_query ~depth:(3 + (rank mod 3)) ~iterations:1
+      ~seed:((seed * 31) + rank + 1) ()
+  | "tak" ->
+    Benchlib.Inputs.tak_query ~x:(6 + (rank mod 4))
+      ~y:(3 + (rank / 4 mod 3))
+      ~z:(2 + (rank / 12 mod 2))
+      ()
+  | "qsort" ->
+    Benchlib.Inputs.qsort_query
+      ~n:(8 + (2 * (rank mod 12)))
+      ~seed:((seed * 17) + rank + 1) ()
+  | "matrix" ->
+    Benchlib.Inputs.matrix_query
+      ~n:(2 + (rank mod 3))
+      ~seed:((seed * 13) + rank + 1) ()
+  | name -> invalid_arg (Printf.sprintf "Traffic.instance: unknown %S" name)
+
+(* Round-robin interleave so every popularity band mixes programs. *)
+let pool mix ~seed =
+  let streams =
+    List.map (fun (name, count) -> (name, count, ref 0)) mix
+  in
+  let out = ref [] in
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    List.iter
+      (fun (name, count, next) ->
+        if !next < count then begin
+          out := instance ~seed name !next :: !out;
+          incr next;
+          progressed := true
+        end)
+      streams
+  done;
+  Array.of_list (List.rev !out)
+
+let requests mix ~seed ~s ~n =
+  let pool = pool mix ~seed in
+  let draw = Stats.Freq.zipf ~s ~n:(Array.length pool) ~seed in
+  Array.init n (fun i ->
+      { Serve.rq_id = i; rq_query = pool.(draw ()) })

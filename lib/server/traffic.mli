@@ -1,0 +1,31 @@
+(** Deterministic zipfian traffic: a ranked pool of distinct query
+    instances over the loaded benchmark programs, sampled with
+    {!Stats.Freq.zipf} so a few queries dominate (the skewed mix a
+    shared answer table is built for).
+
+    A mix is a list of [(benchmark, distinct)] pairs; the pool
+    interleaves the benchmarks' instances round-robin so every
+    popularity band contains every program.  Instance parameters are
+    derived from the seed and the rank, so (mix, seed) fully
+    determines both the pool and the request sequence. *)
+
+type mix = (string * int) list
+(** Benchmark name (see {!Benchlib.Programs.all_names}) and number of
+    distinct query instances to generate for it. *)
+
+val parse_mix : string -> (mix, string) result
+(** Parse a CLI spec: comma-separated [NAME] or [NAME:COUNT] items
+    (count defaults to 16).  Unknown names and non-positive counts are
+    errors. *)
+
+val mix_to_string : mix -> string
+
+val database : mix -> string
+(** Concatenated sources of the mix's (distinct) benchmark programs —
+    what the server loads. *)
+
+val pool : mix -> seed:int -> string array
+(** The ranked pool of distinct query strings, rank 0 first. *)
+
+val requests : mix -> seed:int -> s:float -> n:int -> Serve.request array
+(** [n] requests zipf-sampled from the pool with skew [s]. *)

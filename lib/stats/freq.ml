@@ -21,6 +21,44 @@ let of_counts counts =
     counts;
   List.sort (fun a b -> compare b.count a.count) !entries
 
+(* ------------------------------------------------------------------ *)
+(* Zipfian rank sampling (the server's traffic generator).            *)
+
+let check_zipf ~s ~n =
+  if n < 1 then invalid_arg "Freq.zipf: n must be >= 1";
+  if s < 0.0 then invalid_arg "Freq.zipf: s must be >= 0"
+
+let zipf_weights ~s ~n =
+  check_zipf ~s ~n;
+  let w = Array.init n (fun r -> 1.0 /. (float_of_int (r + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  Array.map (fun x -> x /. total) w
+
+(* Same Park-Miller-ish LCG as the benchmark input generators, scaled
+   to a uniform float in [0, 1). *)
+let zipf ~s ~n ~seed =
+  let weights = zipf_weights ~s ~n in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.0;
+  let state = ref (if seed = 0 then 123456789 else seed) in
+  fun () ->
+    state := (!state * 1103515245) + 12345;
+    let v = (!state lsr 16) land 0x7fffffff in
+    let u = float_of_int v /. 2147483648.0 in
+    (* binary search: first rank whose cumulative weight exceeds u *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) > u then hi := mid else lo := mid + 1
+    done;
+    !lo
+
 let pp fmt counts =
   let entries = of_counts counts in
   Format.fprintf fmt "@[<v>%-24s %10s %7s@," "instruction" "count" "%";

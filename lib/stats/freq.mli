@@ -7,3 +7,19 @@ val of_counts : int array -> entry list
 (** Non-zero opcodes sorted by descending count. *)
 
 val pp : Format.formatter -> int array -> unit
+
+(** {1 Zipfian rank sampling}
+
+    The traffic generator's skewed query mix: rank 0 is the most
+    popular item, rank [n-1] the least, with weight proportional to
+    [1 / (rank+1)^s].  All randomness is a fixed-seed LCG, so a seed
+    fully determines the sample sequence. *)
+
+val zipf_weights : s:float -> n:int -> float array
+(** Normalized weights by rank ([n] entries summing to 1).
+    @raise Invalid_argument if [n < 1] or [s < 0]. *)
+
+val zipf : s:float -> n:int -> seed:int -> unit -> int
+(** [zipf ~s ~n ~seed] is a sampler; each call draws the next rank in
+    [\[0, n)] by inverse-CDF lookup over {!zipf_weights}.
+    @raise Invalid_argument if [n < 1] or [s < 0]. *)

@@ -18,5 +18,7 @@ let () =
       ("resilience", Test_resilience.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("costan", Test_costan.suite);
+      ("memo", Test_memo.suite);
+      ("server", Test_server.suite);
       ("properties", Test_properties.suite);
     ]

@@ -1,0 +1,194 @@
+(* The concurrent answer table: canonical keys (variant queries
+   collide, different queries don't), variant-checking insert, the
+   multi-domain stress contract (no lost inserts, no duplicate
+   answers, counters exact), and the eviction bound. *)
+
+let term s = Prolog.Parser.term_of_string s
+
+let key s =
+  match Memo.Canon.key_of_query s with
+  | Ok k -> k
+  | Error msg -> Alcotest.failf "key_of_query %S: %s" s msg
+
+(* ---------------- canonical keys ---------------- *)
+
+let test_canon_variants () =
+  let a = key "qsort([3,1,2], S)" in
+  let b = key "qsort([3,1,2], Result)" in
+  Alcotest.(check string) "variant queries share a key" a.Memo.Canon.text
+    b.Memo.Canon.text;
+  Alcotest.(check string) "spec" "qsort/2" a.Memo.Canon.spec;
+  let c = key "qsort([3,1,9], S)" in
+  Alcotest.(check bool) "different input, different key" false
+    (a.Memo.Canon.text = c.Memo.Canon.text)
+
+let test_canon_shared_vars () =
+  (* sharing must be visible: f(X, X) is not a variant of f(X, Y) *)
+  let a = key "f(X, X)" in
+  let b = key "f(X, Y)" in
+  Alcotest.(check bool) "sharing distinguishes" false
+    (a.Memo.Canon.text = b.Memo.Canon.text)
+
+let test_answer_text_variants () =
+  let a = [ ("S", term "[1,2|T]") ] in
+  let b = [ ("S", term "[1,2|Rest]") ] in
+  Alcotest.(check string) "variant answers share text"
+    (Memo.Canon.answer_text a) (Memo.Canon.answer_text b);
+  let c = [ ("S", term "[1,3|T]") ] in
+  Alcotest.(check bool) "different answers differ" false
+    (Memo.Canon.answer_text a = Memo.Canon.answer_text c)
+
+(* ---------------- insert/find basics ---------------- *)
+
+let test_insert_find () =
+  let t = Memo.Table.create ~capacity_words:0 () in
+  let k = key "tak(8,4,2, A)" in
+  Alcotest.(check bool) "miss first" true (Memo.Table.find t k = None);
+  let added = Memo.Table.insert t k [ [ ("A", Prolog.Term.Int 3) ] ] in
+  Alcotest.(check int) "one answer added" 1 added;
+  (match Memo.Table.find t k with
+  | Some [ [ ("A", Prolog.Term.Int 3) ] ] -> ()
+  | _ -> Alcotest.fail "expected the inserted answer back");
+  (* a variant duplicate dedupes *)
+  let added = Memo.Table.insert t k [ [ ("A", Prolog.Term.Int 3) ] ] in
+  Alcotest.(check int) "duplicate dropped" 0 added;
+  let s = Memo.Table.totals t in
+  Alcotest.(check int) "inserts" 1 s.Memo.Table.inserts;
+  Alcotest.(check int) "duplicates" 1 s.Memo.Table.duplicates;
+  Alcotest.(check int) "hits" 1 s.Memo.Table.hits;
+  Alcotest.(check int) "misses" 1 s.Memo.Table.misses;
+  Alcotest.(check int) "entries" 1 s.Memo.Table.entries
+
+let test_empty_answer_set () =
+  (* failure is memoable: an entry with zero answers is a hit *)
+  let t = Memo.Table.create ~capacity_words:0 () in
+  let k = key "impossible(X)" in
+  ignore (Memo.Table.insert t k []);
+  match Memo.Table.find t k with
+  | Some [] -> ()
+  | _ -> Alcotest.fail "expected a hit with an empty answer set"
+
+(* ---------------- multi-domain stress ---------------- *)
+
+(* N domains race M mixed lookups/inserts over a small overlapping key
+   set.  Afterwards: every key holds exactly its one canonical answer
+   (no lost insert, no duplicate), and the atomic counters account for
+   every operation performed. *)
+let test_parallel_stress () =
+  let n_keys = 8 and n_domains = 4 and ops = 300 in
+  let t = Memo.Table.create ~shards:4 ~capacity_words:0 () in
+  let keys =
+    Array.init n_keys (fun i -> key (Printf.sprintf "stress(%d, X)" i))
+  in
+  let answer i = [ ("X", Prolog.Term.Int (1000 + i)) ] in
+  let finds = Atomic.make 0 and tries = Atomic.make 0 in
+  let worker d () =
+    let state = ref ((d * 7919) + 17) in
+    let rnd bound =
+      state := (!state * 1103515245) + 12345;
+      ((!state lsr 16) land 0x7fffffff) mod bound
+    in
+    for _ = 1 to ops do
+      let i = rnd n_keys in
+      match Memo.Table.find t keys.(i) with
+      | Some answers ->
+        Atomic.incr finds;
+        if answers <> [ answer i ] then
+          failwith "stress: wrong or duplicated answer set"
+      | None ->
+        Atomic.incr finds;
+        ignore (Memo.Table.insert t keys.(i) [ answer i ]);
+        Atomic.incr tries
+    done
+  in
+  let domains =
+    List.init n_domains (fun d -> Domain.spawn (fun () -> worker d ()))
+  in
+  List.iter Domain.join domains;
+  let s = Memo.Table.totals t in
+  Alcotest.(check int) "every find counted"
+    (Atomic.get finds)
+    (s.Memo.Table.hits + s.Memo.Table.misses);
+  Alcotest.(check int) "every insert attempt counted"
+    (Atomic.get tries)
+    (s.Memo.Table.inserts + s.Memo.Table.duplicates);
+  Alcotest.(check int) "no lost inserts: one answer per key" n_keys
+    s.Memo.Table.inserts;
+  Alcotest.(check int) "all keys live" n_keys s.Memo.Table.entries;
+  Array.iteri
+    (fun i k ->
+      match Memo.Table.find t k with
+      | Some [ a ] when a = answer i -> ()
+      | Some answers ->
+        Alcotest.failf "key %d: %d answers (want exactly 1)" i
+          (List.length answers)
+      | None -> Alcotest.failf "key %d: lost" i)
+    keys
+
+(* ---------------- eviction ---------------- *)
+
+let test_eviction_bound () =
+  let capacity = 120 in
+  let t = Memo.Table.create ~shards:1 ~capacity_words:capacity () in
+  let n = 40 in
+  for i = 0 to n - 1 do
+    let k = key (Printf.sprintf "evict(%d, X)" i) in
+    ignore (Memo.Table.insert t k [ [ ("X", term "[a,b,c,d]") ] ]);
+    let s = Memo.Table.totals t in
+    if s.Memo.Table.words > capacity then
+      Alcotest.failf "after insert %d: %d words > capacity %d" i
+        s.Memo.Table.words capacity;
+    (* the entry just inserted is never the victim *)
+    Alcotest.(check bool)
+      (Printf.sprintf "key %d survives its own insert" i)
+      true (Memo.Table.mem t k)
+  done;
+  let s = Memo.Table.totals t in
+  Alcotest.(check bool) "evictions happened" true
+    (s.Memo.Table.evictions > 0);
+  Alcotest.(check bool) "entries bounded" true (s.Memo.Table.entries < n)
+
+let test_eviction_lru_ish () =
+  let t = Memo.Table.create ~shards:1 ~capacity_words:200 () in
+  let hot = key "hot(X)" in
+  ignore (Memo.Table.insert t hot [ [ ("X", term "[h,o,t]") ] ]);
+  for i = 0 to 30 - 1 do
+    (* keep the hot key fresh while colder keys churn through *)
+    ignore (Memo.Table.find t hot);
+    let k = key (Printf.sprintf "cold(%d, X)" i) in
+    ignore (Memo.Table.insert t k [ [ ("X", term "[c,o,l,d,e,r]") ] ])
+  done;
+  Alcotest.(check bool) "hot key survives the churn" true
+    (Memo.Table.mem t hot);
+  Alcotest.(check bool) "cold keys were evicted" true
+    ((Memo.Table.totals t).Memo.Table.evictions > 0)
+
+let test_unbounded_never_evicts () =
+  let t = Memo.Table.create ~capacity_words:0 () in
+  for i = 0 to 99 do
+    let k = key (Printf.sprintf "nolimit(%d, X)" i) in
+    ignore (Memo.Table.insert t k [ [ ("X", term "[1,2,3,4,5,6]") ] ])
+  done;
+  let s = Memo.Table.totals t in
+  Alcotest.(check int) "no evictions" 0 s.Memo.Table.evictions;
+  Alcotest.(check int) "all entries live" 100 s.Memo.Table.entries
+
+let suite =
+  [
+    Alcotest.test_case "canon: variant queries collide" `Quick
+      test_canon_variants;
+    Alcotest.test_case "canon: sharing distinguishes" `Quick
+      test_canon_shared_vars;
+    Alcotest.test_case "canon: answer variants" `Quick
+      test_answer_text_variants;
+    Alcotest.test_case "insert/find/dedupe + counters" `Quick
+      test_insert_find;
+    Alcotest.test_case "failure is memoable" `Quick test_empty_answer_set;
+    Alcotest.test_case "4-domain stress: no lost/duplicate answers" `Quick
+      test_parallel_stress;
+    Alcotest.test_case "eviction respects the capacity bound" `Quick
+      test_eviction_bound;
+    Alcotest.test_case "eviction is LRU-ish" `Quick test_eviction_lru_ish;
+    Alcotest.test_case "capacity 0 = unbounded" `Quick
+      test_unbounded_never_evicts;
+  ]

@@ -1,0 +1,227 @@
+(* The query server: admission lanes, memo consistency (served answers
+   always equal a direct engine run), deterministic zipfian traffic,
+   and the harness invariants end to end. *)
+
+let qsort_query = "qsort([3,1,4,1,5,9,2,6], S)"
+
+(* a constant-cost fact rides along so admission has a Small lane *)
+let src = Benchlib.Programs.qsort ^ "\nhello(world).\n"
+
+let request i q = { Server.Serve.rq_id = i; rq_query = q }
+
+let answers_text answers =
+  String.concat " ; " (List.map Memo.Canon.answer_text answers)
+
+(* ---------------- serving & memoing ---------------- *)
+
+let test_serve_matches_direct () =
+  let memo = Memo.Table.create ~capacity_words:0 () in
+  let t = Server.Serve.create (Server.Serve.config ~memo ~workers:2 ~src ()) in
+  let direct = Server.Serve.run_direct t qsort_query in
+  Alcotest.(check bool) "direct run found an answer" true (direct <> []);
+  let batch = List.init 5 (fun i -> request i qsort_query) in
+  let responses = Server.Serve.serve t batch in
+  Alcotest.(check int) "all served" 5 (List.length responses);
+  List.iter
+    (fun (r : Server.Serve.response) ->
+      Alcotest.(check (option string)) "no error" None r.rs_error;
+      Alcotest.(check string)
+        (Printf.sprintf "request %d matches direct" r.rs_id)
+        (answers_text direct)
+        (answers_text r.rs_answers))
+    responses;
+  (* identical queries in one batch: at most one execution per worker
+     domain can slip past the double-checked lookup; the rest are
+     (second-chance) memo hits *)
+  let s = Server.Serve.stats t in
+  let executions = s.Server.Serve.inline_ + s.Server.Serve.pooled in
+  Alcotest.(check int) "served" 5 s.Server.Serve.served;
+  Alcotest.(check bool) "executions bounded by workers" true
+    (executions >= 1 && executions <= 2);
+  Alcotest.(check int) "every lane accounted" 5
+    (executions + s.Server.Serve.hits);
+  Alcotest.(check bool) "most requests were hits" true
+    (s.Server.Serve.hits >= 3);
+  (* a second batch hits at admission *)
+  let responses2 = Server.Serve.serve t [ request 10 qsort_query ] in
+  (match responses2 with
+  | [ r ] ->
+    Alcotest.(check bool) "hit lane" true (r.rs_lane = Server.Serve.Hit)
+  | _ -> Alcotest.fail "expected one response");
+  Alcotest.(check int) "admission hit counted"
+    (s.Server.Serve.hits + 1)
+    (Server.Serve.stats t).Server.Serve.hits
+
+let test_memo_off () =
+  let t = Server.Serve.create (Server.Serve.config ~workers:2 ~src ()) in
+  let direct = Server.Serve.run_direct t qsort_query in
+  let batch = List.init 4 (fun i -> request i qsort_query) in
+  let responses = Server.Serve.serve t batch in
+  List.iter
+    (fun (r : Server.Serve.response) ->
+      Alcotest.(check string) "matches direct without a table"
+        (answers_text direct)
+        (answers_text r.rs_answers))
+    responses;
+  let s = Server.Serve.stats t in
+  Alcotest.(check int) "no hits without a table" 0 s.Server.Serve.hits;
+  Alcotest.(check int) "every request executed" 4
+    (s.Server.Serve.inline_ + s.Server.Serve.pooled)
+
+let test_admission_lanes () =
+  let t = Server.Serve.create (Server.Serve.config ~workers:2 ~src ()) in
+  let responses =
+    Server.Serve.serve t [ request 0 "hello(X)"; request 1 qsort_query ]
+  in
+  match responses with
+  | [ hello; qsort ] ->
+    Alcotest.(check bool) "constant goal runs inline" true
+      (hello.Server.Serve.rs_lane = Server.Serve.Inline);
+    Alcotest.(check bool) "recursive goal is pooled" true
+      (qsort.Server.Serve.rs_lane = Server.Serve.Pooled);
+    (match hello.Server.Serve.rs_answers with
+    | [ [ ("X", Prolog.Term.Atom "world") ] ] -> ()
+    | _ -> Alcotest.fail "hello(X) should bind X = world")
+  | _ -> Alcotest.fail "expected two responses"
+
+let test_bad_query_is_an_error () =
+  let t = Server.Serve.create (Server.Serve.config ~src ()) in
+  match Server.Serve.serve t [ request 0 ")(" ] with
+  | [ r ] ->
+    Alcotest.(check bool) "parse error reported" true
+      (r.Server.Serve.rs_error <> None);
+    Alcotest.(check int) "errors counted" 1
+      (Server.Serve.stats t).Server.Serve.errors
+  | _ -> Alcotest.fail "expected one response"
+
+(* ---------------- traffic ---------------- *)
+
+let test_parse_mix () =
+  (match Server.Traffic.parse_mix "qsort:4,tak" with
+  | Ok mix ->
+    Alcotest.(check (list (pair string int)))
+      "counts parsed, default 16"
+      [ ("qsort", 4); ("tak", 16) ]
+      mix
+  | Error e -> Alcotest.failf "parse_mix: %s" e);
+  (match Server.Traffic.parse_mix "nosuch:3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown benchmark must be rejected");
+  match Server.Traffic.parse_mix "qsort:0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-positive count must be rejected"
+
+let test_traffic_deterministic () =
+  let mix = [ ("qsort", 4); ("tak", 4) ] in
+  let a = Server.Traffic.requests mix ~seed:42 ~s:1.1 ~n:50 in
+  let b = Server.Traffic.requests mix ~seed:42 ~s:1.1 ~n:50 in
+  Alcotest.(check bool) "same seed, same stream" true (a = b);
+  let c = Server.Traffic.requests mix ~seed:43 ~s:1.1 ~n:50 in
+  Alcotest.(check bool) "different seed, different stream" true (a <> c);
+  let pool = Server.Traffic.pool mix ~seed:42 in
+  Alcotest.(check int) "pool size" 8 (Array.length pool);
+  Array.iter
+    (fun (r : Server.Serve.request) ->
+      Alcotest.(check bool) "every request from the pool" true
+        (Array.exists (fun q -> q = r.Server.Serve.rq_query) pool))
+    a
+
+let test_traffic_zipf_skew () =
+  (* rank 0 must dominate the tail under the zipfian mix *)
+  let mix = [ ("qsort", 8) ] in
+  let pool = Server.Traffic.pool mix ~seed:42 in
+  let reqs = Server.Traffic.requests mix ~seed:42 ~s:1.1 ~n:400 in
+  let count q =
+    Array.fold_left
+      (fun acc (r : Server.Serve.request) ->
+        if r.Server.Serve.rq_query = q then acc + 1 else acc)
+      0 reqs
+  in
+  Alcotest.(check bool) "rank 0 beats the last rank" true
+    (count pool.(0) > count pool.(Array.length pool - 1))
+
+(* ---------------- harness end to end ---------------- *)
+
+let tiny_params ?faults () =
+  let d = Server.Harness.default_params ~quick:true () in
+  {
+    d with
+    Server.Harness.mix = [ ("qsort", 6) ];
+    requests = 60;
+    batch = 30;
+    workers = 2;
+    seed = 7;
+    faults;
+  }
+
+let test_harness_invariants () =
+  let o = Server.Harness.run (tiny_params ()) in
+  Alcotest.(check bool) "answers equal" true o.Server.Harness.o_answers_equal;
+  Alcotest.(check int) "every pool query checked" 6
+    o.Server.Harness.o_answers_checked;
+  Alcotest.(check bool) "cold hit rate >= 0.5" true
+    (Server.Harness.hit_rate_ok o);
+  Alcotest.(check bool) "warm beats memo-off" true
+    (Server.Harness.warm_speedup_ok o);
+  Alcotest.(check bool) "p99 finite" true (Server.Harness.p99_finite o);
+  Alcotest.(check bool) "M/G/1 ratio finite and positive" true
+    (Server.Harness.mg1_ratio_ok o);
+  Alcotest.(check int) "all requests served in each phase" 60
+    o.Server.Harness.o_off.Server.Harness.ph_requests;
+  (* the report serializes without raising, with greppable invariants *)
+  let json = Server.Report.to_json_string o in
+  let contains needle =
+    let nh = String.length json and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub json i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "JSON mentions %s" needle)
+        true (contains needle))
+    [
+      "\"schema\": \"rapwam-server/1\"";
+      "\"answers_equal\": true";
+      "\"hit_rate_ok\": true";
+      "\"p99_finite\": true";
+      "\"mg1_ratio_ok\": true";
+    ]
+
+let test_harness_crash_is_lethal () =
+  let faults = Resilience.Fault.make [ ("cell-start", Resilience.Fault.Crash, 5) ] in
+  match Server.Harness.run (tiny_params ~faults ()) with
+  | exception Resilience.Fault.Injected { kind = Resilience.Fault.Crash; _ } ->
+    ()
+  | _ -> Alcotest.fail "a planned Crash must abort the run"
+
+let test_harness_degrades_on_eio () =
+  (* a non-lethal fault marks one request and the run completes *)
+  let faults = Resilience.Fault.make [ ("sim-step", Resilience.Fault.Eio, 3) ] in
+  let o = Server.Harness.run (tiny_params ~faults ()) in
+  Alcotest.(check int) "one request faulted (cold phase)" 1
+    o.Server.Harness.o_cold.Server.Harness.ph_stats.Server.Serve.faulted;
+  Alcotest.(check bool) "answers still equal" true
+    o.Server.Harness.o_answers_equal
+
+let suite =
+  [
+    Alcotest.test_case "served answers equal direct runs" `Quick
+      test_serve_matches_direct;
+    Alcotest.test_case "memo off still serves correctly" `Quick
+      test_memo_off;
+    Alcotest.test_case "admission lanes (Small inline, Keep pooled)" `Quick
+      test_admission_lanes;
+    Alcotest.test_case "bad query is a per-request error" `Quick
+      test_bad_query_is_an_error;
+    Alcotest.test_case "parse_mix" `Quick test_parse_mix;
+    Alcotest.test_case "traffic is seed-deterministic" `Quick
+      test_traffic_deterministic;
+    Alcotest.test_case "traffic is zipf-skewed" `Quick test_traffic_zipf_skew;
+    Alcotest.test_case "harness: acceptance invariants hold" `Slow
+      test_harness_invariants;
+    Alcotest.test_case "harness: planned crash is lethal" `Quick
+      test_harness_crash_is_lethal;
+    Alcotest.test_case "harness: non-lethal fault degrades gracefully" `Slow
+      test_harness_degrades_on_eio;
+  ]

@@ -158,6 +158,59 @@ let test_freq () =
     Alcotest.(check string) "next" "call" second.Stats.Freq.name
   | l -> Alcotest.failf "expected 2 entries, got %d" (List.length l)
 
+(* ---------------- zipf sampler ---------------- *)
+
+let empirical_freqs ~s ~n ~seed ~draws =
+  let sample = Stats.Freq.zipf ~s ~n ~seed in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let r = sample () in
+    if r < 0 || r >= n then Alcotest.failf "zipf rank %d out of [0,%d)" r n;
+    counts.(r) <- counts.(r) + 1
+  done;
+  Array.map (fun c -> float_of_int c /. float_of_int draws) counts
+
+let test_zipf_weights () =
+  let w = Stats.Freq.zipf_weights ~s:1.1 ~n:10 in
+  feq ~eps:1e-9 "normalized" 1.0 (Array.fold_left ( +. ) 0.0 w);
+  for i = 0 to 8 do
+    if w.(i) <= w.(i + 1) then
+      Alcotest.failf "weights not strictly decreasing at rank %d" i
+  done;
+  (* weight ratio follows (r2/r1)^s *)
+  feq ~eps:1e-9 "ratio" (2.0 ** 1.1) (w.(0) /. w.(1))
+
+let test_zipf_deterministic () =
+  let stream seed =
+    let sample = Stats.Freq.zipf ~s:1.1 ~n:20 ~seed in
+    Array.init 100 (fun _ -> sample ())
+  in
+  let a = stream 42 and b = stream 42 and c = stream 43 in
+  Alcotest.(check bool) "same seed, same draws" true (a = b);
+  Alcotest.(check bool) "different seed, different draws" true (a <> c)
+
+(* The satellite property: over random (s, n, seed), empirical
+   frequencies are monotone in rank and match the theoretical weights
+   within tolerance. *)
+let zipf_qcheck =
+  QCheck.Test.make ~count:25 ~name:"zipf frequencies match weights"
+    (QCheck.triple
+       (QCheck.float_range 0.5 2.0)
+       (QCheck.int_range 2 40)
+       (QCheck.int_range 1 100000))
+    (fun (s, n, seed) ->
+      let draws = 20000 in
+      let freqs = empirical_freqs ~s ~n ~seed ~draws in
+      let weights = Stats.Freq.zipf_weights ~s ~n in
+      let tol = 0.02 in
+      let monotone = ref true and close = ref true in
+      for i = 0 to n - 1 do
+        if i < n - 1 && freqs.(i) +. tol < freqs.(i + 1) then
+          monotone := false;
+        if abs_float (freqs.(i) -. weights.(i)) > tol then close := false
+      done;
+      !monotone && !close)
+
 let suite =
   [
     Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
@@ -175,4 +228,7 @@ let suite =
     Alcotest.test_case "MLIPS paper" `Quick test_mlips_paper_numbers;
     Alcotest.test_case "MLIPS measured" `Quick test_mlips_measured;
     Alcotest.test_case "instruction freq" `Quick test_freq;
+    Alcotest.test_case "zipf weights" `Quick test_zipf_weights;
+    Alcotest.test_case "zipf determinism" `Quick test_zipf_deterministic;
+    QCheck_alcotest.to_alcotest zipf_qcheck;
   ]
