@@ -1424,6 +1424,89 @@ let costan setup =
      changing any answer.  Recorded to BENCH_costan.json.@."
 
 (* ------------------------------------------------------------------ *)
+(* Refmap: static per-predicate memory-area access summaries checked   *)
+(* against the dynamic traces -- soundness oracle at 1/4/8 PEs,        *)
+(* parcall race-freedom certification (with tracecheck as the dynamic  *)
+(* cross-check), and shareability-tag precision/recall against the     *)
+(* per-address ground truth.  Recorded to BENCH_refmap.json.           *)
+
+let refmap setup =
+  section "Refmap: static access summaries vs dynamic traces";
+  let reports =
+    List.map (fun b -> Refmap.Driver.run ~pes:[ 1; 4; 8 ] b) setup.benchmarks
+  in
+  let t =
+    Stats.Table.create ~title:"certification, oracle and predicted tags"
+      ~headers:
+        [ "bench"; "preds"; "certified"; "static_safe"; "precision";
+          "baseline"; "recall"; "violations"; "analysis (ms)" ]
+      ~aligns:
+        [ Stats.Table.Left; Stats.Table.Right; Stats.Table.Right;
+          Stats.Table.Right; Stats.Table.Right; Stats.Table.Right;
+          Stats.Table.Right; Stats.Table.Right; Stats.Table.Right ]
+      ()
+  in
+  List.iter
+    (fun (r : Refmap.Driver.report) ->
+      let cert = r.Refmap.Driver.a.Refmap.Driver.certify in
+      Stats.Table.add_row t
+        [
+          r.Refmap.Driver.a.Refmap.Driver.bench.Benchlib.Programs.name;
+          Stats.Table.cell_int
+            (Hashtbl.length
+               r.Refmap.Driver.a.Refmap.Driver.static.Refmap.Static.preds);
+          Printf.sprintf "%d/%d" cert.Refmap.Certify.certified
+            cert.Refmap.Certify.total;
+          Stats.Table.cell_int
+            r.Refmap.Driver.a.Refmap.Driver.stats.Prolog.Annotate.static_safe;
+          Printf.sprintf "%.3f" r.Refmap.Driver.tags.Refmap.Oracle.precision;
+          Printf.sprintf "%.3f"
+            r.Refmap.Driver.tags.Refmap.Oracle.baseline_precision;
+          Printf.sprintf "%.3f" r.Refmap.Driver.tags.Refmap.Oracle.recall;
+          Stats.Table.cell_int
+            (List.fold_left
+               (fun acc (run : Refmap.Driver.pe_run) ->
+                 acc + List.length run.Refmap.Driver.violations)
+               0 r.Refmap.Driver.runs);
+          Printf.sprintf "%.1f" r.Refmap.Driver.a.Refmap.Driver.analysis_ms;
+        ])
+    reports;
+  Stats.Table.print t;
+  let all_certified (r : Refmap.Driver.report) =
+    let c = r.Refmap.Driver.a.Refmap.Driver.certify in
+    c.Refmap.Certify.total > 0
+    && c.Refmap.Certify.certified = c.Refmap.Certify.total
+  in
+  Format.printf
+    "invariants: oracle_ok %b, recall_one %b, precision_ge_baseline %b, \
+     uncertified_but_raced %d, certified_tracecheck_clean %b, \
+     any_bench_all_certified %b@."
+    (List.for_all (fun r -> r.Refmap.Driver.oracle_ok) reports)
+    (List.for_all
+       (fun r -> r.Refmap.Driver.tags.Refmap.Oracle.recall = 1.0)
+       reports)
+    (List.for_all
+       (fun (r : Refmap.Driver.report) ->
+         r.Refmap.Driver.tags.Refmap.Oracle.precision
+         >= r.Refmap.Driver.tags.Refmap.Oracle.baseline_precision)
+       reports)
+    (List.fold_left
+       (fun acc r -> acc + r.Refmap.Driver.uncertified_but_raced)
+       0 reports)
+    (List.for_all
+       (fun r -> r.Refmap.Driver.certified_tracecheck_clean)
+       reports)
+    (List.exists all_certified reports);
+  Resilience.Atomic_io.write_string "BENCH_refmap.json"
+    ("{\n  \"schema\": \"rapwam-refmap/1\",\n  \"benchmarks\": "
+    ^ Refmap.Driver.json_of_reports reports
+    ^ "}\n");
+  Format.printf
+    "Static area/mode summaries bound every dynamic access; groups@.\
+     whose arms stay within the area discipline are certified race-free@.\
+     without tracechecking.  Recorded to BENCH_refmap.json.@."
+
+(* ------------------------------------------------------------------ *)
 (* The query server: three-phase zipfian traffic (memo off / cold /   *)
 (* warm) over the shared answer table, answers cross-checked against  *)
 (* direct engine runs, measured latency compared with the M/G/1       *)
@@ -1464,7 +1547,7 @@ let experiment_names =
     "table1"; "table2"; "table3"; "figure2"; "figure2-all"; "figure4";
     "mlips"; "timing"; "timing-integrated"; "annotation"; "ablation-tags";
     "ablation-sched"; "ablation-line"; "ablation-alloc";
-    "ablation-granularity"; "tracecheck"; "costan"; "server";
+    "ablation-granularity"; "tracecheck"; "costan"; "server"; "refmap";
   ]
 
 let rec pairs_for setup = function
@@ -1501,7 +1584,9 @@ let rec pairs_for setup = function
        granularity on/off runs bypass the memo (transformed programs) *)
     List.map (fun b -> (b, 0)) (setup.benchmarks @ Benchlib.Large.population ())
   (* "tracecheck" deliberately contributes nothing: it times fresh
-     generation, so pre-warming would make the overhead ratio lie *)
+     generation, so pre-warming would make the overhead ratio lie.
+     "refmap" contributes nothing either: its runs use an annotation
+     transform, and transformed programs bypass the run memo *)
   | _ -> []
 
 let prewarm setup names =
@@ -1527,4 +1612,5 @@ let all setup =
   annotation setup;
   tracecheck setup;
   costan setup;
+  refmap setup;
   server setup

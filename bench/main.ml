@@ -89,6 +89,7 @@ let () =
       | "ablation-granularity" -> Experiments.ablation_granularity setup
       | "tracecheck" -> Experiments.tracecheck setup
       | "costan" -> Experiments.costan setup
+      | "refmap" -> Experiments.refmap setup
       | "server" -> Experiments.server setup
       | "all" -> Experiments.all setup
       | other ->

@@ -86,13 +86,35 @@ let lookup_bench ~quick name =
     | None -> Benchlib.Inputs.benchmark name
   else Benchlib.Inputs.benchmark name
 
-let run_cmd bench_names pes protocol_name line sizes jobs check json_out
-    csv_out perf_record baseline_wall verbose trace_file quick faults
-    journal resume watchdog_s salvage =
+let run_cmd bench_names pes protocol_name line sizes jobs check check_static
+    json_out csv_out perf_record baseline_wall verbose trace_file quick
+    faults journal resume watchdog_s salvage =
   if resume && journal = None then begin
     prerr_endline "cache_sweep: --resume requires --journal FILE";
     exit 2
   end;
+  (* --check-static: certify parcall groups with the static access
+     analysis first; when every group of every selected benchmark is
+     static_safe the dynamic tracecheck replay is skipped, otherwise
+     the sweep keeps (or gains) the --check verify stage. *)
+  let check =
+    if not check_static then check
+    else
+      List.exists
+        (fun name ->
+          let b = lookup_bench ~quick name in
+          let a = Refmap.Driver.analyze b in
+          let c = a.Refmap.Driver.certify in
+          let all =
+            c.Refmap.Certify.total = c.Refmap.Certify.certified
+          in
+          Printf.eprintf "refmap: %s: %d/%d parcall groups certified%s\n%!"
+            name c.Refmap.Certify.certified c.Refmap.Certify.total
+            (if all then " (static_safe: trace verify not needed)"
+             else " (dynamic verify required)");
+          not all)
+        bench_names
+  in
   let selected =
     match protocol_name with
     | None -> protocols
@@ -277,6 +299,16 @@ let check_arg =
            checker (tracecheck) before simulating; violations fail the \
            affected cells.")
 
+let check_static_arg =
+  Arg.(
+    value & flag
+    & info [ "check-static" ]
+        ~doc:
+          "Certify parcall groups with the static access analysis \
+           (refmap) first; benchmarks whose groups are all static_safe \
+           skip the tracecheck replay, any uncertified group keeps the \
+           dynamic verify stage for the whole sweep.")
+
 let json_arg =
   Arg.(
     value
@@ -388,7 +420,8 @@ let cmd =
     (Cmd.info "cache_sweep" ~doc)
     Term.(
       const run_cmd $ bench_arg $ pes_arg $ protocol_arg $ line_arg
-      $ sizes_arg $ jobs_arg $ check_arg $ json_arg $ csv_arg
+      $ sizes_arg $ jobs_arg $ check_arg $ check_static_arg $ json_arg
+      $ csv_arg
       $ perf_record_arg $ baseline_wall_arg $ verbose_arg $ trace_file_arg
       $ quick_arg $ faults_arg $ journal_arg $ resume_arg $ watchdog_arg
       $ salvage_arg)

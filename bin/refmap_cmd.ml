@@ -1,0 +1,222 @@
+(* refmap: static memory-area access analysis over compiled RAP-WAM
+   code — certifies parallel groups race-free, predicts shareability
+   tags, and checks both against real traces.
+
+     refmap --benchmarks --pes 1,4,8
+     refmap --bench qsort --json BENCH_refmap.json
+     refmap --bench deriv --defect trail-blind
+     refmap --bench qsort --summaries
+
+   For each benchmark the tool runs the global analysis + annotator
+   (with the summaries acting as the race-freedom certifier), builds
+   the static summaries over the compiled code, runs RAP-WAM at each
+   PE count, and checks the soundness oracle (every dynamic access
+   within its predicate's summary), the certification audit, and the
+   tag precision/recall against the per-address ground truth.
+
+   --defect damages the analysis first and expects its detector to
+   object; exit status is 0 iff every benchmark matched the
+   expectation (clean normally, flagged under --defect). *)
+
+let pp_report quiet verbose (r : Refmap.Driver.report) =
+  let cert = r.Refmap.Driver.a.Refmap.Driver.certify in
+  Format.printf "%-8s preds %-3d groups %d/%d certified  %s@."
+    r.Refmap.Driver.a.Refmap.Driver.bench.Benchlib.Programs.name
+    (Hashtbl.length r.Refmap.Driver.a.Refmap.Driver.static.Refmap.Static.preds)
+    cert.Refmap.Certify.certified cert.Refmap.Certify.total
+    (if r.Refmap.Driver.oracle_ok then "oracle ok" else "ORACLE VIOLATIONS");
+  List.iter
+    (fun (run : Refmap.Driver.pe_run) ->
+      Format.printf "  %dpe: %d records, %d violation(s), tracecheck %s@."
+        run.Refmap.Driver.n_pes run.Refmap.Driver.records
+        (List.length run.Refmap.Driver.violations)
+        (if run.Refmap.Driver.tracecheck_clean then "clean" else "DIRTY");
+      List.iteri
+        (fun i v ->
+          if i < 8 || verbose then
+            Format.printf "    %a@." Refmap.Oracle.pp_violation v)
+        run.Refmap.Driver.violations)
+    r.Refmap.Driver.runs;
+  Format.printf
+    "  tags: %d addrs, %d shared; precision %.3f (baseline %.3f) recall %.3f@."
+    r.Refmap.Driver.tags.Refmap.Oracle.addrs
+    r.Refmap.Driver.tags.Refmap.Oracle.dyn_shared
+    r.Refmap.Driver.tags.Refmap.Oracle.precision
+    r.Refmap.Driver.tags.Refmap.Oracle.baseline_precision
+    r.Refmap.Driver.tags.Refmap.Oracle.recall;
+  if not r.Refmap.Driver.audit_ok then
+    Format.printf "  AUDIT: claimed static_safe %d but clean re-derivation \
+                   certifies %d@."
+      r.Refmap.Driver.a.Refmap.Driver.stats.Prolog.Annotate.static_safe
+      cert.Refmap.Certify.certified;
+  if (not quiet) && verbose then
+    List.iter
+      (fun e -> Format.printf "  %a@." Refmap.Certify.pp_entry e)
+      cert.Refmap.Certify.entries
+
+let run_cmd bench_names pes quick defect summaries verbose json_out =
+  let pool =
+    if quick then Benchlib.Inputs.small_benchmarks ()
+    else Benchlib.Inputs.default_benchmarks ()
+  in
+  let benchmarks =
+    match bench_names with
+    | [] -> pool
+    | names ->
+      List.map
+        (fun n ->
+          List.find
+            (fun (b : Benchlib.Programs.benchmark) ->
+              b.Benchlib.Programs.name = n)
+            pool)
+        names
+  in
+  if summaries then
+    List.iter
+      (fun b ->
+        let a = Refmap.Driver.analyze ?defect b in
+        Format.printf "== %s ==@.%a@." b.Benchlib.Programs.name
+          Refmap.Static.pp a.Refmap.Driver.static)
+      benchmarks
+  else begin
+    (* [dirty] counts benchmarks where something was flagged (oracle
+       violation, audit mismatch, dirty trace) — the expected outcome
+       under --defect, a failure otherwise; [missed] counts damaged
+       analyses that came back clean.  Exit is nonzero exactly when
+       something was flagged, so a CI defect fixture asserts detection
+       with a plain `!` negation (tracecheck's convention). *)
+    let dirty = ref 0 and missed = ref 0 in
+    let reports =
+      List.map
+        (fun b ->
+          let r = Refmap.Driver.run ?defect ~pes b in
+          (match defect with
+          | None ->
+            pp_report false verbose r;
+            if
+              not
+                (r.Refmap.Driver.oracle_ok && r.Refmap.Driver.audit_ok
+                && r.Refmap.Driver.certified_tracecheck_clean)
+            then begin
+              incr dirty;
+              Format.printf "  FAIL: %s@." b.Benchlib.Programs.name
+            end
+          | Some d ->
+            if Refmap.Driver.defect_detected ~defect:d r then begin
+              incr dirty;
+              Format.printf "%-8s defect %s detected@."
+                b.Benchlib.Programs.name d
+            end
+            else begin
+              incr missed;
+              Format.printf "%-8s MISSED: seeded defect %s escaped detection@."
+                b.Benchlib.Programs.name d;
+              pp_report true verbose r
+            end);
+          r)
+        benchmarks
+    in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Refmap.Driver.json_of_reports reports)))
+      json_out;
+    if !missed > 0 then
+      Format.printf "%d damaged analysis(es) escaped detection@." !missed;
+    if !dirty > 0 then exit 1
+  end
+
+open Cmdliner
+
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n ->
+      Error
+        (`Msg (Printf.sprintf "%d is not a positive count (expected >= 1)" n))
+    | None -> Error (`Msg (Printf.sprintf "expected a positive count, got %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let bench_arg =
+  Arg.(
+    value
+    & opt
+        (list (enum (List.map (fun n -> (n, n)) Benchlib.Programs.all_names)))
+        []
+    & info [ "b"; "bench" ] ~docv:"NAME[,NAME...]"
+        ~doc:"Benchmark(s) to analyze (default: all).")
+
+let benchmarks_flag =
+  Arg.(
+    value & flag
+    & info [ "benchmarks" ] ~doc:"Analyze every shipped benchmark (default).")
+
+let pes_arg =
+  Arg.(
+    value
+    & opt (list pos_int) Refmap.Driver.default_pes
+    & info [ "p"; "pes" ] ~docv:"LIST"
+        ~doc:"PE counts the soundness oracle is checked at.")
+
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"Use the reduced benchmark inputs (CI-sized traces).")
+
+let defect_arg =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              (List.map
+                 (fun (d : Refmap.Defects.defect) ->
+                   (d.Refmap.Defects.name, d.Refmap.Defects.name))
+                 Refmap.Defects.all)))
+        None
+    & info [ "defect" ] ~docv:"NAME"
+        ~doc:
+          "Damage the analysis with the named seeded defect first and \
+           expect the oracle (or the certification audit) to flag it \
+           (exit 1 when the defect escapes detection).")
+
+let summaries_flag =
+  Arg.(
+    value & flag
+    & info [ "summaries" ]
+        ~doc:"Print the per-predicate area/mode summaries and stop.")
+
+let verbose_flag =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:"Print per-group certification decisions and all violations.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the reports as JSON.")
+
+let cmd =
+  let doc =
+    "static memory-area access analysis: parcall race-freedom \
+     certification and shareability-tag prediction"
+  in
+  Cmd.v
+    (Cmd.info "refmap" ~doc)
+    Term.(
+      const (fun bench _benchmarks pes quick defect summaries verbose json ->
+          run_cmd bench pes quick defect summaries verbose json)
+      $ bench_arg $ benchmarks_flag $ pes_arg $ quick_arg $ defect_arg
+      $ summaries_flag $ verbose_flag $ json_arg)
+
+let () =
+  match Cmd.eval_value cmd with
+  | Ok _ -> ()
+  | Error _ -> exit 1

@@ -29,6 +29,15 @@ type result = {
   trail_words : int;
 }
 
+val prepare :
+  parallel:bool ->
+  ?transform:(Prolog.Database.t -> Prolog.Database.t) ->
+  Programs.benchmark ->
+  Wam.Program.t
+(** Compile the benchmark exactly as {!run_wam} / {!run_rapwam} would
+    (compilation is deterministic, so static analyses built over this
+    program line up with the code addresses in the run's trace). *)
+
 val run_wam :
   ?keep_trace:bool ->
   ?transform:(Prolog.Database.t -> Prolog.Database.t) ->

@@ -44,6 +44,7 @@ type stats = {
   checks_discharged : int;
   groups_abandoned : int;
   sequentialized : int;
+  static_safe : int;
 }
 
 (* Granularity control (Debray/Hermenegildo): a cost oracle classifies
@@ -382,7 +383,23 @@ type counters = {
   mutable c_checks : int;
   mutable c_abandoned : int;
   mutable c_sequentialized : int;
+  mutable c_static_safe : int;
 }
+
+(* Score every emitted parallel group against the external race-freedom
+   certifier (refmap's static summaries), counting the ones it proves
+   safe without run-time verification. *)
+let count_certified certifier counters items =
+  match certifier with
+  | None -> ()
+  | Some safe ->
+    List.iter
+      (function
+        | Cge.Par { checks; arms } ->
+          if safe checks arms then
+            counters.c_static_safe <- counters.c_static_safe + 1
+        | Cge.Lit _ -> ())
+      items
 
 (* Granularity filter over a would-be parallel group.  When every arm
    is provably below the spawn-overhead threshold the group runs
@@ -410,7 +427,7 @@ let apply_granularity granularity counters checks arms =
       [ Cge.Par { checks = dedup_checks (checks @ guards); arms } ]
     end
 
-let flush_group ?patterns ?granularity modes st group out counters =
+let flush_group ?patterns ?granularity ?certifier modes st group out counters =
   match group with
   | None -> ()
   | Some g ->
@@ -424,17 +441,18 @@ let flush_group ?patterns ?granularity modes st group out counters =
       | [ Cge.Par { checks; _ } ] as items ->
         counters.c_groups <- counters.c_groups + 1;
         counters.c_checks <- counters.c_checks + List.length checks;
+        count_certified certifier counters items;
         List.iter out items
       | items -> List.iter out items));
     (* effects of the group's goals apply at the join *)
     List.iter (apply_effect ?patterns modes st) goals
 
-let annotate_body ?patterns ?granularity modes db st counters body =
+let annotate_body ?patterns ?granularity ?certifier modes db st counters body =
   let items = ref [] in
   let out item = items := item :: !items in
   let group : group option ref = ref None in
   let flush () =
-    flush_group ?patterns ?granularity modes st !group out counters;
+    flush_group ?patterns ?granularity ?certifier modes st !group out counters;
     group := None
   in
   List.iter
@@ -446,7 +464,9 @@ let annotate_body ?patterns ?granularity modes db st counters body =
         flush ();
         (match item with
         | Cge.Par { checks; arms } ->
-          List.iter out (apply_granularity granularity counters checks arms);
+          let kept = apply_granularity granularity counters checks arms in
+          count_certified certifier counters kept;
+          List.iter out kept;
           List.iter (apply_effect ?patterns modes st) arms
         | Cge.Lit _ -> out item)
       | Cge.Lit g ->
@@ -502,11 +522,17 @@ let annotate_body ?patterns ?granularity modes db st counters body =
    analysis results; a clause uses them only when its own predicate
    was reached by the analysis (otherwise its entry states would be
    unsound), falling back to the purely local mode analysis. *)
-let annotate ?modes ?patterns ?granularity db =
+let annotate ?modes ?patterns ?granularity ?certifier db =
   let modes = match modes with Some m -> m | None -> Modes.of_database db in
   let out = Database.create () in
   let counters =
-    { c_groups = 0; c_checks = 0; c_abandoned = 0; c_sequentialized = 0 }
+    {
+      c_groups = 0;
+      c_checks = 0;
+      c_abandoned = 0;
+      c_sequentialized = 0;
+      c_static_safe = 0;
+    }
   in
   List.iter
     (fun (name, arity) ->
@@ -521,8 +547,8 @@ let annotate ?modes ?patterns ?granularity db =
           seed_from_head ?patterns:clause_patterns modes clause.Database.head
             st;
           let body =
-            annotate_body ?patterns:clause_patterns ?granularity modes db st
-              counters clause.Database.body
+            annotate_body ?patterns:clause_patterns ?granularity ?certifier
+              modes db st counters clause.Database.body
           in
           Database.add_clause out { Database.head = clause.head; body })
         (Database.clauses db (name, arity)))
@@ -532,8 +558,8 @@ let annotate ?modes ?patterns ?granularity db =
 let database ?modes ?patterns ?granularity db =
   fst (annotate ?modes ?patterns ?granularity db)
 
-let database_stats ?modes ?patterns ?granularity db =
-  let out, c = annotate ?modes ?patterns ?granularity db in
+let database_stats ?modes ?patterns ?granularity ?certifier db =
+  let out, c = annotate ?modes ?patterns ?granularity ?certifier db in
   let discharged =
     match patterns with
     | None -> 0
@@ -549,6 +575,7 @@ let database_stats ?modes ?patterns ?granularity db =
       checks_discharged = discharged;
       groups_abandoned = c.c_abandoned;
       sequentialized = c.c_sequentialized;
+      static_safe = c.c_static_safe;
     } )
 
 (* Count the parallel goals introduced (for reporting). *)

@@ -57,16 +57,24 @@ type stats = {
   sequentialized : int;
       (** parallel groups turned sequential by the [granularity]
           oracle (all arms below the spawn-overhead threshold) *)
+  static_safe : int;
+      (** emitted groups the [certifier] proved race-free statically
+          (0 without [?certifier]); such groups need no dynamic
+          verification *)
 }
 
 val database_stats :
   ?modes:Modes.t ->
   ?patterns:Abspat.t ->
   ?granularity:(Term.t -> verdict) ->
+  ?certifier:(Cge.check list -> Term.t list -> bool) ->
   Database.t ->
   Database.t * stats
 (** [database] plus annotation-quality statistics (surfaced by the
-    bench harness's annotation-quality table). *)
+    bench harness's annotation-quality table).  [certifier] is an
+    external race-freedom judgment (refmap's static access summaries)
+    scored over every emitted parallel group — programmer-written and
+    analysis-built alike; it does not change the annotation. *)
 
 val parallelism_found : Database.t -> int
 (** Number of parallel calls in an (annotated) database. *)

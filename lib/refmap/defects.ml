@@ -1,0 +1,88 @@
+(* Seeded analysis defects.
+
+   Each defect damages the analysis in one way a buggy implementation
+   could get wrong: four weaken the static summaries (an access class
+   the footprint tables forgot), one corrupts the certification
+   decision itself.  The soundness oracle must flag the weakened
+   summaries with predicate/area/mode diagnostics; the certification
+   audit must flag the corrupted certifier.  Used by the defect
+   fixtures in the test suite and the [refmap --defect] CLI. *)
+
+type defect = {
+  name : string;
+  detector : string;  (** "oracle" or "audit": which check must fire *)
+  description : string;
+}
+
+let all =
+  [
+    {
+      name = "trail-blind";
+      detector = "oracle";
+      description =
+        "summaries forget the trail: binding writes no longer record \
+         their undo entries";
+    };
+    {
+      name = "heap-read-only";
+      detector = "oracle";
+      description =
+        "heap modes capped at read: structure building and bindings \
+         invisible to the analysis";
+    };
+    {
+      name = "env-blind";
+      detector = "oracle";
+      description =
+        "environment areas erased: permanent variables and frame \
+         control words unaccounted";
+    };
+    {
+      name = "choice-blind";
+      detector = "oracle";
+      description =
+        "choice-point area erased: clause selection and failure \
+         restore unaccounted";
+    };
+    {
+      name = "force-certify";
+      detector = "audit";
+      description =
+        "certifier answers yes unconditionally, marking conditional \
+         groups static_safe";
+    };
+  ]
+
+let names = List.map (fun d -> d.name) all
+let find name = List.find_opt (fun d -> d.name = name) all
+
+let forces_certify name = name = "force-certify"
+
+let erase s area = Summary.set s area Mode.Nil
+
+let cap_at s area m =
+  if not (Mode.leq (Summary.get s area) m) then Summary.set s area m
+
+let weaken_summary name s =
+  match name with
+  | "trail-blind" -> erase s Trace.Area.Trail
+  | "heap-read-only" -> cap_at s Trace.Area.Heap Mode.Read
+  | "env-blind" ->
+    erase s Trace.Area.Env_pvar;
+    erase s Trace.Area.Env_control
+  | "choice-blind" -> erase s Trace.Area.Choice_point
+  | "force-certify" -> ()
+  | _ -> invalid_arg (Printf.sprintf "Refmap.Defects.apply: %s" name)
+
+(* Damage [static] in place (summaries are mode vectors; the table
+   structure is untouched). *)
+let apply name (static : Static.t) =
+  if find name = None then
+    invalid_arg (Printf.sprintf "Refmap.Defects.apply: %s" name);
+  let f = weaken_summary name in
+  Hashtbl.iter
+    (fun _ (p : Static.pred) ->
+      f p.Static.own;
+      f p.Static.closure)
+    static.Static.preds;
+  f static.Static.program

@@ -71,6 +71,45 @@ type outcome = {
   o_mg1 : mg1_check;
 }
 
+(* Typed validation of the numeric parameters.  The CLI's [pos_int]
+   converter already rejects bad flag values, but programmatic callers
+   build [params] records directly, so the library enforces the same
+   discipline before committing to a run. *)
+let validate p =
+  let pos name v =
+    if v <= 0 then
+      Some (Printf.sprintf "%s must be a positive integer (got %d)" name v)
+    else None
+  in
+  let problems =
+    List.filter_map Fun.id
+      [
+        pos "requests" p.requests;
+        pos "batch" p.batch;
+        pos "pes" p.pes;
+        pos "workers" p.workers;
+        pos "memo_words" p.memo_words;
+        pos "memo_shards" p.memo_shards;
+        pos "threshold" p.threshold;
+        pos "max_queue" p.max_queue;
+        pos "max_solutions" p.max_solutions;
+        (if p.zipf_s <= 0. then
+           Some (Printf.sprintf "zipf_s must be positive (got %g)" p.zipf_s)
+         else None);
+        (if p.mix = [] then Some "mix must name at least one benchmark"
+         else None);
+        List.find_map
+          (fun (name, w) ->
+            if w <= 0 then
+              Some
+                (Printf.sprintf "mix weight for %s must be positive (got %d)"
+                   name w)
+            else None)
+          p.mix;
+      ]
+  in
+  match problems with [] -> Ok () | ps -> Error (String.concat "; " ps)
+
 let batches ~batch requests =
   let n = Array.length requests in
   let out = ref [] in
@@ -155,6 +194,9 @@ let mg1_of ~service ~cs2 ~off ~workers =
   }
 
 let run ?(progress = fun _ -> ()) p =
+  (match validate p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Server.Harness.run: " ^ msg));
   let src = Traffic.database p.mix in
   let pool = Traffic.pool p.mix ~seed:p.seed in
   let requests =

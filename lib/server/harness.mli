@@ -38,6 +38,13 @@ val default_params : ?quick:bool -> unit -> params
 (** Full: 2000 requests over [deriv:24,qsort:24,tak:12,matrix:12].
     Quick: 400 requests over a smaller pool. *)
 
+val validate : params -> (unit, string) result
+(** Typed validation of the numeric parameters: every count must be a
+    strictly positive integer, [zipf_s] strictly positive, and the mix
+    non-empty with positive weights.  [Error] carries every problem,
+    ";"-joined.  The CLI's converters enforce the same rules on flags;
+    this covers programmatic callers. *)
+
 type phase = {
   ph_name : string;
   ph_requests : int;
@@ -75,7 +82,8 @@ type outcome = {
 
 val run : ?progress:(string -> unit) -> params -> outcome
 (** Re-raises a planned [Crash] fault ({!Resilience.Fault.Injected});
-    the CLIs map it to exit 70. *)
+    the CLIs map it to exit 70.
+    @raise Invalid_argument when {!validate} rejects the params. *)
 
 (** Acceptance invariants, derived (also serialized into the JSON so
     CI can grep them). *)

@@ -188,6 +188,15 @@ let check symbols code =
       done
     in
     let exit_struct st = { st with in_struct = false } in
+    (* CGE conditions decide whether the parcall exists at all, so a
+       check reached with the frame already allocated jumps to an
+       else-branch that cannot unwind it *)
+    let in_parcall_check st name =
+      if st.parcall <> None then
+        report "parcall-check"
+          "%s inside an open parcall region: the else-branch cannot \
+           unwind the frame" name
+    in
     let need_struct st =
       if not st.in_struct then
         report "stray-unify" "unify instruction outside a structure context"
@@ -195,6 +204,28 @@ let check symbols code =
     (* most instructions fall through *)
     let next st = [ (addr + 1, st) ] in
     let instr = Code.fetch code addr in
+    (* shared-write discipline, from the per-instruction access
+       metadata: writes to the cross-PE coordination areas are only
+       legal between alloc_parcall (which creates the frame being
+       written) and par_join.  goal_done writes them too, but through
+       the stolen goal's check-in protocol, outside any frame the
+       parent's code region shows. *)
+    (match instr with
+    | Instr.Alloc_parcall _ | Instr.Goal_done -> ()
+    | i ->
+      if st.parcall = None then
+        List.iter
+          (fun (a : Access.acc) ->
+            match (a.Access.op, a.Access.area) with
+            | ( Access.W,
+                ( Trace.Area.Parcall_global | Trace.Area.Parcall_count
+                | Trace.Area.Goal_frame ) ) ->
+              report "shared-write-unframed"
+                "%s writes %s outside an open parcall region"
+                (Instr.opcode_name (Instr.opcode i))
+                (Trace.Area.name a.Access.area)
+            | _ -> ())
+          (Access.of_instr i));
     match instr with
     (* ---- put group ---- *)
     | Instr.Put_variable (r, a) ->
@@ -353,13 +384,22 @@ let check symbols code =
         (fun l -> if l = -1 then None else Some (l, st))
         targets
     (* ---- cut ---- *)
-    | Instr.Neck_cut -> next (exit_struct st)
+    | Instr.Neck_cut ->
+      if st.parcall <> None then
+        report "parcall-cut"
+          "neck_cut inside an open parcall region would discard sibling \
+           goals without the kill protocol";
+      next (exit_struct st)
     | Instr.Get_level y ->
       let st = def_y (exit_struct st) y in
       next { st with levels = IS.add y st.levels }
     | Instr.Cut_to y ->
       let st = exit_struct st in
       use_y st y;
+      if st.parcall <> None then
+        report "parcall-cut"
+          "cut_to Y%d inside an open parcall region would discard sibling \
+           goals without the kill protocol" y;
       (* trail discipline: the slot must hold a level saved by
          get_level on every path, or the cut would unwind the trail
          to a garbage mark *)
@@ -379,6 +419,7 @@ let check symbols code =
     | Instr.Check_ground (r, l) ->
       let st = exit_struct st in
       use_reg st r;
+      in_parcall_check st "check_ground";
       if l < 0 || l >= len then
         report "bad-target" "check else-label %d out of code" l;
       [ (addr + 1, st); (l, st) ]
@@ -386,12 +427,14 @@ let check symbols code =
       let st = exit_struct st in
       use_reg st r1;
       use_reg st r2;
+      in_parcall_check st "check_indep";
       if l < 0 || l >= len then
         report "bad-target" "check else-label %d out of code" l;
       [ (addr + 1, st); (l, st) ]
     | Instr.Check_size (r, k, l) ->
       let st = exit_struct st in
       use_reg st r;
+      in_parcall_check st "check_size";
       if k < 0 then report "bad-size" "check_size bound %d negative" k;
       if l < 0 || l >= len then
         report "bad-target" "check else-label %d out of code" l;

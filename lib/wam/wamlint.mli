@@ -26,6 +26,13 @@
       mark.
     - unify instructions appear only in a structure context; every
       instruction is reachable from some entry.
+    - parcall region discipline, from the per-instruction access
+      metadata ({!Access}): no cut inside an open parcall region
+      ([parcall-cut] -- siblings must die through the kill protocol),
+      no CGE check inside one ([parcall-check] -- the else-branch
+      cannot unwind the frame), and no write to a cross-PE
+      coordination area (parcall slots/counters, goal frames) outside
+      one ([shared-write-unframed]).
     - environment-size drift ([env-drift]): an environment that is
       still allocated at [proceed]/[execute] where the path since its
       [allocate] ran only builtins and data instructions -- an

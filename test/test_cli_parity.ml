@@ -1,0 +1,126 @@
+(* The two interactive front ends must agree on what they measure:
+   [repl --time] and [rapwam_run --profile --stats] run the same
+   compiled program through the same machine, so their inference
+   counts over a benchmark must be identical.  Exercised end-to-end
+   through the built binaries (the dune test deps pin them). *)
+
+(* The binaries live next to the test inside _build
+   (.../default/test/test_main.exe -> .../default/bin/<name>.exe);
+   resolving against the running executable works from any cwd. *)
+let bin name =
+  Filename.concat
+    (Filename.concat
+       (Filename.dirname (Filename.dirname Sys.executable_name))
+       "bin")
+    name
+
+let repl_exe = bin "repl.exe"
+let rapwam_run_exe = bin "rapwam_run.exe"
+
+let small name =
+  List.find
+    (fun (b : Benchlib.Programs.benchmark) -> b.Benchlib.Programs.name = name)
+    (Benchlib.Inputs.small_benchmarks ())
+
+let run_capture cmd =
+  let ic = Unix.open_process_in cmd in
+  let b = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel b ic 1
+     done
+   with End_of_file -> ());
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> Buffer.contents b
+  | _ -> Alcotest.failf "command failed: %s\n%s" cmd (Buffer.contents b)
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* The integer immediately before [marker] in [out]. *)
+let int_before out marker =
+  let n = String.length out and m = String.length marker in
+  let rec find i =
+    if i + m > n then
+      Alcotest.failf "no %S in output:\n%s" marker out
+    else if String.sub out i m = marker then i
+    else find (i + 1)
+  in
+  let stop = find 0 in
+  let start = ref stop in
+  while !start > 0 && is_digit out.[!start - 1] do
+    decr start
+  done;
+  if !start = stop then
+    Alcotest.failf "no digits before %S in output:\n%s" marker out;
+  int_of_string (String.sub out !start (stop - !start))
+
+(* The integer immediately after [marker]. *)
+let int_after out marker =
+  let n = String.length out and m = String.length marker in
+  let rec find i =
+    if i + m > n then
+      Alcotest.failf "no %S in output:\n%s" marker out
+    else if String.sub out i m = marker then i + m
+    else find (i + 1)
+  in
+  let start = find 0 in
+  let stop = ref start in
+  while !stop < n && is_digit out.[!stop] do
+    incr stop
+  done;
+  if !stop = start then
+    Alcotest.failf "no digits after %S in output:\n%s" marker out;
+  int_of_string (String.sub out start (!stop - start))
+
+let with_source (b : Benchlib.Programs.benchmark) f =
+  let path = Filename.temp_file ("parity_" ^ b.Benchlib.Programs.name) ".pl" in
+  let oc = open_out path in
+  output_string oc b.Benchlib.Programs.src;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+(* repl always loads the prelude, so rapwam_run gets [--prelude] to
+   compile the identical source text. *)
+let parity_check name =
+  let b = small name in
+  with_source b @@ fun path ->
+  let direct =
+    run_capture
+      (Printf.sprintf "%s --pes 4 --prelude --profile --stats --query %s %s"
+         rapwam_run_exe
+         (Filename.quote b.Benchlib.Programs.query)
+         (Filename.quote path))
+  in
+  let repl =
+    run_capture
+      (Printf.sprintf "printf '%%s.\\n' %s | %s --pes 4 --time %s"
+         (Filename.quote b.Benchlib.Programs.query)
+         repl_exe (Filename.quote path))
+  in
+  let direct_inf = int_after direct "inferences   : " in
+  let repl_inf = int_before repl " inferences" in
+  Alcotest.(check int)
+    (name ^ ": repl --time inferences = rapwam_run --profile")
+    direct_inf repl_inf;
+  (* both front ends print the same per-predicate profile table *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) (name ^ ": repl prints a profile") true
+    (contains repl "calls");
+  Alcotest.(check bool) (name ^ ": rapwam_run prints a profile") true
+    (contains direct "calls");
+  Alcotest.(check bool) (name ^ ": counts positive") true (direct_inf > 0)
+
+let test_parity_deriv () = parity_check "deriv"
+let test_parity_qsort () = parity_check "qsort"
+
+let suite =
+  [
+    Alcotest.test_case "repl/rapwam_run agree on deriv" `Quick
+      test_parity_deriv;
+    Alcotest.test_case "repl/rapwam_run agree on qsort" `Quick
+      test_parity_qsort;
+  ]

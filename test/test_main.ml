@@ -20,5 +20,7 @@ let () =
       ("costan", Test_costan.suite);
       ("memo", Test_memo.suite);
       ("server", Test_server.suite);
+      ("refmap", Test_refmap.suite);
+      ("cli-parity", Test_cli_parity.suite);
       ("properties", Test_properties.suite);
     ]

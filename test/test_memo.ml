@@ -38,6 +38,101 @@ let test_answer_text_variants () =
   Alcotest.(check bool) "different answers differ" false
     (Memo.Canon.answer_text a = Memo.Canon.answer_text c)
 
+(* ---------------- canonical keys, property form ----------------
+
+   Canonical keys are equal exactly when the queries are variants:
+   random consistent renamings of the variables must collide, and
+   argument permutations must collide only when the permuted call is
+   still a variant (decided by an independent reference check). *)
+
+(* Reference variant check: a bijective variable mapping exists. *)
+let variants t1 t2 =
+  let fwd = Hashtbl.create 8 and bwd = Hashtbl.create 8 in
+  let bind tbl a b =
+    match Hashtbl.find_opt tbl a with
+    | Some b' -> b = b'
+    | None ->
+      Hashtbl.add tbl a b;
+      true
+  in
+  let rec go t1 t2 =
+    match (t1, t2) with
+    | Prolog.Term.Var v1, Prolog.Term.Var v2 ->
+      bind fwd v1 v2 && bind bwd v2 v1
+    | Prolog.Term.Atom a, Prolog.Term.Atom b -> a = b
+    | Prolog.Term.Int a, Prolog.Term.Int b -> a = b
+    | Prolog.Term.Struct (f, a), Prolog.Term.Struct (g, b) ->
+      f = g && List.length a = List.length b && List.for_all2 go a b
+    | _ -> false
+  in
+  go t1 t2
+
+let call_gen =
+  let open QCheck.Gen in
+  let arg =
+    oneof
+      [
+        map (fun v -> Prolog.Term.Var v) (oneofl [ "X"; "Y"; "Z"; "W" ]);
+        map (fun a -> Prolog.Term.Atom a) (oneofl [ "a"; "b" ]);
+        map (fun i -> Prolog.Term.Int i) (int_range 0 3);
+        map2
+          (fun f v -> Prolog.Term.Struct (f, [ Prolog.Term.Var v ]))
+          (oneofl [ "f"; "g" ])
+          (oneofl [ "X"; "Y"; "Z" ]);
+      ]
+  in
+  map2
+    (fun f args -> Prolog.Term.Struct (f, args))
+    (oneofl [ "p"; "q" ])
+    (list_size (int_range 1 4) arg)
+
+let call_arb = QCheck.make ~print:Prolog.Pretty.to_string call_gen
+
+let rec rename_vars f = function
+  | Prolog.Term.Var v -> Prolog.Term.Var (f v)
+  | Prolog.Term.Struct (g, args) ->
+    Prolog.Term.Struct (g, List.map (rename_vars f) args)
+  | (Prolog.Term.Atom _ | Prolog.Term.Int _) as t -> t
+
+let prop_key_renaming =
+  QCheck.Test.make ~name:"canon: keys invariant under variable renaming"
+    ~count:300
+    QCheck.(pair call_arb (int_bound 3))
+    (fun (t, shift) ->
+      (* a consistent bijective renaming onto fresh names *)
+      let fresh v =
+        Printf.sprintf "R%d"
+          ((Char.code v.[0] + shift) mod 7)
+      in
+      let t' = rename_vars fresh t in
+      let k = Memo.Canon.key_of_term t and k' = Memo.Canon.key_of_term t' in
+      k.Memo.Canon.spec = k'.Memo.Canon.spec
+      && k.Memo.Canon.text = k'.Memo.Canon.text)
+
+let prop_key_iff_variant =
+  QCheck.Test.make
+    ~name:"canon: permuted args collide iff still a variant" ~count:300
+    QCheck.(pair call_arb (int_bound 23))
+    (fun (t, code) ->
+      match t with
+      | Prolog.Term.Struct (f, args) ->
+        (* decode a permutation of up to 4 args from [code] *)
+        let a = Array.of_list args in
+        let n = Array.length a in
+        let code = ref code in
+        for i = n - 1 downto 1 do
+          let j = !code mod (i + 1) in
+          code := !code / (i + 1);
+          let tmp = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- tmp
+        done;
+        let t' = Prolog.Term.Struct (f, Array.to_list a) in
+        let k = Memo.Canon.key_of_term t
+        and k' = Memo.Canon.key_of_term t' in
+        (k.Memo.Canon.text = k'.Memo.Canon.text) = variants t t'
+      | _ -> false)
+
 (* ---------------- insert/find basics ---------------- *)
 
 let test_insert_find () =
@@ -179,6 +274,8 @@ let suite =
       test_canon_variants;
     Alcotest.test_case "canon: sharing distinguishes" `Quick
       test_canon_shared_vars;
+    QCheck_alcotest.to_alcotest prop_key_renaming;
+    QCheck_alcotest.to_alcotest prop_key_iff_variant;
     Alcotest.test_case "canon: answer variants" `Quick
       test_answer_text_variants;
     Alcotest.test_case "insert/find/dedupe + counters" `Quick

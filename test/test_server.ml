@@ -188,6 +188,52 @@ let test_harness_invariants () =
       "\"mg1_ratio_ok\": true";
     ]
 
+let test_param_validation () =
+  let ok = Server.Harness.default_params ~quick:true () in
+  Alcotest.(check bool) "defaults validate" true
+    (Server.Harness.validate ok = Ok ());
+  let rejects label p =
+    match Server.Harness.validate p with
+    | Ok () -> Alcotest.fail (label ^ " must be rejected")
+    | Error msg ->
+      Alcotest.(check bool) (label ^ " message non-empty") true
+        (String.length msg > 0)
+  in
+  rejects "requests=0" { ok with Server.Harness.requests = 0 };
+  rejects "batch=-1" { ok with Server.Harness.batch = -1 };
+  rejects "pes=0" { ok with Server.Harness.pes = 0 };
+  rejects "workers=0" { ok with Server.Harness.workers = 0 };
+  rejects "memo_words=0" { ok with Server.Harness.memo_words = 0 };
+  rejects "memo_shards=0" { ok with Server.Harness.memo_shards = 0 };
+  rejects "threshold=0" { ok with Server.Harness.threshold = 0 };
+  rejects "max_queue=0" { ok with Server.Harness.max_queue = 0 };
+  rejects "max_solutions=0" { ok with Server.Harness.max_solutions = 0 };
+  rejects "zipf_s=0" { ok with Server.Harness.zipf_s = 0. };
+  rejects "empty mix" { ok with Server.Harness.mix = [] };
+  rejects "zero mix weight"
+    { ok with Server.Harness.mix = [ ("qsort", 0) ] };
+  (* every problem is reported, not just the first *)
+  (match
+     Server.Harness.validate
+       { ok with Server.Harness.requests = 0; Server.Harness.pes = -3 }
+   with
+  | Ok () -> Alcotest.fail "two bad fields must be rejected"
+  | Error msg ->
+    List.iter
+      (fun needle ->
+        let nh = String.length msg and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub msg i nn = needle || go (i + 1))
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "mentions %s" needle)
+          true (go 0))
+      [ "requests"; "pes" ]);
+  (* run refuses invalid params up front *)
+  match Server.Harness.run { ok with Server.Harness.requests = 0 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "run must raise Invalid_argument on bad params"
+
 let test_harness_crash_is_lethal () =
   let faults = Resilience.Fault.make [ ("cell-start", Resilience.Fault.Crash, 5) ] in
   match Server.Harness.run (tiny_params ~faults ()) with
@@ -218,6 +264,8 @@ let suite =
     Alcotest.test_case "traffic is seed-deterministic" `Quick
       test_traffic_deterministic;
     Alcotest.test_case "traffic is zipf-skewed" `Quick test_traffic_zipf_skew;
+    Alcotest.test_case "harness: params validated up front" `Quick
+      test_param_validation;
     Alcotest.test_case "harness: acceptance invariants hold" `Slow
       test_harness_invariants;
     Alcotest.test_case "harness: planned crash is lethal" `Quick

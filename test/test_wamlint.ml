@@ -189,6 +189,57 @@ let test_push_outside_parcall () =
   in
   check_has "bad-parcall" diags
 
+let test_parcall_cut () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        let q = Wam.Symbols.functor_ symbols "q" 0 in
+        ignore (entry symbols code "p" 0);
+        let ap = Wam.Code.emit code (Alloc_parcall (1, 0)) in
+        emit code (Push_goal (0, q, 0));
+        (* cutting here would discard the pushed sibling *)
+        emit code Neck_cut;
+        let join = Wam.Code.emit code Par_join in
+        Wam.Code.patch code ap (Alloc_parcall (1, join));
+        emit code Proceed;
+        ignore (entry symbols code "q" 0);
+        emit code Proceed)
+  in
+  check_has "parcall-cut" diags
+
+let test_parcall_check () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        let q = Wam.Symbols.functor_ symbols "q" 0 in
+        ignore (entry symbols code "p" 1);
+        let ap = Wam.Code.emit code (Alloc_parcall (1, 0)) in
+        (* the CGE condition must run before the frame is allocated *)
+        let ck = Wam.Code.emit code (Check_ground (X 1, 0)) in
+        emit code (Push_goal (0, q, 0));
+        let join = Wam.Code.emit code Par_join in
+        Wam.Code.patch code ap (Alloc_parcall (1, join));
+        let out = Wam.Code.emit code Proceed in
+        Wam.Code.patch code ck (Check_ground (X 1, out));
+        ignore (entry symbols code "q" 0);
+        emit code Proceed)
+  in
+  check_has "parcall-check" diags
+
+let test_shared_write_unframed () =
+  let diags =
+    fixture (fun symbols code ->
+        let open Wam.Instr in
+        let q = Wam.Symbols.functor_ symbols "q" 0 in
+        ignore (entry symbols code "p" 0);
+        (* goal-frame write with no parcall frame open *)
+        emit code (Push_goal (0, q, 0));
+        emit code Proceed;
+        ignore (entry symbols code "q" 0);
+        emit code Proceed)
+  in
+  check_has "shared-write-unframed" diags
+
 let test_stray_unify () =
   let diags =
     fixture (fun symbols code ->
@@ -352,6 +403,10 @@ let suite =
     Alcotest.test_case "bad parcall join" `Quick test_bad_join;
     Alcotest.test_case "missing pushed goal" `Quick test_missing_pushed_goal;
     Alcotest.test_case "push outside parcall" `Quick test_push_outside_parcall;
+    Alcotest.test_case "cut inside parcall region" `Quick test_parcall_cut;
+    Alcotest.test_case "check inside parcall region" `Quick test_parcall_check;
+    Alcotest.test_case "shared write unframed" `Quick
+      test_shared_write_unframed;
     Alcotest.test_case "stray unify" `Quick test_stray_unify;
     Alcotest.test_case "unreachable code" `Quick test_unreachable;
     Alcotest.test_case "trail discipline clean" `Quick
