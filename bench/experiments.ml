@@ -1537,6 +1537,148 @@ let server setup =
      while serving bit-identical answers.  Recorded to BENCH_server.json.@."
 
 (* ------------------------------------------------------------------ *)
+(* Detan: static determinacy analysis driving choice-point elision and *)
+(* shallow backtracking.  Certified try chains compile to              *)
+(* det_try/det_retry/det_trust; answers must stay bit-identical, the   *)
+(* replay oracle must find no backtrack into an elided alternative,    *)
+(* and the choice-point area must shed references at every PE count.   *)
+(* The cache simulator then prices the saving as a Figure-4            *)
+(* traffic-ratio delta.  Recorded to BENCH_detan.json.                 *)
+
+let detan_pes = [ 1; 4; 8 ]
+
+let detan setup =
+  section "Detan: determinacy-driven choice-point elision";
+  let reports =
+    List.map (fun b -> Detan.Driver.run ~pes:detan_pes b) setup.benchmarks
+  in
+  let t =
+    Stats.Table.create ~title:"analysis, oracle and elision (8 PEs)"
+      ~headers:
+        [ "bench"; "preds"; "det"; "det arms"; "chains det"; "cp refs";
+          "trail refs"; "elided"; "oracle"; "answers" ]
+      ~aligns:
+        [ Stats.Table.Left; Stats.Table.Right; Stats.Table.Right;
+          Stats.Table.Right; Stats.Table.Right; Stats.Table.Right;
+          Stats.Table.Right; Stats.Table.Right; Stats.Table.Right;
+          Stats.Table.Right ]
+      ()
+  in
+  List.iter
+    (fun (r : Detan.Driver.report) ->
+      let a = r.Detan.Driver.a in
+      let el = a.Detan.Driver.elision in
+      let last = List.nth r.Detan.Driver.runs (List.length r.Detan.Driver.runs - 1) in
+      Stats.Table.add_row t
+        [
+          a.Detan.Driver.bench.Benchlib.Programs.name;
+          Stats.Table.cell_int (List.length a.Detan.Driver.counts);
+          Stats.Table.cell_int a.Detan.Driver.det_preds;
+          Stats.Table.cell_int a.Detan.Driver.det_arms;
+          Printf.sprintf "%d/%d" el.Detan.Driver.chains_det
+            el.Detan.Driver.chains_total;
+          Printf.sprintf "%d -> %d"
+            (last.Detan.Driver.base_cp_reads + last.Detan.Driver.base_cp_writes)
+            (last.Detan.Driver.det_cp_reads + last.Detan.Driver.det_cp_writes);
+          Printf.sprintf "%d -> %d"
+            (last.Detan.Driver.base_trail_reads
+            + last.Detan.Driver.base_trail_writes)
+            (last.Detan.Driver.det_trail_reads
+            + last.Detan.Driver.det_trail_writes);
+          Stats.Table.cell_int last.Detan.Driver.det_cp_elided;
+          (if r.Detan.Driver.oracle_ok then "ok" else "VIOLATED");
+          (if r.Detan.Driver.answers_ok then "ok" else "DIFFER");
+        ])
+    reports;
+  Stats.Table.print t;
+  (* Figure-4 pricing: base vs det traces through the hybrid protocol
+     at 1024-word caches (best allocation), at each PE count.  The
+     analysis and both runs are recomputed here because transformed
+     programs bypass the run memo. *)
+  let traffic =
+    List.map
+      (fun b ->
+        let a = Detan.Driver.analyze b in
+        let point n_pes det =
+          let r =
+            Benchlib.Runner.run_rapwam ~keep_trace:true
+              ~transform:a.Detan.Driver.transform ?det ~n_pes b
+          in
+          let m, _ =
+            Cachesim.Multi.simulate_best ~kind:Cachesim.Protocol.Hybrid
+              ~cache_words:1024 ~n_pes:(max n_pes 1)
+              r.Benchlib.Runner.trace
+          in
+          (Cachesim.Metrics.traffic_ratio m, m.Cachesim.Metrics.bus_words)
+        in
+        ( b.Benchlib.Programs.name,
+          List.map
+            (fun n_pes ->
+              (n_pes, point n_pes None, point n_pes (Some a.Detan.Driver.plan)))
+            detan_pes ))
+      setup.benchmarks
+  in
+  Format.printf
+    "@.Figure-4 traffic ratios (hybrid, 1024 words, best allocation);@.\
+     bus words in brackets -- the elided references are the@.\
+     best-cached ones, so the ratio can rise while traffic falls:@.";
+  List.iter
+    (fun (name, points) ->
+      Format.printf "  %-12s %s@." name
+        (String.concat "  "
+           (List.map
+              (fun (n_pes, (base, bbus), (det, dbus)) ->
+                Printf.sprintf "%dpe %.3f -> %.3f [%d -> %dw]" n_pes base det
+                  bbus dbus)
+              points)))
+    traffic;
+  let named = [ "deriv"; "qsort"; "tak" ] in
+  let named_reports =
+    List.filter
+      (fun (r : Detan.Driver.report) ->
+        List.mem r.Detan.Driver.a.Detan.Driver.bench.Benchlib.Programs.name
+          named)
+      reports
+  in
+  Format.printf
+    "invariants: oracle_ok %b, answers_ok %b, lint_clean %b, \
+     cp_drop_deriv_qsort_tak %b, trail_drop %b@."
+    (List.for_all (fun (r : Detan.Driver.report) -> r.Detan.Driver.oracle_ok) reports)
+    (List.for_all (fun (r : Detan.Driver.report) -> r.Detan.Driver.answers_ok) reports)
+    (List.for_all (fun (r : Detan.Driver.report) -> r.Detan.Driver.lint_clean) reports)
+    (named_reports <> []
+    && List.for_all
+         (fun (r : Detan.Driver.report) -> r.Detan.Driver.cp_drop)
+         named_reports)
+    (List.for_all
+       (fun (r : Detan.Driver.report) -> r.Detan.Driver.trail_drop)
+       named_reports);
+  let traffic_json =
+    String.concat ",\n    "
+      (List.map
+         (fun (name, points) ->
+           Printf.sprintf "{\"bench\": %S, \"points\": [%s]}" name
+             (String.concat ", "
+                (List.map
+                   (fun (n_pes, (base, bbus), (det, dbus)) ->
+                     Printf.sprintf
+                       "{\"pes\": %d, \"base_traffic_ratio\": %.6f, \
+                        \"det_traffic_ratio\": %.6f, \"delta\": %.6f, \
+                        \"base_bus_words\": %d, \"det_bus_words\": %d}"
+                       n_pes base det (det -. base) bbus dbus)
+                   points)))
+         traffic)
+  in
+  Resilience.Atomic_io.write_string "BENCH_detan.json"
+    ("{\n  \"schema\": \"rapwam-detan/1\",\n  \"benchmarks\": "
+    ^ Detan.Driver.json_of_reports reports
+    ^ ",\n  \"traffic\": [\n    " ^ traffic_json ^ "\n  ]\n}\n");
+  Format.printf
+    "Certified chains run choice-point free under shallow backtracking:@.\
+     the choice-point and trail areas shed references at every PE count@.\
+     with bit-identical answers.  Recorded to BENCH_detan.json.@."
+
+(* ------------------------------------------------------------------ *)
 (* Pre-warming: the (benchmark, PE-count) emulation runs each          *)
 (* experiment reads through [rapwam_run]/[wam_run] (0 = WAM), so the   *)
 (* harness can generate them on the engine's domain pool before the    *)
@@ -1548,6 +1690,7 @@ let experiment_names =
     "mlips"; "timing"; "timing-integrated"; "annotation"; "ablation-tags";
     "ablation-sched"; "ablation-line"; "ablation-alloc";
     "ablation-granularity"; "tracecheck"; "costan"; "server"; "refmap";
+    "detan";
   ]
 
 let rec pairs_for setup = function
@@ -1585,8 +1728,9 @@ let rec pairs_for setup = function
     List.map (fun b -> (b, 0)) (setup.benchmarks @ Benchlib.Large.population ())
   (* "tracecheck" deliberately contributes nothing: it times fresh
      generation, so pre-warming would make the overhead ratio lie.
-     "refmap" contributes nothing either: its runs use an annotation
-     transform, and transformed programs bypass the run memo *)
+     "refmap" and "detan" contribute nothing either: their runs use an
+     annotation transform, and transformed programs bypass the run
+     memo *)
   | _ -> []
 
 let prewarm setup names =
@@ -1613,4 +1757,5 @@ let all setup =
   tracecheck setup;
   costan setup;
   refmap setup;
+  detan setup;
   server setup

@@ -8,7 +8,7 @@
 
    Experiments: table1 table2 table3 figure2 figure4 mlips timing
                 ablation-tags ablation-sched ablation-line ablation-alloc
-                ablation-granularity tracecheck costan server
+                ablation-granularity tracecheck costan server refmap detan
 
    The emulation runs and cache sweeps the experiments share are
    pre-generated on the engine's domain pool (--jobs N, default the
@@ -23,7 +23,8 @@ let usage () =
   print_endline
     "usage: main.exe [--quick] [--perf] [--jobs N] [table1|table2|table3|\n\
     \       figure2|figure4|mlips|ablation-tags|ablation-sched|\n\
-    \       ablation-line|ablation-alloc|tracecheck|costan|server]...";
+    \       ablation-line|ablation-alloc|tracecheck|costan|server|\n\
+    \       refmap|detan]...";
   exit 1
 
 let parse_args args =
@@ -90,6 +91,7 @@ let () =
       | "tracecheck" -> Experiments.tracecheck setup
       | "costan" -> Experiments.costan setup
       | "refmap" -> Experiments.refmap setup
+      | "detan" -> Experiments.detan setup
       | "server" -> Experiments.server setup
       | "all" -> Experiments.all setup
       | other ->

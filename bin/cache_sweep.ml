@@ -221,7 +221,8 @@ let run_cmd bench_names pes protocol_name line sizes jobs check check_static
   Option.iter
     (fun path ->
       Resilience.Atomic_io.write_string path
-        (Engine.Results.to_csv outcome.Engine.Sweep.cells))
+        (Engine.Results.to_csv ~areas:outcome.Engine.Sweep.areas
+           outcome.Engine.Sweep.cells))
     csv_out;
   Option.iter
     (fun path ->
@@ -319,7 +320,11 @@ let csv_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "csv" ] ~docv:"FILE" ~doc:"Write the cells as CSV.")
+    & info [ "csv" ] ~docv:"FILE"
+        ~doc:
+          "Write the cells as CSV, including per-area \
+           $(i,area)_reads/$(i,area)_writes trace columns for each \
+           benchmark/PE trace the sweep produced.")
 
 let perf_record_arg =
   Arg.(

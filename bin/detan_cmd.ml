@@ -1,0 +1,242 @@
+(* detan: static determinacy analysis driving choice-point elision and
+   shallow backtracking.
+
+     detan --benchmarks --pes 1,4,8
+     detan --bench qsort --json BENCH_detan.json
+     detan --bench deriv --defect force_certify
+     detan --bench tak --counts
+
+   For each benchmark the tool grades every predicate on the
+   success-count lattice, certifies try chains whose alternatives are
+   provably dead after the first commit, compiles the program twice
+   (baseline and det), lints the det code, runs both at each PE count,
+   compares answer sets, and replays the baseline trace through the
+   soundness oracle: a backtrack that commits inside an alternative
+   the det compile elided is a violation.
+
+   --defect weakens one analysis rule first and expects its detector
+   (oracle, answer-set comparison, or wamlint) to object; exit status
+   is nonzero exactly when something was flagged, so CI asserts
+   detection with a plain `!` negation. *)
+
+let pp_report verbose (r : Detan.Driver.report) =
+  let a = r.Detan.Driver.a in
+  let el = a.Detan.Driver.elision in
+  Format.printf
+    "%-12s preds %d (det %d, %d det arms)  chains %d/%d det, %d var-pruned  \
+     %s %s %s@."
+    a.Detan.Driver.bench.Benchlib.Programs.name
+    (List.length a.Detan.Driver.counts)
+    a.Detan.Driver.det_preds a.Detan.Driver.det_arms el.Detan.Driver.chains_det
+    el.Detan.Driver.chains_total el.Detan.Driver.dead_var_chains
+    (if r.Detan.Driver.oracle_ok then "oracle ok" else "ORACLE VIOLATIONS")
+    (if r.Detan.Driver.answers_ok then "answers ok" else "ANSWERS DIFFER")
+    (if r.Detan.Driver.lint_clean then "lint ok" else "LINT DIRTY");
+  List.iter
+    (fun (run : Detan.Driver.pe_run) ->
+      Format.printf
+        "  %dpe: %d records, %d trial(s), %d violation(s); cp %d -> %d, \
+         trail %d -> %d, elided %d@."
+        run.Detan.Driver.n_pes run.Detan.Driver.records
+        run.Detan.Driver.oracle.Detan.Oracle.trials
+        (List.length run.Detan.Driver.oracle.Detan.Oracle.violations)
+        (run.Detan.Driver.base_cp_reads + run.Detan.Driver.base_cp_writes)
+        (run.Detan.Driver.det_cp_reads + run.Detan.Driver.det_cp_writes)
+        (run.Detan.Driver.base_trail_reads + run.Detan.Driver.base_trail_writes)
+        (run.Detan.Driver.det_trail_reads + run.Detan.Driver.det_trail_writes)
+        run.Detan.Driver.det_cp_elided;
+      List.iteri
+        (fun i v ->
+          if i < 8 || verbose then
+            Format.printf "    %a@." Detan.Oracle.pp_violation v)
+        run.Detan.Driver.oracle.Detan.Oracle.violations)
+    r.Detan.Driver.runs;
+  if not r.Detan.Driver.lint_clean then
+    List.iter
+      (fun d -> Format.printf "    %a@." Wam.Wamlint.pp_diag d)
+      a.Detan.Driver.lint_diags;
+  if verbose then
+    List.iter
+      (fun ((name, arity), (t, d)) ->
+        Format.printf "    %s/%d: %d/%d chains det@." name arity d t)
+      el.Detan.Driver.per_pred
+
+let pp_counts (b : Benchlib.Programs.benchmark) =
+  let a = Detan.Driver.analyze b in
+  Format.printf "== %s ==@." b.Benchlib.Programs.name;
+  List.iter
+    (fun ((name, arity), c) ->
+      Format.printf "  %-24s %s@."
+        (Printf.sprintf "%s/%d" name arity)
+        (Detan.Lattice.to_string c))
+    a.Detan.Driver.counts
+
+let run_cmd bench_names pes quick defect counts verbose json_out =
+  let pool =
+    (if quick then Benchlib.Inputs.small_benchmarks ()
+     else Benchlib.Inputs.default_benchmarks ())
+    @ Detan.Fixtures.all
+  in
+  let benchmarks =
+    match bench_names with
+    | [] -> pool
+    | names ->
+      List.map
+        (fun n ->
+          List.find
+            (fun (b : Benchlib.Programs.benchmark) ->
+              b.Benchlib.Programs.name = n)
+            pool)
+        names
+  in
+  if counts then List.iter pp_counts benchmarks
+  else begin
+    match defect with
+    | None ->
+      let dirty = ref 0 in
+      let reports =
+        List.map
+          (fun (b : Benchlib.Programs.benchmark) ->
+            let r = Detan.Driver.run ~pes b in
+            pp_report verbose r;
+            if
+              not
+                (r.Detan.Driver.oracle_ok && r.Detan.Driver.answers_ok
+               && r.Detan.Driver.lint_clean)
+            then begin
+              incr dirty;
+              Format.printf "  FAIL: %s@." b.Benchlib.Programs.name
+            end;
+            r)
+          benchmarks
+      in
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc (Detan.Driver.json_of_reports reports)))
+        json_out;
+      if !dirty > 0 then exit 1
+    | Some dname ->
+      let d =
+        match Detan.Defects.find dname with
+        | Some d -> d
+        | None -> invalid_arg ("unknown defect " ^ dname)
+      in
+      (* run the weakened analysis over the pool plus the defect's
+         dedicated probes; detection anywhere counts *)
+      let probes =
+        List.filter
+          (fun (p : Benchlib.Programs.benchmark) ->
+            not
+              (List.exists
+                 (fun (b : Benchlib.Programs.benchmark) ->
+                   b.Benchlib.Programs.name = p.Benchlib.Programs.name)
+                 benchmarks))
+          d.Detan.Defects.probes
+      in
+      let reports =
+        List.map
+          (fun b -> Detan.Driver.run ~defect:d ~pes b)
+          (benchmarks @ probes)
+      in
+      if Detan.Driver.defect_detected ~defect:d reports then begin
+        Format.printf "defect %s detected (%s)@." d.Detan.Defects.name
+          d.Detan.Defects.detector;
+        exit 1
+      end
+      else
+        Format.printf "MISSED: seeded defect %s escaped detection@."
+          d.Detan.Defects.name
+  end
+
+open Cmdliner
+
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n ->
+      Error
+        (`Msg (Printf.sprintf "%d is not a positive count (expected >= 1)" n))
+    | None -> Error (`Msg (Printf.sprintf "expected a positive count, got %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let bench_names =
+  Benchlib.Programs.all_names
+  @ List.map
+      (fun (b : Benchlib.Programs.benchmark) -> b.Benchlib.Programs.name)
+      Detan.Fixtures.all
+
+let bench_arg =
+  Arg.(
+    value
+    & opt (list (enum (List.map (fun n -> (n, n)) bench_names))) []
+    & info [ "b"; "bench" ] ~docv:"NAME[,NAME...]"
+        ~doc:"Benchmark(s) to analyze (default: all, plus the fixtures).")
+
+let benchmarks_flag =
+  Arg.(
+    value & flag
+    & info [ "benchmarks" ] ~doc:"Analyze every shipped benchmark (default).")
+
+let pes_arg =
+  Arg.(
+    value
+    & opt (list pos_int) Detan.Driver.default_pes
+    & info [ "p"; "pes" ] ~docv:"LIST"
+        ~doc:"PE counts both machines run and the oracle is checked at.")
+
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"Use the reduced benchmark inputs (CI-sized traces).")
+
+let defect_arg =
+  Arg.(
+    value
+    & opt (some (enum (List.map (fun n -> (n, n)) Detan.Defects.names))) None
+    & info [ "defect" ] ~docv:"NAME"
+        ~doc:
+          "Weaken the analysis with the named seeded defect first and \
+           expect its detector (oracle, answer comparison or wamlint) \
+           to flag it; exit 1 on detection, 0 when it escapes.")
+
+let counts_flag =
+  Arg.(
+    value & flag
+    & info [ "counts" ]
+        ~doc:"Print the per-predicate success-count grades and stop.")
+
+let verbose_flag =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:"Print per-predicate elision decisions and all violations.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the reports as JSON.")
+
+let cmd =
+  let doc =
+    "static determinacy analysis: choice-point elision certificates, \
+     shallow-backtracking compile, and the trace-replay soundness oracle"
+  in
+  Cmd.v
+    (Cmd.info "detan" ~doc)
+    Term.(
+      const (fun bench _benchmarks pes quick defect counts verbose json ->
+          run_cmd bench pes quick defect counts verbose json)
+      $ bench_arg $ benchmarks_flag $ pes_arg $ quick_arg $ defect_arg
+      $ counts_flag $ verbose_flag $ json_arg)
+
+let () =
+  match Cmd.eval_value cmd with
+  | Ok _ -> ()
+  | Error _ -> exit 1

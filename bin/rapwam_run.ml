@@ -13,11 +13,23 @@ let read_file path =
   s
 
 let run_cmd src_path query pes sequential stats listing disasm_only prelude
-    json_out profile =
+    json_out profile det =
   let src = match src_path with Some p -> read_file p | None -> "" in
   let src = if prelude then Prolog.Prelude.source ^ "\n" ^ src else src in
+  let det_plan =
+    if det then begin
+      let db = Prolog.Database.of_string src in
+      let summary =
+        Analysis.Analyze.database
+          ~entries:[ Analysis.Analyze.entry_of_string query ]
+          db
+      in
+      Some (Detan.Exclusion.plan ~patterns:(Analysis.Summary.patterns summary) ())
+    end
+    else None
+  in
   let prog =
-    Wam.Program.prepare ~parallel:(not sequential) ~src ~query ()
+    Wam.Program.prepare ~parallel:(not sequential) ?det:det_plan ~src ~query ()
   in
   if listing || disasm_only then begin
     Format.printf "%a@." Wam.Program.pp_listing prog;
@@ -47,6 +59,8 @@ let run_cmd src_path query pes sequential stats listing disasm_only prelude
     Printf.bprintf b "  \"total_refs\": %d,\n" (Trace.Areastats.total area_stats);
     Printf.bprintf b "  \"parcalls\": %d,\n" m.Wam.Machine.parcalls;
     Printf.bprintf b "  \"goals_stolen\": %d,\n" m.Wam.Machine.goals_stolen;
+    Printf.bprintf b "  \"cp_created\": %d,\n" m.Wam.Machine.cp_created;
+    Printf.bprintf b "  \"cp_elided\": %d,\n" m.Wam.Machine.cp_elided;
     Printf.bprintf b "  \"rounds\": %d" rounds;
     (match profiler with
     | None -> Buffer.add_string b "\n"
@@ -72,6 +86,8 @@ let run_cmd src_path query pes sequential stats listing disasm_only prelude
       Format.printf "total refs   : %d@." (Trace.Areastats.total area_stats);
       Format.printf "parcalls     : %d@." m.Wam.Machine.parcalls;
       Format.printf "goals stolen : %d@." m.Wam.Machine.goals_stolen;
+      Format.printf "cp created   : %d@." m.Wam.Machine.cp_created;
+      Format.printf "cp elided    : %d@." m.Wam.Machine.cp_elided;
       Format.printf "rounds       : %d@." rounds;
       Format.printf "%a@." Trace.Areastats.pp area_stats;
       if Wam.Machine.n_workers m > 1 then begin
@@ -193,13 +209,24 @@ let profile_arg =
            per-area data references) from the trace and print them; with \
            $(b,--json) they are also recorded under \"profile\".")
 
+let det_arg =
+  Arg.(
+    value & flag
+    & info [ "det" ]
+        ~doc:
+          "Run the static determinacy analysis first and compile certified \
+           try chains choice-point free (det_try/det_retry/det_trust with \
+           shallow backtracking).  The per-predicate profile and the \
+           cp_created/cp_elided counters quantify the effect.")
+
 let cmd =
   let doc = "run annotated Prolog on the RAP-WAM simulator" in
   Cmd.v
     (Cmd.info "rapwam_run" ~doc)
     Term.(
       const run_cmd $ src_arg $ query_arg $ pes_arg $ seq_arg $ stats_arg
-      $ listing_arg $ disasm_arg $ prelude_arg $ json_arg $ profile_arg)
+      $ listing_arg $ disasm_arg $ prelude_arg $ json_arg $ profile_arg
+      $ det_arg)
 
 let () =
   match Cmd.eval_value cmd with

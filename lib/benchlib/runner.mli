@@ -18,6 +18,8 @@ type result = {
   inferences : int;
   parcalls : int;
   goals_stolen : int;
+  cp_created : int;  (** choice points pushed (try) *)
+  cp_elided : int;  (** certified chains entered shallow (det_try) *)
   idle_cycles : int;
   wait_cycles : int;
   trace : Trace.Sink.Buffer_sink.t;  (** packed references (I+D) *)
@@ -31,15 +33,20 @@ type result = {
 
 val prepare :
   parallel:bool ->
+  ?det:Wam.Compile.det_plan ->
+  ?chains:Wam.Compile.chain_info list ref ->
   ?transform:(Prolog.Database.t -> Prolog.Database.t) ->
   Programs.benchmark ->
   Wam.Program.t
 (** Compile the benchmark exactly as {!run_wam} / {!run_rapwam} would
     (compilation is deterministic, so static analyses built over this
-    program line up with the code addresses in the run's trace). *)
+    program line up with the code addresses in the run's trace).
+    [det] enables choice-point elision; [chains] logs the emitted try
+    chains. *)
 
 val run_wam :
   ?keep_trace:bool ->
+  ?det:Wam.Compile.det_plan ->
   ?transform:(Prolog.Database.t -> Prolog.Database.t) ->
   Programs.benchmark ->
   result
@@ -48,7 +55,8 @@ val run_wam :
     granularity control). *)
 
 val run_rapwam :
-  ?keep_trace:bool -> ?steal:Rapwam.Sim.steal_policy -> ?allow_steal:bool ->
+  ?keep_trace:bool -> ?det:Wam.Compile.det_plan ->
+  ?steal:Rapwam.Sim.steal_policy -> ?allow_steal:bool ->
   ?transform:(Prolog.Database.t -> Prolog.Database.t) ->
   n_pes:int -> Programs.benchmark -> result
 

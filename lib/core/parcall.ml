@@ -19,7 +19,9 @@
      PF+10  saved CST         Parcall_local
      PF+11  join address      Parcall_local   (inline-goal failure target)
      PF+12  saved barrier     Parcall_local
-     PF+13..13+k-1    executor word per slot               Parcall_global
+     PF+13  saved HB          Parcall_local
+     PF+14  saved PROT        Parcall_local
+     PF+15..15+k-1    executor word per slot               Parcall_global
                       (-1 pending; pe while running; pe+done_bit when
                       checked in)
 
@@ -45,7 +47,9 @@ let off_saved_h = 9
 let off_saved_cst = 10
 let off_join = 11
 let off_saved_barrier = 12
-let off_slots = 13
+let off_saved_hb = 13
+let off_saved_prot = 14
+let off_slots = 15
 
 let done_bit = 4096
 
@@ -82,6 +86,8 @@ let alloc m (w : Machine.worker) k ~join_addr =
   wl off_saved_cst w.cst;
   wl off_join join_addr;
   wl off_saved_barrier w.barrier;
+  wl off_saved_hb w.hb;
+  wl off_saved_prot w.prot_lst;
   for i = 0 to k - 1 do
     wg (off_slots + i) (-1)
   done;
@@ -92,9 +98,13 @@ let alloc m (w : Machine.worker) k ~join_addr =
   w.barrier <- w.b;
   w.lst <- base + size k;
   (* the frame is a recovery point: bindings to anything older must be
-     trailed so the failure protocol can undo them *)
+     trailed so the failure protocol can undo them.  The par_* floors
+     keep choice-point pops inside the CGE from restoring the trail
+     condition below the frame (exec clamps against them). *)
   w.prot_lst <- w.lst;
   w.hb <- w.h;
+  w.par_prot <- w.lst;
+  w.par_hb <- w.h;
   Machine.note_high_water w;
   m.Machine.parcalls <- m.Machine.parcalls + 1;
   base
@@ -113,6 +123,9 @@ let saved_cst m w pf = Cell.payload (rd m w ~area:local_area (pf + off_saved_cst
 let join_addr m w pf = Cell.payload (rd m w ~area:local_area (pf + off_join))
 let saved_barrier m w pf =
   Cell.payload (rd m w ~area:local_area (pf + off_saved_barrier))
+let saved_hb m w pf = Cell.payload (rd m w ~area:local_area (pf + off_saved_hb))
+let saved_prot m w pf =
+  Cell.payload (rd m w ~area:local_area (pf + off_saved_prot))
 
 let peek m pf off = Cell.payload (Memory.peek m.Machine.mem (pf + off))
 let peek_counter m pf = peek m pf off_counter

@@ -36,6 +36,14 @@ val saved_cst : Wam.Machine.t -> Wam.Machine.worker -> int -> int
 val join_addr : Wam.Machine.t -> Wam.Machine.worker -> int -> int
 val saved_barrier : Wam.Machine.t -> Wam.Machine.worker -> int -> int
 
+val saved_hb : Wam.Machine.t -> Wam.Machine.worker -> int -> int
+(** Trail-condition heap boundary at frame allocation; restored when
+    the join commits so determinate code does not keep over-trailing
+    against a dead recovery point. *)
+
+val saved_prot : Wam.Machine.t -> Wam.Machine.worker -> int -> int
+(** Local-stack protection floor at frame allocation (same role). *)
+
 val slot_exec : Wam.Machine.t -> Wam.Machine.worker -> int -> int -> int
 val set_slot_exec : Wam.Machine.t -> Wam.Machine.worker -> int -> int -> int -> unit
 val set_slot_done : Wam.Machine.t -> Wam.Machine.worker -> int -> int -> unit

@@ -80,6 +80,7 @@ let create ?out ?(sink = Trace.Sink.null) ?(steal = Steal_oldest)
 let start_local_goal sim (w : Machine.worker) (goal : Goal_frame.goal)
     ~resume =
   let m = sim.m in
+  Exec.abandon_shallow m w;
   Parcall.set_slot_exec m w goal.pf goal.slot w.id;
   w.exec_stack <-
     Machine.Local_goal
@@ -99,6 +100,7 @@ let start_local_goal sim (w : Machine.worker) (goal : Goal_frame.goal)
    the thief's stack set. *)
 let start_stolen_goal sim (w : Machine.worker) (goal : Goal_frame.goal) =
   let m = sim.m in
+  Exec.abandon_shallow m w;
   Parcall.set_slot_exec m w goal.pf goal.slot w.id;
   let marker = Marker.push m w ~pf:goal.pf ~slot:goal.slot ~resume_p:(-1) in
   let ctx =
@@ -154,12 +156,18 @@ let goal_done sim (w : Machine.worker) =
          ~slot:ctx.Machine.slot);
     w.b <- Marker.saved_b m w marker;
     Marker.restore_continuation m w marker;
+    (* leaving the section: parcall floors of frames allocated inside
+       it (all joined or torn down) no longer apply *)
+    w.par_hb <- w.hb;
+    w.par_prot <- w.prot_lst;
     w.exec_stack <- rest;
     w.status <- Machine.Idle
 
 (* Total-failure dispatch (No_more_choices). *)
 let total_failure sim (w : Machine.worker) =
   let m = sim.m in
+  (* a torn-down context must not leave a live shallow frame behind *)
+  Exec.abandon_shallow m w;
   match w.exec_stack with
   | [] ->
     (* the root query has no alternatives left *)
@@ -186,6 +194,8 @@ let total_failure sim (w : Machine.worker) =
     w.lst <- Marker.saved_lst m w marker;
     w.b <- Marker.saved_b m w marker;
     Marker.restore_continuation m w marker;
+    w.par_hb <- w.hb;
+    w.par_prot <- w.prot_lst;
     w.cst <- marker;
     w.exec_stack <- rest;
     ignore
@@ -310,6 +320,11 @@ let handle_parcall_failure sim (w : Machine.worker) pf ~join_addr =
       w.cst <- Parcall.saved_cst m w pf;
       w.barrier <- Parcall.saved_barrier m w pf;
       w.pf <- Parcall.prev_pf m w pf;
+      (* the dead frame's recovery floors no longer apply *)
+      w.hb <- Parcall.saved_hb m w pf;
+      w.prot_lst <- Parcall.saved_prot m w pf;
+      w.par_hb <- w.hb;
+      w.par_prot <- w.prot_lst;
       w.lst <- pf;
       pop_pending w pf;
       (* sections whose trail was just unwound are gone *)
@@ -349,6 +364,16 @@ let par_join sim (w : Machine.worker) =
       w.pf <- Parcall.prev_pf m w pf;
       let saved_b = Parcall.saved_b m w pf in
       if w.b <> saved_b then w.b <- saved_b;
+      (* the frame is no longer a recovery point: drop the trail
+         condition (and the parcall floors) back to what the enclosing
+         recovery state needs, else determinate code keeps trailing
+         against it forever *)
+      let hb = Parcall.saved_hb m w pf in
+      let prot = Parcall.saved_prot m w pf in
+      w.hb <- hb;
+      w.prot_lst <- prot;
+      w.par_hb <- hb;
+      w.par_prot <- prot;
       pop_pending w pf
       (* fall through: w.p already points past the join *)
     end
@@ -444,6 +469,9 @@ let try_steal sim (w : Machine.worker) =
 let step_running sim (w : Machine.worker) =
   let m = sim.m in
   let instr = Exec.fetch_traced m w in
+  (* same fetch-time shallow-commit check as Exec.step: the parallel
+     instructions below also end a certified clause's test prefix *)
+  Exec.maybe_commit m w instr;
   m.Machine.opcode_freq.(Instr.opcode instr) <-
     m.Machine.opcode_freq.(Instr.opcode instr) + 1;
   w.instr_count <- w.instr_count + 1;

@@ -131,6 +131,9 @@ let instr ~nargs (i : Wam.Instr.t) : t =
   | Try _ -> cp (point (nargs + 9))
   | Retry _ -> cp (point 2)
   | Trust _ -> cp (itv 2 4)
+  (* shallow frames live in processor registers: no choice-point
+     words; a commit may flush logged bindings to the trail *)
+  | Det_try _ | Det_retry _ | Det_trust _ -> ()
   | Switch_on_term _ -> heap d
   | Switch_on_constant _ | Switch_on_integer _ -> heap d
   | Switch_on_structure _ -> heap (add d (itv 0 1))

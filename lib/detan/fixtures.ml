@@ -1,0 +1,48 @@
+(* Probe programs for the seeded defects.
+
+   Each fixture is shaped so the sound analysis refuses to certify
+   the interesting chain while exactly one weakened rule certifies it
+   wrongly -- running it under the defect then either corrupts the
+   answer set or makes a baseline trace backtrack into an elided
+   alternative (the oracle's violation). *)
+
+(* Complementary-looking guards over DIFFERENT operands: [<] vs [>=]
+   but relating (X,Y) and (Z,X).  Sound analysis: not complementary
+   (paths differ), chain stays normal; [guard_operands] defect:
+   certified, clause 1 commits at proceed with A = a and the query
+   fails instead of answering b. *)
+let guards =
+  {
+    Benchlib.Programs.name = "dt_guards";
+    src = "q(X, Y, _, a) :- X < Y.\nq(X, _, Z, b) :- Z >= X.\n";
+    query = "q(1, 2, 3, A), A = b";
+    answer_var = "A";
+  }
+
+(* A cut AFTER a user call: [gen/1] is a generator, the cut only
+   commits once some generated value passes the test.  Sound
+   analysis: the commit point (the call to gen) precedes the cut, not
+   certified; [cut_after_call] defect: certified, the failing first
+   clause discards [r(0)] and the query fails. *)
+let gen_cut =
+  {
+    Benchlib.Programs.name = "dt_gen_cut";
+    src = "r(X) :- gen(X), X > 10, !.\nr(0).\ngen(1).\ngen(2).\n";
+    query = "r(A)";
+    answer_var = "A";
+  }
+
+(* An indexed predicate genuinely called with an unbound first
+   argument: the switch_on_term variable chain is live.  Sound
+   analysis: the call pattern is Free, the chain stays; [var_head_blind]
+   defect: the chain compiles to fail and the query loses its
+   answer. *)
+let pick =
+  {
+    Benchlib.Programs.name = "dt_pick";
+    src = "pick(a).\npick(b).\npick(c).\n";
+    query = "pick(A), A = b";
+    answer_var = "A";
+  }
+
+let all = [ guards; gen_cut; pick ]

@@ -1,0 +1,92 @@
+(* Success-count lattice.
+
+   Abstract domain for "how many solutions can this goal produce":
+   each element denotes a set of possible solution counts,
+
+     Fails        = {0}
+     At_most_one  = {0, 1}
+     Exactly_one  = {1}
+     Multi        = {0, 1, 2, ...}   (top)
+
+   Two orders live on this domain and must not be confused:
+
+   - The REPORTING chain  fails < at_most_one < exactly_one < multi
+     with [join] = max, used by the fixpoint's convergence test and
+     the per-predicate report (a predicate "is" the strongest claim on
+     the chain that covers all its call patterns).  This is a total
+     order, not set inclusion: {1} and {0,1} are incomparable as sets,
+     the chain simply ranks "exactly one" as a stronger determinacy
+     fact than "at most one".
+
+   - The honest SET combinators used to compute clause and predicate
+     counts: [seq] (product of counts along a conjunction), [alt]
+     (sum over alternatives that can all be tried), [alt_excl] (union
+     over alternatives of which at most one can succeed -- mutually
+     exclusive clauses or cut-guarded ones).
+
+   Determinacy, the fact the compiler bridge and the annotator care
+   about, is [count <> Multi]: at most one solution, so a choice
+   point for the predicate's alternatives can never be backtracked
+   into more than once. *)
+
+type t = Fails | At_most_one | Exactly_one | Multi
+
+let rank = function
+  | Fails -> 0
+  | At_most_one -> 1
+  | Exactly_one -> 2
+  | Multi -> 3
+
+let to_string = function
+  | Fails -> "fails"
+  | At_most_one -> "at_most_one"
+  | Exactly_one -> "exactly_one"
+  | Multi -> "multi"
+
+let le a b = rank a <= rank b
+let join a b = if rank a >= rank b then a else b
+let equal (a : t) (b : t) = a = b
+
+(* Sequential conjunction: the count of [a, b] is count(a)*count(b)
+   (every solution of [a] restarts [b]).  {0} absorbs, {1} is the
+   identity, {0,1}*{0,1} = {0,1}, anything times Multi that can reach
+   it is Multi. *)
+let seq a b =
+  match (a, b) with
+  | Fails, _ | _, Fails -> Fails
+  | Exactly_one, x | x, Exactly_one -> x
+  | At_most_one, At_most_one -> At_most_one
+  | Multi, _ | _, Multi -> Multi
+
+(* Alternation where both branches can be tried on backtracking:
+   counts add.  {0} is the identity; 1+1 = 2 and 1+{0,1} reaches 2,
+   both Multi. *)
+let alt a b =
+  match (a, b) with
+  | Fails, x | x, Fails -> x
+  | Multi, _ | _, Multi -> Multi
+  | Exactly_one, Exactly_one
+  | Exactly_one, At_most_one
+  | At_most_one, Exactly_one
+  | At_most_one, At_most_one ->
+    Multi
+
+(* Alternation where at most one branch can succeed (mutual exclusion
+   or a committing cut): the count is ONE OF the branch counts, so the
+   result is the set union.  {1} ∪ {0} = {0,1}; {1} ∪ {1} = {1}. *)
+let alt_excl a b =
+  match (a, b) with
+  | Multi, _ | _, Multi -> Multi
+  | Fails, Fails -> Fails
+  | Exactly_one, Exactly_one -> Exactly_one
+  | Fails, Exactly_one
+  | Exactly_one, Fails
+  | At_most_one, (Fails | At_most_one | Exactly_one)
+  | (Fails | Exactly_one), At_most_one ->
+    At_most_one
+
+let deterministic = function
+  | Fails | At_most_one | Exactly_one -> true
+  | Multi -> false
+
+let all = [ Fails; At_most_one; Exactly_one; Multi ]

@@ -38,4 +38,14 @@ val decode_cell : string -> (string * Cachesim.Metrics.t) option
 (** Inverse of {!encode_cell}; [None] on a malformed payload. *)
 
 val to_json : cell list -> string
-val to_csv : cell list -> string
+
+val to_csv :
+  ?areas:((string * int) * (string * (int * int)) list) list ->
+  cell list ->
+  string
+(** Without [?areas] the historical column set, byte-for-byte.  With
+    it (see [Sweep.outcome.areas]) every {!Trace.Area.all} entry adds
+    an [<area>_reads,<area>_writes] column pair filled from the
+    cell's (bench, PEs) trace totals — the same numbers for every
+    cache configuration sharing a trace — and left empty for cells
+    whose trace the table does not cover (e.g. journal-resumed). *)

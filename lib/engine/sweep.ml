@@ -22,6 +22,8 @@ type grid = {
 type outcome = {
   cells : Results.cell list;
   stages : Report.stage list;
+  areas : ((string * int) * (string * (int * int)) list) list;
+      (** per (bench, PEs) trace: area name -> (reads, writes) *)
   wall_s : float;
   jobs : int;
   resumed_cells : int;
@@ -33,6 +35,18 @@ let cells_of_grid g =
   * List.length g.protocols * List.length g.cache_sizes
 
 let trace_key name n_pes = Printf.sprintf "%s@%dpe" name n_pes
+
+(* Per-area read/write totals of one packed trace, as rendered rows.
+   The PE-ownership map only feeds the local/remote split, which these
+   rows do not use, so a constant map suffices (and keeps the engine
+   free of a wam dependency). *)
+let area_rows_of_buffer buf =
+  let st = Trace.Areastats.create ~pe_of_addr:(fun _ -> -1) () in
+  Trace.Sink.Buffer_sink.iter (Trace.Areastats.record st) buf;
+  List.map
+    (fun a ->
+      (Trace.Area.slug a, (Trace.Areastats.reads st a, Trace.Areastats.writes st a)))
+    Trace.Area.all
 
 let generate_trace bench n_pes () =
   let result =
@@ -130,18 +144,36 @@ let run ?jobs ?(echo = false) ?(check = false) ?(traces = []) ?faults
     (fun (c : Results.config) ->
       Hashtbl.replace needed (trace_key c.Results.bench c.Results.n_pes) ())
     todo;
+  (* Producer wrapper: tally the finished trace's per-area read/write
+     totals.  Producers run on pool domains, so the table is
+     mutex-protected; rows are computed outside the lock. *)
+  let area_tbl : (string * int, (string * (int * int)) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let area_mutex = Mutex.create () in
+  let capture (name, n_pes) thunk () =
+    let buf = thunk () in
+    let rows = area_rows_of_buffer buf in
+    Mutex.lock area_mutex;
+    Hashtbl.replace area_tbl (name, n_pes) rows;
+    Mutex.unlock area_mutex;
+    buf
+  in
   let produce =
     (* pre-supplied traces become instant producers, so the DAG's
        dependency and fault-propagation story is uniform *)
     List.map
-      (fun ((name, n_pes), buf) -> (trace_key name n_pes, fun () -> buf))
+      (fun ((name, n_pes), buf) ->
+        (trace_key name n_pes, capture (name, n_pes) (fun () -> buf)))
       traces
     @ List.concat_map
         (fun b ->
           List.map
             (fun n_pes ->
               ( trace_key b.Benchlib.Programs.name n_pes,
-                generate_trace b n_pes ))
+                capture
+                  (b.Benchlib.Programs.name, n_pes)
+                  (generate_trace b n_pes) ))
             grid.pe_counts)
         grid.benchmarks
   in
@@ -207,6 +239,9 @@ let run ?jobs ?(echo = false) ?(check = false) ?(traces = []) ?faults
   {
     cells = Results.sort (done_cells @ fresh);
     stages;
+    areas =
+      List.sort compare
+        (Hashtbl.fold (fun k rows acc -> (k, rows) :: acc) area_tbl []);
     wall_s = Unix.gettimeofday () -. t0;
     jobs = jobs_requested;
     resumed_cells = List.length done_cells;

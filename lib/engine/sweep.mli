@@ -34,6 +34,13 @@ val cells_of_grid : grid -> int
 type outcome = {
   cells : Results.cell list;  (** sorted by configuration *)
   stages : Report.stage list;
+  areas : ((string * int) * (string * (int * int)) list) list;
+      (** per-area read/write totals of every trace this sweep
+          produced (generated or pre-supplied), keyed by (benchmark
+          name, PE count) and sorted; one row per {!Trace.Area.all}
+          entry as [(area slug, (reads, writes))].  Resumed cells
+          whose trace generation was skipped have no entry.  Feed to
+          {!Results.to_csv} to get per-area columns. *)
   wall_s : float;
   jobs : int;  (** domains actually requested *)
   resumed_cells : int;  (** cells restored from the checkpoint journal *)

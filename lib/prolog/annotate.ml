@@ -45,6 +45,7 @@ type stats = {
   groups_abandoned : int;
   sequentialized : int;
   static_safe : int;
+  det_arms : int;
 }
 
 (* Granularity control (Debray/Hermenegildo): a cost oracle classifies
@@ -384,6 +385,7 @@ type counters = {
   mutable c_abandoned : int;
   mutable c_sequentialized : int;
   mutable c_static_safe : int;
+  mutable c_det_arms : int;
 }
 
 (* Score every emitted parallel group against the external race-freedom
@@ -398,6 +400,33 @@ let count_certified certifier counters items =
         | Cge.Par { checks; arms } ->
           if safe checks arms then
             counters.c_static_safe <- counters.c_static_safe + 1
+        | Cge.Lit _ -> ())
+      items
+
+(* Score the arms of every emitted parallel group against the external
+   determinacy judgment (detan's success-count lattice): an arm whose
+   called predicate is provably [exactly_one] can skip the marker
+   bookkeeping the goal-stack machinery does for backtrackable arms. *)
+let count_det_arms determinacy counters items =
+  match determinacy with
+  | None -> ()
+  | Some det ->
+    List.iter
+      (function
+        | Cge.Par { arms; _ } ->
+          List.iter
+            (fun arm ->
+              let spec =
+                match arm with
+                | Term.Atom name -> Some (name, 0)
+                | Term.Struct (name, args) -> Some (name, List.length args)
+                | Term.Int _ | Term.Var _ -> None
+              in
+              match spec with
+              | Some s when det s ->
+                counters.c_det_arms <- counters.c_det_arms + 1
+              | Some _ | None -> ())
+            arms
         | Cge.Lit _ -> ())
       items
 
@@ -427,7 +456,8 @@ let apply_granularity granularity counters checks arms =
       [ Cge.Par { checks = dedup_checks (checks @ guards); arms } ]
     end
 
-let flush_group ?patterns ?granularity ?certifier modes st group out counters =
+let flush_group ?patterns ?granularity ?certifier ?determinacy modes st group
+    out counters =
   match group with
   | None -> ()
   | Some g ->
@@ -442,17 +472,20 @@ let flush_group ?patterns ?granularity ?certifier modes st group out counters =
         counters.c_groups <- counters.c_groups + 1;
         counters.c_checks <- counters.c_checks + List.length checks;
         count_certified certifier counters items;
+        count_det_arms determinacy counters items;
         List.iter out items
       | items -> List.iter out items));
     (* effects of the group's goals apply at the join *)
     List.iter (apply_effect ?patterns modes st) goals
 
-let annotate_body ?patterns ?granularity ?certifier modes db st counters body =
+let annotate_body ?patterns ?granularity ?certifier ?determinacy modes db st
+    counters body =
   let items = ref [] in
   let out item = items := item :: !items in
   let group : group option ref = ref None in
   let flush () =
-    flush_group ?patterns ?granularity ?certifier modes st !group out counters;
+    flush_group ?patterns ?granularity ?certifier ?determinacy modes st !group
+      out counters;
     group := None
   in
   List.iter
@@ -466,6 +499,7 @@ let annotate_body ?patterns ?granularity ?certifier modes db st counters body =
         | Cge.Par { checks; arms } ->
           let kept = apply_granularity granularity counters checks arms in
           count_certified certifier counters kept;
+          count_det_arms determinacy counters kept;
           List.iter out kept;
           List.iter (apply_effect ?patterns modes st) arms
         | Cge.Lit _ -> out item)
@@ -522,7 +556,7 @@ let annotate_body ?patterns ?granularity ?certifier modes db st counters body =
    analysis results; a clause uses them only when its own predicate
    was reached by the analysis (otherwise its entry states would be
    unsound), falling back to the purely local mode analysis. *)
-let annotate ?modes ?patterns ?granularity ?certifier db =
+let annotate ?modes ?patterns ?granularity ?certifier ?determinacy db =
   let modes = match modes with Some m -> m | None -> Modes.of_database db in
   let out = Database.create () in
   let counters =
@@ -532,6 +566,7 @@ let annotate ?modes ?patterns ?granularity ?certifier db =
       c_abandoned = 0;
       c_sequentialized = 0;
       c_static_safe = 0;
+      c_det_arms = 0;
     }
   in
   List.iter
@@ -548,7 +583,7 @@ let annotate ?modes ?patterns ?granularity ?certifier db =
             st;
           let body =
             annotate_body ?patterns:clause_patterns ?granularity ?certifier
-              modes db st counters clause.Database.body
+              ?determinacy modes db st counters clause.Database.body
           in
           Database.add_clause out { Database.head = clause.head; body })
         (Database.clauses db (name, arity)))
@@ -558,8 +593,10 @@ let annotate ?modes ?patterns ?granularity ?certifier db =
 let database ?modes ?patterns ?granularity db =
   fst (annotate ?modes ?patterns ?granularity db)
 
-let database_stats ?modes ?patterns ?granularity ?certifier db =
-  let out, c = annotate ?modes ?patterns ?granularity ?certifier db in
+let database_stats ?modes ?patterns ?granularity ?certifier ?determinacy db =
+  let out, c =
+    annotate ?modes ?patterns ?granularity ?certifier ?determinacy db
+  in
   let discharged =
     match patterns with
     | None -> 0
@@ -576,6 +613,7 @@ let database_stats ?modes ?patterns ?granularity ?certifier db =
       groups_abandoned = c.c_abandoned;
       sequentialized = c.c_sequentialized;
       static_safe = c.c_static_safe;
+      det_arms = c.c_det_arms;
     } )
 
 (* Count the parallel goals introduced (for reporting). *)

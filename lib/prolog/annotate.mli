@@ -61,6 +61,12 @@ type stats = {
       (** emitted groups the [certifier] proved race-free statically
           (0 without [?certifier]); such groups need no dynamic
           verification *)
+  det_arms : int;
+      (** arms of emitted parallel groups whose called predicate the
+          [determinacy] judgment proves has at most one solution (0
+          without [?determinacy]); backtracking never re-enters such
+          arms, so the parcall can skip the per-goal marker
+          bookkeeping it keeps for redoable arms *)
 }
 
 val database_stats :
@@ -68,13 +74,17 @@ val database_stats :
   ?patterns:Abspat.t ->
   ?granularity:(Term.t -> verdict) ->
   ?certifier:(Cge.check list -> Term.t list -> bool) ->
+  ?determinacy:(string * int -> bool) ->
   Database.t ->
   Database.t * stats
 (** [database] plus annotation-quality statistics (surfaced by the
     bench harness's annotation-quality table).  [certifier] is an
     external race-freedom judgment (refmap's static access summaries)
     scored over every emitted parallel group — programmer-written and
-    analysis-built alike; it does not change the annotation. *)
+    analysis-built alike; it does not change the annotation.
+    [determinacy] is an external success-count judgment (detan's
+    lattice): arms it proves deterministic are tallied in [det_arms].
+    Neither judgment changes the annotation. *)
 
 val parallelism_found : Database.t -> int
 (** Number of parallel calls in an (annotated) database. *)

@@ -174,7 +174,8 @@ let step st (i : Wam.Instr.t) =
        through a label, which reseeds *)
     kill_x st;
     Array.fill st.y 0 (Array.length st.y) Any
-  | Try _ | Retry _ | Trust _ | Switch_on_term _ | Switch_on_constant _
+  | Try _ | Retry _ | Trust _ | Det_try _ | Det_retry _ | Det_trust _
+  | Switch_on_term _ | Switch_on_constant _
   | Switch_on_integer _ | Switch_on_structure _ | Neck_cut | Cut_to _
   | Check_ground _ | Check_indep _ | Check_size _ | Alloc_parcall _
   | Push_goal _ ->
@@ -189,7 +190,8 @@ let targets code ~entry ~stop =
   let add tbl l = if l >= entry && l < stop then Hashtbl.replace tbl l () in
   for addr = entry to stop - 1 do
     match Wam.Code.fetch code addr with
-    | Wam.Instr.Try l | Wam.Instr.Retry l | Wam.Instr.Trust l ->
+    | Wam.Instr.Try l | Wam.Instr.Retry l | Wam.Instr.Trust l
+    | Wam.Instr.Det_try l | Wam.Instr.Det_retry l | Wam.Instr.Det_trust l ->
       add dispatch l
     | Wam.Instr.Switch_on_term { var_l; con_l; int_l; lis_l; str_l } ->
       List.iter (add dispatch) [ var_l; con_l; int_l; lis_l; str_l ]
@@ -210,7 +212,9 @@ let targets code ~entry ~stop =
      itself with restored arguments: seed there too *)
   for addr = entry to stop - 1 do
     match Wam.Code.fetch code addr with
-    | Wam.Instr.Retry _ | Wam.Instr.Trust _ -> Hashtbl.replace dispatch addr ()
+    | Wam.Instr.Retry _ | Wam.Instr.Trust _ | Wam.Instr.Det_retry _
+    | Wam.Instr.Det_trust _ ->
+      Hashtbl.replace dispatch addr ()
     | _ -> ()
   done;
   (dispatch, unknown)

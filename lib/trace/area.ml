@@ -77,6 +77,23 @@ let name = function
   | Goal_frame -> "Goal Frames"
   | Message -> "Messages"
 
+(* Machine-friendly identifier (CSV column names, JSON keys): the
+   constructor name, lowercased. *)
+let slug = function
+  | Code -> "code"
+  | Env_control -> "env_control"
+  | Env_pvar -> "env_pvar"
+  | Choice_point -> "choice_point"
+  | Heap -> "heap"
+  | Trail -> "trail"
+  | Pdl -> "pdl"
+  | Parcall_local -> "parcall_local"
+  | Parcall_global -> "parcall_global"
+  | Parcall_count -> "parcall_count"
+  | Marker -> "marker"
+  | Goal_frame -> "goal_frame"
+  | Message -> "message"
+
 (* The WAM storage region holding the object (paper, Table 1 "area"). *)
 let region = function
   | Code -> "Code"

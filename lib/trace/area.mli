@@ -34,6 +34,11 @@ val of_int : int -> t
 val name : t -> string
 (** The paper's row label (e.g. ["Envts./P. Vars."]). *)
 
+val slug : t -> string
+(** Machine-friendly identifier (e.g. ["env_pvar"]): lowercase, no
+    spaces or punctuation; suitable for CSV column names and JSON
+    keys. *)
+
 val region : t -> string
 (** The WAM storage region holding the object (Table 1 "area"). *)
 

@@ -117,6 +117,11 @@ let of_instr ?(ctx = conservative) (i : Instr.t) =
   | Instr.Try _ -> [ wr Choice_point ]
   | Instr.Retry _ -> [ rd Choice_point; wr Choice_point ]
   | Instr.Trust _ -> [ rd Choice_point ]
+  (* determinacy-certified chains: the shallow frame lives in
+     processor registers, so the chain instructions themselves touch
+     no memory (commit-time trail flushes are charged to the binding
+     instructions, whose footprints already include the trail write) *)
+  | Instr.Det_try _ | Instr.Det_retry _ | Instr.Det_trust _ -> []
   (* indexing *)
   | Instr.Switch_on_term _ | Instr.Switch_on_constant _
   | Instr.Switch_on_integer _ ->

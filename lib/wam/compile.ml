@@ -659,6 +659,47 @@ let compile_clause ~parallel symbols code db alloc
 (* ------------------------------------------------------------------ *)
 (* Predicate compilation with first-argument indexing.                *)
 
+(* Determinacy-driven chain elision (lib/detan supplies the plan).
+
+   A chain the plan certifies is emitted with det_try/det_retry/
+   det_trust: the machine keeps a register-resident shallow frame
+   instead of pushing a choice point, and discards the remaining
+   alternatives at the clause's first committing instruction (call,
+   proceed, neck_cut, parcall...).  That is sound only when the
+   certificate holds -- every non-last alternative either leads with a
+   cut or is mutually exclusive with all later alternatives -- which
+   is exactly what [det_certify] is asked to prove; the compiler
+   trusts it blindly, so the dynamic oracle in lib/detan exists to
+   audit the claim against real traces.  [det_dead_var] additionally
+   prunes the variable-dispatch chain of switch_on_term when the
+   analysis proves the first argument is always instantiated at call
+   time.  [det_orphan_sabotage] deliberately mis-emits certified
+   chains headed by det_retry (no det_try): the seeded defect the
+   wamlint orphan-chain rule must catch. *)
+type det_plan = {
+  det_certify :
+    db:Prolog.Database.t ->
+    pred:string * int ->
+    bucket:string ->
+    Prolog.Database.clause list ->
+    bool;
+  det_dead_var : string * int -> bool;
+  det_orphan_sabotage : bool;
+}
+
+(* One emitted try/retry/trust (or det) chain, for the elision stats
+   and the trace-replay oracle: [ci_clauses] are indices into the
+   predicate's clause list, in chain order, so a later analysis can
+   re-derive the certificate for the exact alternatives emitted. *)
+type chain_info = {
+  ci_pred : string * int;
+  ci_bucket : string;  (** "seq" | "var" | "lis" | "con" | "int" | "str" | "default" *)
+  ci_start : int;  (** address of the try (or det_try) *)
+  ci_alts : int;
+  ci_det : bool;
+  ci_clauses : int list;
+}
+
 type first_arg = FA_var | FA_con of int | FA_int of int | FA_lis | FA_str of int
 
 let first_arg_of symbols (clause : Prolog.Database.clause) =
@@ -676,29 +717,64 @@ let first_arg_of symbols (clause : Prolog.Database.clause) =
   | Prolog.Term.Struct (_, []) | Prolog.Term.Int _ | Prolog.Term.Var _ ->
     FA_var
 
+(* Chain instruction for position [i] of [n] alternatives.  The det
+   variants keep the frame in registers; [sabotage] mis-heads the
+   chain with det_retry (seeded defect for the orphan-chain lint). *)
+let chain_instr ~det ~sabotage i n target =
+  if det then
+    if i = 0 then
+      if sabotage then Instr.Det_retry target else Instr.Det_try target
+    else if i = n - 1 then Instr.Det_trust target
+    else Instr.Det_retry target
+  else if i = 0 then Instr.Try target
+  else if i = n - 1 then Instr.Trust target
+  else Instr.Retry target
+
 (* Emit a try/retry/trust chain over clause addresses.  A single
    address needs no chain. *)
-let emit_chain code addrs =
+let emit_chain ?(det = false) ?(sabotage = false) code addrs =
   match addrs with
   | [] -> -1
   | [ a ] -> a
-  | first :: rest ->
+  | addrs ->
     let start = Code.here code in
-    ignore (Code.emit code (Instr.Try first));
-    let rec go = function
-      | [] -> ()
-      | [ last ] -> ignore (Code.emit code (Instr.Trust last))
-      | a :: more ->
-        ignore (Code.emit code (Instr.Retry a));
-        go more
-    in
-    go rest;
+    let n = List.length addrs in
+    List.iteri
+      (fun i a -> ignore (Code.emit code (chain_instr ~det ~sabotage i n a)))
+      addrs;
     start
 
-let compile_predicate ~parallel symbols code db alloc key =
+let compile_predicate ~parallel ?det ?chains symbols code db alloc key =
   let clauses = Prolog.Database.clauses db key in
   let name, arity = key in
   let fid = Symbols.functor_ symbols name arity in
+  (* Should this chain of alternatives run choice-point-free?  The
+     plan sees the exact clauses in chain order; shallow frames hold
+     at most 255 saved argument registers. *)
+  let certify ~bucket cls =
+    match det with
+    | Some plan when List.length cls > 1 && arity < 256 ->
+      plan.det_certify ~db ~pred:key ~bucket (List.map snd cls)
+    | Some _ | None -> false
+  in
+  let sabotage =
+    match det with Some p -> p.det_orphan_sabotage | None -> false
+  in
+  let log_chain ~bucket ~start ~is_det cls =
+    match chains with
+    | Some r when List.length cls > 1 ->
+      r :=
+        {
+          ci_pred = key;
+          ci_bucket = bucket;
+          ci_start = start;
+          ci_alts = List.length cls;
+          ci_det = is_det;
+          ci_clauses = List.map fst cls;
+        }
+        :: !r
+    | Some _ | None -> ()
+  in
   match clauses with
   | [] -> ()
   | [ clause ] ->
@@ -711,25 +787,22 @@ let compile_predicate ~parallel symbols code db alloc key =
     in
     if not indexable then begin
       (* Reserve the chain, compile clauses, patch the chain. *)
+      let n = List.length clauses in
+      let icls = List.mapi (fun i c -> (i, c)) clauses in
+      let is_det = certify ~bucket:"seq" icls in
       let entry = Code.here code in
       List.iteri
         (fun i _ ->
-          ignore
-            (Code.emit code
-               (if i = 0 then Instr.Try (-1)
-                else if i = List.length clauses - 1 then Instr.Trust (-1)
-                else Instr.Retry (-1))))
+          ignore (Code.emit code (chain_instr ~det:is_det ~sabotage i n (-1))))
         clauses;
       let addrs =
         List.map (fun c -> compile_clause ~parallel symbols code db alloc c) clauses
       in
       List.iteri
         (fun i addr ->
-          Code.patch code (entry + i)
-            (if i = 0 then Instr.Try addr
-             else if i = List.length clauses - 1 then Instr.Trust addr
-             else Instr.Retry addr))
+          Code.patch code (entry + i) (chain_instr ~det:is_det ~sabotage i n addr))
         addrs;
+      log_chain ~bucket:"seq" ~start:entry ~is_det icls;
       Code.set_entry code fid entry
     end
     else begin
@@ -746,18 +819,47 @@ let compile_predicate ~parallel symbols code db alloc key =
       let addrs =
         List.map (fun c -> compile_clause ~parallel symbols code db alloc c) clauses
       in
-      let tagged = List.combine fas addrs in
+      let clause_arr = Array.of_list clauses in
+      let tagged =
+        List.mapi (fun i (fa, a) -> (fa, a, i)) (List.combine fas addrs)
+      in
       let bucket pred =
         List.filter_map
-          (fun (fa, a) -> if fa = FA_var || pred fa then Some a else None)
+          (fun (fa, a, i) -> if fa = FA_var || pred fa then Some (a, i) else None)
           tagged
       in
-      let var_l = emit_chain code (List.map snd tagged) in
-      let lis_l = emit_chain code (bucket (fun fa -> fa = FA_lis)) in
+      (* Emit one (possibly det) chain over bucket members, logging
+         the clause indices so the oracle can re-derive the
+         certificate against this exact alternative order. *)
+      let chain ~bucket:bk members =
+        match members with
+        | [] -> -1
+        | [ (a, _) ] -> a
+        | members ->
+          let icls = List.map (fun (_, i) -> (i, clause_arr.(i))) members in
+          let is_det = certify ~bucket:bk icls in
+          let start =
+            emit_chain ~det:is_det ~sabotage code (List.map fst members)
+          in
+          log_chain ~bucket:bk ~start ~is_det icls;
+          start
+      in
+      (* A variable first argument at call time runs all clauses in
+         order; when the analysis proves the argument is always bound
+         (dead_var) the dispatch target is never taken and we point it
+         at fail instead of emitting the chain. *)
+      let dead_var =
+        match det with Some p -> p.det_dead_var key | None -> false
+      in
+      let var_l =
+        if dead_var then -1
+        else chain ~bucket:"var" (List.map (fun (_, a, i) -> (a, i)) tagged)
+      in
+      let lis_l = chain ~bucket:"lis" (bucket (fun fa -> fa = FA_lis)) in
       (* Distinct keys of one shape, in first-appearance order. *)
       let keys_of extract =
         List.fold_left
-          (fun keys (fa, _) ->
+          (fun keys (fa, _, _) ->
             match extract fa with
             | Some k when not (List.mem k keys) -> keys @ [ k ]
             | Some _ | None -> keys)
@@ -766,11 +868,11 @@ let compile_predicate ~parallel symbols code db alloc key =
       (* the default (unknown key) runs the variable-headed clauses *)
       let var_only =
         List.filter_map
-          (fun (fa, a) -> if fa = FA_var then Some a else None)
+          (fun (fa, a, i) -> if fa = FA_var then Some (a, i) else None)
           tagged
       in
-      let var_only_l = emit_chain code var_only in
-      let sub extract instr_of has_any =
+      let var_only_l = chain ~bucket:"default" var_only in
+      let sub extract instr_of has_any ~bucket:bk =
         if not has_any then
           (* no clause with this shape: unknown keys fall back to the
              variable-headed clauses (possibly fail) *)
@@ -779,7 +881,7 @@ let compile_predicate ~parallel symbols code db alloc key =
           let keys = keys_of extract in
           let groups =
             List.map
-              (fun k -> (k, emit_chain code (bucket (fun fa -> extract fa = Some k))))
+              (fun k -> (k, chain ~bucket:bk (bucket (fun fa -> extract fa = Some k))))
               keys
           in
           match groups with
@@ -797,18 +899,21 @@ let compile_predicate ~parallel symbols code db alloc key =
           (function FA_con c -> Some c | FA_var | FA_int _ | FA_lis | FA_str _ -> None)
           (fun (g, d) -> Instr.Switch_on_constant (g, d))
           (has (function FA_con _ -> true | _ -> false))
+          ~bucket:"con"
       in
       let int_l =
         sub
           (function FA_int n -> Some n | FA_var | FA_con _ | FA_lis | FA_str _ -> None)
           (fun (g, d) -> Instr.Switch_on_integer (g, d))
           (has (function FA_int _ -> true | _ -> false))
+          ~bucket:"int"
       in
       let str_l =
         sub
           (function FA_str f -> Some f | FA_var | FA_con _ | FA_int _ | FA_lis -> None)
           (fun (g, d) -> Instr.Switch_on_structure (g, d))
           (has (function FA_str _ -> true | _ -> false))
+          ~bucket:"str"
       in
       let lis_l = if lis_l = -1 then var_only_l else lis_l in
       Code.patch code entry
@@ -822,13 +927,13 @@ let compile_predicate ~parallel symbols code db alloc key =
 let halt_addr = 0
 let goal_done_addr = 1
 
-let compile_db ?(parallel = true) symbols db =
+let compile_db ?(parallel = true) ?det ?chains symbols db =
   let code = Code.create () in
   assert (Code.emit code Instr.Halt_ok = halt_addr);
   assert (Code.emit code Instr.Goal_done = goal_done_addr);
   let alloc = { synth_count = 0; pending = [] } in
   List.iter
-    (fun key -> compile_predicate ~parallel symbols code db alloc key)
+    (fun key -> compile_predicate ~parallel ?det ?chains symbols code db alloc key)
     (Prolog.Database.predicates db);
   flush_synth code alloc;
   code

@@ -23,6 +23,52 @@ val halt_addr : int
 val goal_done_addr : int
 (** Return point of parallel goals (instruction 1). *)
 
-val compile_db : ?parallel:bool -> Symbols.t -> Prolog.Database.t -> Code.t
+type det_plan = {
+  det_certify :
+    db:Prolog.Database.t ->
+    pred:string * int ->
+    bucket:string ->
+    Prolog.Database.clause list ->
+    bool;
+      (** Asked once per multi-clause chain, with the alternatives in
+          chain order.  Answering [true] makes the compiler emit the
+          chain as det_try/det_retry/det_trust — choice-point free —
+          so the answer must prove that every non-last alternative
+          either leads with a cut or is mutually exclusive with all
+          later ones (see {!Detan.Exclusion}). *)
+  det_dead_var : string * int -> bool;
+      (** [true] when the first argument is provably bound at every
+          call: the switch_on_term variable-dispatch chain is dead and
+          compiles to fail instead of being emitted. *)
+  det_orphan_sabotage : bool;
+      (** Seeded defect: head certified chains with det_retry instead
+          of det_try (caught by the wamlint orphan-chain rule). *)
+}
+(** Determinacy plan supplied by lib/detan; [det_certify] is trusted
+    blindly, the dynamic oracle audits it against traces. *)
+
+type chain_info = {
+  ci_pred : string * int;
+  ci_bucket : string;
+      (** ["seq"] (non-indexed), ["var"], ["lis"], ["con"], ["int"],
+          ["str"] or ["default"] (unknown-key fallback). *)
+  ci_start : int;  (** address of the try / det_try *)
+  ci_alts : int;
+  ci_det : bool;
+  ci_clauses : int list;
+      (** indices into [Database.clauses db ci_pred], in chain order *)
+}
+(** One emitted multi-alternative chain, logged for elision statistics
+    and for the trace-replay soundness oracle. *)
+
+val compile_db :
+  ?parallel:bool ->
+  ?det:det_plan ->
+  ?chains:chain_info list ref ->
+  Symbols.t ->
+  Prolog.Database.t ->
+  Code.t
 (** Compile every predicate.  [parallel = false] flattens CGEs into
-    plain conjunctions (the sequential WAM baseline). *)
+    plain conjunctions (the sequential WAM baseline).  [det] enables
+    determinacy-driven choice-point elision; [chains] accumulates a
+    log of every emitted try chain (in reverse emission order). *)

@@ -72,9 +72,25 @@ let must_trail (w : worker) addr =
   else if Layout.is_local_stack_addr addr then addr < w.prot_lst
   else true
 
+(* Shallow analogue of the trail condition, against the shallow
+   frame's snapshot instead of the newest choice point: bindings to
+   cells that predate the frame must be logged so a shallow fail can
+   restore them.  [sh_h >= hb] and [sh_lst >= prot_lst] always hold,
+   so the log is a superset of what the trail would have recorded. *)
+let shallow_protects (w : worker) addr =
+  let sh = w.shallow in
+  if Layout.pe_of_addr addr <> w.id then true
+  else if Layout.is_heap_addr addr then addr < sh.sh_h
+  else if Layout.is_local_stack_addr addr then addr < sh.sh_lst
+  else true
+
 let bind m w addr cell =
   wr_auto m w addr cell;
-  if must_trail w addr then trail_push m w addr
+  if w.shallow.sh_active then begin
+    if shallow_protects w addr then
+      w.shallow.sh_log <- addr :: w.shallow.sh_log
+  end
+  else if must_trail w addr then trail_push m w addr
 
 (* Bind two unbound variables: stack variables point at heap variables
    (stack cells die first); between same-kind cells the younger (higher
@@ -191,8 +207,77 @@ let untrail_to m (w : worker) saved_tr =
     wr_auto m w a (Cell.ref_ a)
   done
 
+(* Shallow fail: restore the register snapshot, reset the logged
+   bindings to unbound and continue at the frame's next alternative.
+   No choice-point words are read, nothing was trailed, and the frame
+   stays active for the rest of the chain (the det_retry/det_trust at
+   [sh_alt] updates or deactivates it). *)
+let shallow_fail m (w : worker) =
+  let sh = w.shallow in
+  List.iter (fun a -> wr_auto m w a (Cell.ref_ a)) sh.sh_log;
+  sh.sh_log <- [];
+  let n = sh.sh_nargs in
+  for i = 1 to n do
+    w.x.(i) <- sh.sh_args.(i)
+  done;
+  w.nargs <- n;
+  w.e <- sh.sh_e;
+  w.cp <- sh.sh_cp;
+  w.b0 <- sh.sh_b0;
+  w.h <- sh.sh_h;
+  w.lst <- sh.sh_lst;
+  w.p <- sh.sh_alt
+
+(* Commit: the certified clause's test prefix has succeeded, so the
+   shallow frame is dead.  Log entries the real trail condition cares
+   about are flushed to the trail (the rest would not have been
+   trailed by a plain chain either). *)
+let commit_shallow m (w : worker) =
+  let sh = w.shallow in
+  sh.sh_active <- false;
+  List.iter (fun a -> if must_trail w a then trail_push m w a) sh.sh_log;
+  sh.sh_log <- []
+
+(* Instructions that end a certified clause's test prefix.  Builtins
+   deliberately do not commit: arithmetic guards stay inside the
+   shallow window so their failure retries the next alternative. *)
+let commits = function
+  | Instr.Call _ | Instr.Execute _ | Instr.Proceed | Instr.Halt_ok
+  | Instr.Neck_cut | Instr.Cut_to _ | Instr.Alloc_parcall _
+  | Instr.Push_goal _ | Instr.Par_join | Instr.Goal_done ->
+    true
+  | Instr.Put_variable _ | Instr.Put_value _ | Instr.Put_unsafe_value _
+  | Instr.Put_constant _ | Instr.Put_integer _ | Instr.Put_nil _
+  | Instr.Put_structure _ | Instr.Put_list _ | Instr.Get_variable _
+  | Instr.Get_value _ | Instr.Get_constant _ | Instr.Get_integer _
+  | Instr.Get_nil _ | Instr.Get_structure _ | Instr.Get_list _
+  | Instr.Unify_variable _ | Instr.Unify_value _ | Instr.Unify_local_value _
+  | Instr.Unify_constant _ | Instr.Unify_integer _ | Instr.Unify_nil
+  | Instr.Unify_void _ | Instr.Allocate _ | Instr.Deallocate | Instr.Jump _
+  | Instr.Try _ | Instr.Retry _ | Instr.Trust _ | Instr.Det_try _
+  | Instr.Det_retry _ | Instr.Det_trust _ | Instr.Switch_on_term _
+  | Instr.Switch_on_constant _ | Instr.Switch_on_integer _
+  | Instr.Switch_on_structure _ | Instr.Get_level _ | Instr.Builtin _
+  | Instr.Check_ground _ | Instr.Check_indep _ | Instr.Check_size _ ->
+    false
+
+let maybe_commit m (w : worker) instr =
+  if w.shallow.sh_active && commits instr then commit_shallow m w
+
+(* Abandon an active shallow frame without running its alternatives,
+   restoring the logged bindings.  Used by the simulator when a goal
+   context is torn down. *)
+let abandon_shallow m (w : worker) =
+  let sh = w.shallow in
+  if sh.sh_active then begin
+    List.iter (fun a -> wr_auto m w a (Cell.ref_ a)) sh.sh_log;
+    sh.sh_log <- [];
+    sh.sh_active <- false
+  end
+
 let fail m (w : worker) =
-  if w.b = -1 || w.b <= w.barrier then raise (No_more_choices w)
+  if w.shallow.sh_active then shallow_fail m w
+  else if w.b = -1 || w.b <= w.barrier then raise (No_more_choices w)
   else begin
     let b = w.b in
     let f off = rd m w ~area:Trace.Area.Choice_point (b + off) in
@@ -207,11 +292,11 @@ let fail m (w : worker) =
     untrail_to m w (Cell.payload (f (n + 5)));
     let saved_h = Cell.payload (f (n + 6)) in
     w.h <- saved_h;
-    w.hb <- saved_h;
+    w.hb <- max saved_h w.par_hb;
     w.b0 <- Cell.payload (f (n + 7));
     let saved_lst = Cell.payload (f (n + 8)) in
     w.lst <- saved_lst;
-    w.prot_lst <- saved_lst;
+    w.prot_lst <- max saved_lst w.par_prot;
     w.cst <- b + n + cp_extra;
     w.p <- next_alt
   end
@@ -518,11 +603,37 @@ let exec_builtin m (w : worker) b _arity =
   | Builtin.Arith_eq -> eval_arith m w (a 1) = eval_arith m w (a 2)
   | Builtin.Arith_ne -> eval_arith m w (a 1) <> eval_arith m w (a 2)
   | Builtin.Not_unify ->
-    (* Trial unification with full trailing, then undo. *)
+    (* Trial unification with full trailing, then undo.  Under an
+       active shallow frame the trial bindings land in the frame's
+       undo log instead of the trail, so mark the log (and tighten the
+       snapshot so every binding is logged), undo past the mark, and
+       restore. *)
     let saved_hb = w.hb in
     let saved_tr = w.tr in
+    let sh = w.shallow in
+    let saved_log = sh.sh_log in
+    let saved_sh_h = sh.sh_h in
+    let saved_sh_lst = sh.sh_lst in
+    if sh.sh_active then begin
+      sh.sh_h <- w.h;
+      sh.sh_lst <- w.lst
+    end;
     w.hb <- w.h;
     let ok = unify m w (a 1) (a 2) in
+    if sh.sh_active then begin
+      let rec undo log =
+        if log != saved_log then
+          match log with
+          | addr :: rest ->
+            wr_auto m w addr (Cell.ref_ addr);
+            undo rest
+          | [] -> ()
+      in
+      undo sh.sh_log;
+      sh.sh_log <- saved_log;
+      sh.sh_h <- saved_sh_h;
+      sh.sh_lst <- saved_sh_lst
+    end;
     untrail_to m w saved_tr;
     w.hb <- saved_hb;
     not ok
@@ -713,13 +824,15 @@ let cut_to_level m (w : worker) target =
     w.b <- target;
     if target = -1 || target < w.cst_floor then begin
       w.cst <- w.cst_floor;
-      w.prot_lst <- w.lst_floor
+      w.prot_lst <- max w.lst_floor w.par_prot
     end
     else begin
       let n = Cell.payload (rd m w ~area:Trace.Area.Choice_point target) in
       w.cst <- target + n + cp_extra;
       w.prot_lst <-
-        Cell.payload (rd m w ~area:Trace.Area.Choice_point (target + n + 8))
+        max
+          (Cell.payload (rd m w ~area:Trace.Area.Choice_point (target + n + 8)))
+          w.par_prot
     end
   end
 
@@ -938,6 +1051,7 @@ let step_core m (w : worker) instr =
     w.status <- Halted
   (* ---- choice ---- *)
   | Instr.Try l ->
+    m.cp_created <- m.cp_created + 1;
     push_choice_point m w ~next_alt:w.p;
     w.p <- l
   | Instr.Retry l ->
@@ -950,16 +1064,49 @@ let step_core m (w : worker) instr =
     let prev = Cell.payload (rd m w ~area:Trace.Area.Choice_point (b + n + 3)) in
     w.b <- prev;
     if prev = -1 || prev < w.cst_floor then begin
-      w.prot_lst <- w.lst_floor
+      w.prot_lst <- max w.lst_floor w.par_prot
       (* hb keeps its (conservative) value: over-trailing is safe *)
     end
     else begin
       let pn = Cell.payload (rd m w ~area:Trace.Area.Choice_point prev) in
-      w.hb <- Cell.payload (rd m w ~area:Trace.Area.Choice_point (prev + pn + 6));
+      w.hb <-
+        max
+          (Cell.payload (rd m w ~area:Trace.Area.Choice_point (prev + pn + 6)))
+          w.par_hb;
       w.prot_lst <-
-        Cell.payload (rd m w ~area:Trace.Area.Choice_point (prev + pn + 8))
+        max
+          (Cell.payload (rd m w ~area:Trace.Area.Choice_point (prev + pn + 8)))
+          w.par_prot
     end;
     w.cst <- b;
+    w.p <- l
+  (* ---- determinacy-certified chains ---- *)
+  | Instr.Det_try l ->
+    let sh = w.shallow in
+    if sh.sh_active then
+      runtime_error "det_try: shallow frame already active (PE %d)" w.id;
+    let n = w.nargs in
+    sh.sh_active <- true;
+    sh.sh_alt <- w.p;
+    sh.sh_nargs <- n;
+    for i = 1 to n do
+      sh.sh_args.(i) <- w.x.(i)
+    done;
+    sh.sh_e <- w.e;
+    sh.sh_cp <- w.cp;
+    sh.sh_b0 <- w.b0;
+    sh.sh_h <- w.h;
+    sh.sh_lst <- w.lst;
+    sh.sh_log <- [];
+    m.cp_elided <- m.cp_elided + 1;
+    w.p <- l
+  | Instr.Det_retry l ->
+    w.shallow.sh_alt <- w.p;
+    w.p <- l
+  | Instr.Det_trust l ->
+    (* last alternative: from here a failure is a real failure *)
+    w.shallow.sh_active <- false;
+    w.shallow.sh_log <- [];
     w.p <- l
   (* ---- indexing ---- *)
   | Instr.Switch_on_term { var_l; con_l; int_l; lis_l; str_l } -> begin
@@ -1034,9 +1181,15 @@ let step_core m (w : worker) instr =
   | Instr.Goal_done ->
     raise (Parallel_instr instr)
 
-(* One sequential step: fetch (traced), count, advance, execute. *)
+(* One sequential step: fetch (traced), count, advance, execute.  The
+   commit check runs at fetch time: reaching a committing instruction
+   with an active shallow frame means the certified clause's test
+   prefix succeeded, so the frame is retired before the instruction
+   executes.  The RAP-WAM simulator's own fetch path performs the same
+   check (see Rapwam.Sim.step_running). *)
 let step m (w : worker) =
   let instr = fetch_traced m w in
+  maybe_commit m w instr;
   m.opcode_freq.(Instr.opcode instr) <-
     m.opcode_freq.(Instr.opcode instr) + 1;
   w.instr_count <- w.instr_count + 1;

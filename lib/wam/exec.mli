@@ -61,8 +61,27 @@ val encode :
 (** {1 Control} *)
 
 val fail : Machine.t -> Machine.worker -> unit
-(** Backtrack to the newest choice point.
+(** Backtrack to the newest choice point — or, when the worker's
+    shallow frame is active, restore its snapshot and continue at the
+    frame's next alternative (no choice-point reads, never raises).
     @raise No_more_choices at the barrier. *)
+
+(** {1 Shallow frames (determinacy-certified chains)} *)
+
+val commits : Instr.t -> bool
+(** Does this instruction end a certified clause's test prefix?
+    (call/execute/proceed/halt, cut, and the parcall group; builtins
+    deliberately stay inside the shallow window.) *)
+
+val maybe_commit : Machine.t -> Machine.worker -> Instr.t -> unit
+(** Fetch-time commit check: retire the active shallow frame (flushing
+    its undo log to the trail where the trail condition demands it)
+    when the fetched instruction {!commits}.  Called by {!step} and by
+    the RAP-WAM simulator's own fetch path. *)
+
+val abandon_shallow : Machine.t -> Machine.worker -> unit
+(** Deactivate an active shallow frame without running its remaining
+    alternatives, restoring the logged bindings (goal teardown). *)
 
 val push_choice_point : Machine.t -> Machine.worker -> next_alt:int -> unit
 val cut_to_level : Machine.t -> Machine.worker -> int -> unit

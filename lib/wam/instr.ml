@@ -45,6 +45,13 @@ type t =
   | Try of int
   | Retry of int
   | Trust of int
+  (* determinacy-certified chains (lib/detan): same alternative layout
+     as try/retry/trust, but the frame is a worker-private shallow
+     snapshot (registers + an undo log) — no choice-point-area words
+     are written and nothing is trailed until the clause commits *)
+  | Det_try of int
+  | Det_retry of int
+  | Det_trust of int
   (* indexing *)
   | Switch_on_term of {
       var_l : int;
@@ -119,8 +126,11 @@ let opcode = function
   | Par_join -> 44
   | Goal_done -> 45
   | Check_size _ -> 46
+  | Det_try _ -> 47
+  | Det_retry _ -> 48
+  | Det_trust _ -> 49
 
-let opcode_count = 47
+let opcode_count = 50
 
 let opcode_name = function
   | 0 -> "put_variable"
@@ -170,6 +180,9 @@ let opcode_name = function
   | 44 -> "par_join"
   | 45 -> "goal_done"
   | 46 -> "check_size"
+  | 47 -> "det_try"
+  | 48 -> "det_retry"
+  | 49 -> "det_trust"
   | n -> Printf.sprintf "op%d" n
 
 let pp_reg fmt = function
@@ -195,7 +208,8 @@ let pp fmt i =
   | Goal_done ->
     Format.pp_print_string fmt name
   | Unify_void n | Allocate n | Call n | Execute n | Jump n | Try n
-  | Retry n | Trust n | Get_level n | Cut_to n ->
+  | Retry n | Trust n | Det_try n | Det_retry n | Det_trust n
+  | Get_level n | Cut_to n ->
     Format.fprintf fmt "%s %d" name n
   | Alloc_parcall (k, join) ->
     Format.fprintf fmt "%s %d, join:%d" name k join

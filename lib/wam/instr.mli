@@ -51,6 +51,14 @@ type t =
   | Try of int  (** push a choice point, continue at the label *)
   | Retry of int  (** update the alternative, continue at the label *)
   | Trust of int  (** pop the choice point, continue at the label *)
+  | Det_try of int
+      (** enter a determinacy-certified chain: snapshot the registers
+          into the worker-private shallow frame (no choice-point words
+          written, nothing trailed until the clause commits) *)
+  | Det_retry of int
+      (** shallow analogue of [Retry]: update the frame's alternative *)
+  | Det_trust of int
+      (** deactivate the shallow frame and run the last alternative *)
   (* indexing *)
   | Switch_on_term of {
       var_l : int;

@@ -40,8 +40,30 @@ type exec_entry =
   | Local_goal of { parcall : int; slot : int; resume : int; entry_b : int }
   | Section_ctx of goal_ctx
 
+(* Worker-private shallow frame for determinacy-certified chains
+   (det_try/det_retry/det_trust).  It plays the role of a choice point
+   — enough state to retry the next alternative — but lives entirely
+   in processor registers: no choice-point-area words are written, and
+   conditional bindings go to [log] instead of the trail until the
+   clause commits (reaches its first call/execute/proceed or parcall
+   instruction), at which point surviving entries are flushed to the
+   real trail. *)
+type shallow = {
+  mutable sh_active : bool;
+  mutable sh_alt : int; (* code address of the next alternative *)
+  mutable sh_nargs : int;
+  sh_args : int array; (* saved A1..An *)
+  mutable sh_e : int;
+  mutable sh_cp : int;
+  mutable sh_b0 : int;
+  mutable sh_h : int;
+  mutable sh_lst : int;
+  mutable sh_log : int list; (* bound addresses predating the frame *)
+}
+
 type worker = {
   id : int;
+  shallow : shallow;
   mutable p : int;
   mutable cp : int;
   mutable e : int;
@@ -66,6 +88,12 @@ type worker = {
   mutable cst_floor : int;
   mutable lst_floor : int;
   mutable pf : int; (* current parcall frame, -1 when none *)
+  mutable par_hb : int;
+  (* heap floor imposed by the innermost live parcall frame: the
+     recovery protocol untrails to the frame's saved TR, so bindings to
+     heap cells older than this must stay trailed even after a cut or
+     trust restores HB from a choice point that predates the frame *)
+  mutable par_prot : int; (* local-stack floor, same role *)
   mutable failing_pf : int; (* parcall whose unwind we initiated, -1 *)
   mutable sections : (int * int * int * int) list;
   (* completed parallel-goal sections on this worker's stack set:
@@ -92,6 +120,8 @@ type t = {
   mutable parcalls : int; (* parcall frames allocated *)
   mutable goals_pushed : int;
   mutable goals_stolen : int; (* goals executed by a PE other than pusher *)
+  mutable cp_created : int; (* choice points pushed (try) *)
+  mutable cp_elided : int; (* certified chains entered shallow (det_try) *)
   mutable halted : bool;
   mutable failed : bool;
   out : Format.formatter; (* for write/1, nl/0 *)
@@ -103,9 +133,24 @@ exception Runtime_error of string
 let runtime_error fmt =
   Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
 
+let make_shallow () =
+  {
+    sh_active = false;
+    sh_alt = -1;
+    sh_nargs = 0;
+    sh_args = Array.make 256 0;
+    sh_e = -1;
+    sh_cp = 0;
+    sh_b0 = -1;
+    sh_h = 0;
+    sh_lst = 0;
+    sh_log = [];
+  }
+
 let make_worker id =
   {
     id;
+    shallow = make_shallow ();
     p = 0;
     cp = 0;
     e = -1;
@@ -131,6 +176,8 @@ let make_worker id =
     cst_floor = Layout.control_base id;
     lst_floor = Layout.local_base id;
     pf = -1;
+    par_hb = Layout.heap_base id;
+    par_prot = Layout.local_base id;
     failing_pf = -1;
     sections = [];
     instr_count = 0;
@@ -158,6 +205,8 @@ let create ?(out = Format.std_formatter) ?(sink = Trace.Sink.null)
     parcalls = 0;
     goals_pushed = 0;
     goals_stolen = 0;
+    cp_created = 0;
+    cp_elided = 0;
     halted = false;
     failed = false;
     out;

@@ -31,8 +31,27 @@ type exec_entry =
   | Local_goal of { parcall : int; slot : int; resume : int; entry_b : int }
   | Section_ctx of goal_ctx
 
+(** Worker-private shallow frame for determinacy-certified chains
+    (det_try/det_retry/det_trust): the register snapshot needed to
+    retry the next alternative plus an undo log of bound addresses
+    that predate the frame.  No choice-point-area words are written
+    and nothing is trailed until the clause commits. *)
+type shallow = {
+  mutable sh_active : bool;
+  mutable sh_alt : int;  (** code address of the next alternative *)
+  mutable sh_nargs : int;
+  sh_args : int array;  (** saved A1..An *)
+  mutable sh_e : int;
+  mutable sh_cp : int;
+  mutable sh_b0 : int;
+  mutable sh_h : int;
+  mutable sh_lst : int;
+  mutable sh_log : int list;  (** bound addresses predating the frame *)
+}
+
 type worker = {
   id : int;
+  shallow : shallow;
   mutable p : int;  (** program counter (code index) *)
   mutable cp : int;  (** continuation *)
   mutable e : int;  (** current environment *)
@@ -57,6 +76,11 @@ type worker = {
   mutable cst_floor : int;
   mutable lst_floor : int;
   mutable pf : int;  (** current parcall frame *)
+  mutable par_hb : int;
+      (** heap floor imposed by the innermost live parcall frame:
+          bindings to older cells must stay trailed for the recovery
+          untrail, whatever choice-point pops restore HB to *)
+  mutable par_prot : int;  (** local-stack floor, same role *)
   mutable failing_pf : int;  (** parcall whose unwind is in progress *)
   mutable sections : (int * int * int * int) list;
       (** completed sections: (pf, slot, trail start, trail end) *)
@@ -81,6 +105,8 @@ type t = {
   mutable parcalls : int;
   mutable goals_pushed : int;
   mutable goals_stolen : int;
+  mutable cp_created : int;  (** choice points pushed (try) *)
+  mutable cp_elided : int;  (** certified chains entered shallow (det_try) *)
   mutable halted : bool;
   mutable failed : bool;
   out : Format.formatter;  (** for write/1, nl/0 *)

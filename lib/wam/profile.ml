@@ -21,11 +21,14 @@ type counters = {
   entry : int;  (** entry instruction index *)
   mutable calls : int;
   mutable instrs : int;  (** instruction fetches in this range *)
+  mutable cp_created : int;  (** try fetches: choice points pushed *)
+  mutable cp_elided : int;  (** det_try fetches: certified chains *)
   refs : int array;  (** data references, indexed by [Trace.Area.to_int] *)
 }
 
 type t = {
   symbols : Symbols.t;
+  code : Code.t;  (** for decoding fetched instructions *)
   bounds : int array;  (** sorted entry indices, one per predicate *)
   owners : counters array;  (** owner of [bounds.(i) ..] *)
   other : int array;  (** data refs with no current predicate *)
@@ -40,6 +43,7 @@ let create symbols code =
   in
   {
     symbols;
+    code;
     bounds = Array.map fst entries;
     owners =
       Array.map
@@ -49,6 +53,8 @@ let create symbols code =
             entry;
             calls = 0;
             instrs = 0;
+            cp_created = 0;
+            cp_elided = 0;
             refs = Array.make Trace.Area.count 0;
           })
         entries;
@@ -76,7 +82,13 @@ let on_record t (r : Trace.Ref_record.t) =
     | Some p ->
       t.current.(r.Trace.Ref_record.pe) <- Some p;
       p.instrs <- p.instrs + 1;
-      if idx = p.entry then p.calls <- p.calls + 1
+      if idx = p.entry then p.calls <- p.calls + 1;
+      if idx >= 0 && idx < Code.length t.code then begin
+        match Code.fetch t.code idx with
+        | Instr.Try _ -> p.cp_created <- p.cp_created + 1
+        | Instr.Det_try _ -> p.cp_elided <- p.cp_elided + 1
+        | _ -> ()
+      end
     | None -> t.current.(r.Trace.Ref_record.pe) <- None
   end
   else begin
@@ -111,8 +123,8 @@ let ranked t =
     active
 
 let pp fmt t =
-  Format.fprintf fmt "%-22s %8s %10s %10s  %s@." "predicate" "calls"
-    "instrs" "data refs" "top areas";
+  Format.fprintf fmt "%-22s %8s %10s %10s %8s %8s  %s@." "predicate" "calls"
+    "instrs" "data refs" "cp push" "cp elide" "top areas";
   let areas_of c =
     let pairs =
       List.filter
@@ -129,8 +141,8 @@ let pp fmt t =
   in
   List.iter
     (fun c ->
-      Format.fprintf fmt "%-22s %8d %10d %10d  %s@." (spec t c) c.calls
-        c.instrs (data_refs c) (areas_of c))
+      Format.fprintf fmt "%-22s %8d %10d %10d %8d %8d  %s@." (spec t c)
+        c.calls c.instrs (data_refs c) c.cp_created c.cp_elided (areas_of c))
     (ranked t);
   let other = Array.fold_left ( + ) 0 t.other in
   if other > 0 then
@@ -143,8 +155,9 @@ let to_json buf t =
       if i > 0 then Buffer.add_string buf ", ";
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"predicate\": %S, \"calls\": %d, \"instrs\": %d, \"refs\": {"
-           (spec t c) c.calls c.instrs);
+           "{\"predicate\": %S, \"calls\": %d, \"instrs\": %d, \
+            \"cp_created\": %d, \"cp_elided\": %d, \"refs\": {"
+           (spec t c) c.calls c.instrs c.cp_created c.cp_elided);
       let first = ref true in
       List.iter
         (fun a ->

@@ -11,6 +11,9 @@ type counters = {
   entry : int;
   mutable calls : int;
   mutable instrs : int;
+  mutable cp_created : int;  (** [try] fetches: choice points pushed *)
+  mutable cp_elided : int;
+      (** [det_try] fetches: certified chains entered shallow instead *)
   refs : int array;  (** data references, indexed by [Trace.Area.to_int] *)
 }
 

@@ -15,15 +15,18 @@ type t = {
 val query_name : string
 
 val of_database :
-  ?parallel:bool -> ?ops:Prolog.Ops.t -> Prolog.Database.t -> query:string ->
-  unit -> t
+  ?parallel:bool -> ?det:Compile.det_plan ->
+  ?chains:Compile.chain_info list ref -> ?ops:Prolog.Ops.t ->
+  Prolog.Database.t -> query:string -> unit -> t
 (** Add the query to the database and compile everything.
     [parallel = false] gives the sequential WAM baseline (CGEs read as
-    plain conjunctions). *)
+    plain conjunctions).  [det] enables determinacy-driven
+    choice-point elision; [chains] logs every emitted try chain. *)
 
 val prepare :
-  ?parallel:bool -> ?ops:Prolog.Ops.t -> src:string -> query:string ->
-  unit -> t
+  ?parallel:bool -> ?det:Compile.det_plan ->
+  ?chains:Compile.chain_info list ref -> ?ops:Prolog.Ops.t ->
+  src:string -> query:string -> unit -> t
 (** Parse and load [src] first, then {!of_database}. *)
 
 val entry : t -> int

@@ -28,6 +28,12 @@ type state = {
       (* the path since [allocate] has run only builtins and data
          instructions -- no [call] that could justify keeping the
          frame live.  Fuels the env-drift rule. *)
+  in_chain : bool;
+      (* the textually preceding instruction on this path was a
+         try/retry (or det_try/det_retry), i.e. a live alternative
+         frame covers the next chain instruction.  Fuels the
+         orphan-chain rule: a retry/trust reached on a path without
+         it would pop or update a choice point nobody pushed. *)
 }
 
 let entry_state ~nargs =
@@ -42,6 +48,7 @@ let entry_state ~nargs =
     in_struct = false;
     parcall = None;
     builtin_only = false;
+    in_chain = false;
   }
 
 let equal_state a b =
@@ -49,6 +56,7 @@ let equal_state a b =
   && IS.equal a.levels b.levels && a.env = b.env
   && a.nargs = b.nargs && a.in_struct = b.in_struct
   && a.builtin_only = b.builtin_only
+  && a.in_chain = b.in_chain
   && (match (a.parcall, b.parcall) with
      | None, None -> true
      | Some (k1, s1), Some (k2, s2) -> k1 = k2 && IS.equal s1 s2
@@ -68,6 +76,8 @@ let merge_state a b =
     (* any builtin-only path reaching the join keeps the drift alarm
        armed, so a leak reachable through such a path is still seen *)
     builtin_only = a.builtin_only || b.builtin_only;
+    (* any chain-less path reaching a retry/trust must be reported *)
+    in_chain = a.in_chain && b.in_chain;
     parcall =
       (match (a.parcall, b.parcall) with
       | Some (k, s1), Some (_, s2) -> Some (k, IS.inter s1 s2)
@@ -130,6 +140,19 @@ let check symbols code =
       if not chained then
         report ~addr ~pred:"" ~rule:"broken-chain"
           "retry/trust not preceded by try/retry"
+    | Instr.Det_retry _ | Instr.Det_trust _ ->
+      (* det chains may not mix with plain ones: the shallow frame and
+         the choice point have different layouts *)
+      let chained =
+        addr > 0
+        &&
+        match Code.fetch code (addr - 1) with
+        | Instr.Det_try _ | Instr.Det_retry _ -> true
+        | _ -> false
+      in
+      if not chained then
+        report ~addr ~pred:"" ~rule:"broken-chain"
+          "det_retry/det_trust not preceded by det_try/det_retry"
     | _ -> ()
   done;
   (* ---- dataflow ---- *)
@@ -226,6 +249,19 @@ let check symbols code =
                 (Trace.Area.name a.Access.area)
             | _ -> ())
           (Access.of_instr i));
+    (* orphan-chain: a mid-chain instruction reached on a path whose
+       predecessor was not the matching try/retry — the frame it would
+       update or pop was never pushed (the shape a buggy chain rewrite
+       leaves behind) *)
+    (match instr with
+    | Instr.Retry _ | Instr.Trust _ | Instr.Det_retry _ | Instr.Det_trust _
+      ->
+      if not st.in_chain then
+        report "orphan-chain"
+          "%s reachable with no live preceding try on some path"
+          (Instr.opcode_name (Instr.opcode instr))
+    | _ -> ());
+    let st = { st with in_chain = false } in
     match instr with
     (* ---- put group ---- *)
     | Instr.Put_variable (r, a) ->
@@ -365,8 +401,24 @@ let check symbols code =
          | _ ->
            report "broken-chain"
              "try/retry not followed by retry/trust");
-      [ (l, entry_state ~nargs:st.nargs); (addr + 1, st) ]
+      [
+        (l, entry_state ~nargs:st.nargs);
+        (addr + 1, { st with in_chain = true });
+      ]
     | Instr.Trust l -> [ (l, entry_state ~nargs:(exit_struct st).nargs) ]
+    | Instr.Det_try l | Instr.Det_retry l ->
+      let st = exit_struct st in
+      (if addr + 1 < len then
+         match Code.fetch code (addr + 1) with
+         | Instr.Det_retry _ | Instr.Det_trust _ -> ()
+         | _ ->
+           report "broken-chain"
+             "det_try/det_retry not followed by det_retry/det_trust");
+      [
+        (l, entry_state ~nargs:st.nargs);
+        (addr + 1, { st with in_chain = true });
+      ]
+    | Instr.Det_trust l -> [ (l, entry_state ~nargs:(exit_struct st).nargs) ]
     (* ---- indexing ---- *)
     | Instr.Switch_on_term { var_l; con_l; int_l; lis_l; str_l } ->
       let st = exit_struct st in

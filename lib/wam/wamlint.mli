@@ -14,9 +14,15 @@
       [execute] or [proceed] (no dangling-frame access).
     - [put_unsafe_value] only reads a defined in-bounds Y slot of a
       live environment.
-    - [try]/[retry]/[trust] chains are well-formed (contiguous, trust
-      last) and their targets, switch targets and jump targets are in
-      bounds ([-1] = fail is legal in switch tables only).
+    - [try]/[retry]/[trust] chains (and their shallow
+      [det_try]/[det_retry]/[det_trust] counterparts) are well-formed
+      (contiguous, trust last, no mixing of the two kinds) and their
+      targets, switch targets and jump targets are in bounds ([-1] =
+      fail is legal in switch tables only).
+    - orphan-chain: a [retry]/[trust] (or [det_retry]/[det_trust])
+      reachable on some control-flow path whose predecessor was not
+      the matching try/retry — it would update or pop a frame nobody
+      pushed, the shape a buggy choice-point elision leaves behind.
     - [alloc_parcall] points at a [par_join]; each of its goal slots
       is pushed exactly once before the join; pushed goals name
       predicates with real code entries and consistent arities.

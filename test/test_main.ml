@@ -21,6 +21,7 @@ let () =
       ("memo", Test_memo.suite);
       ("server", Test_server.suite);
       ("refmap", Test_refmap.suite);
+      ("detan", Test_detan.suite);
       ("cli-parity", Test_cli_parity.suite);
       ("properties", Test_properties.suite);
     ]
