@@ -1537,6 +1537,63 @@ let server setup =
      while serving bit-identical answers.  Recorded to BENCH_server.json.@."
 
 (* ------------------------------------------------------------------ *)
+(* Availability: the same zipfian stream served under a deterministic  *)
+(* fault barrage with full supervision (deadline + retries, breaker,   *)
+(* crash containment), then warm, then snapshot -> restart.  The gates *)
+(* CI greps from BENCH_chaos.json: availability >= 0.95, non-shed      *)
+(* answers equal direct runs, restart hit rate within 5 points of the  *)
+(* pre-restart warm rate.                                              *)
+
+let availability setup =
+  section "availability: supervised serving under a fault barrage";
+  let faults =
+    match
+      Resilience.Fault.of_spec
+        "sim-step:eio@3,sim-step:stall@7,cell-start:crash@11,sim-step:crash@23"
+    with
+    | Ok p -> p
+    | Error e -> failwith ("availability: bad fault plan: " ^ e)
+  in
+  let params =
+    {
+      (Server.Harness.default_params ~quick:setup.quick ()) with
+      Server.Harness.workers = setup.jobs;
+      faults = Some faults;
+      policy =
+        Server.Supervise.policy ~deadline_s:5.0 ~retries:2
+          ~breaker:Server.Supervise.breaker_default ();
+    }
+  in
+  let chaos =
+    Server.Harness.run_chaos ~progress:(fun m -> Format.eprintf "%s@." m)
+      params
+  in
+  Format.printf "%a" Server.Report.pp_chaos chaos;
+  let gates =
+    [
+      ("availability_ok", Server.Harness.availability_ok chaos);
+      ("answers_equal", Server.Harness.chaos_answers_ok chaos);
+      ("warm_restart_ok", Server.Harness.warm_restart_ok chaos);
+    ]
+  in
+  Format.printf "gates: %s@."
+    (String.concat ", "
+       (List.map (fun (n, ok) -> Printf.sprintf "%s %b" n ok) gates));
+  Server.Report.write_chaos_json "BENCH_chaos.json" chaos;
+  Format.printf
+    "Two injected crashes, a stall and an I/O error cost the stream@.\
+     at most its faulted requests: the supervisor retries transients,@.\
+     contains crashes to their request, and hot-restarts the memo from@.\
+     a CRC-framed snapshot.  Recorded to BENCH_chaos.json.@.";
+  let failed = List.filter (fun (_, ok) -> not ok) gates in
+  if failed <> [] then begin
+    List.iter
+      (fun (n, _) -> Format.eprintf "availability: gate failed: %s@." n)
+      failed;
+    exit 4
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Detan: static determinacy analysis driving choice-point elision and *)
 (* shallow backtracking.  Certified try chains compile to              *)
 (* det_try/det_retry/det_trust; answers must stay bit-identical, the   *)
@@ -1690,7 +1747,7 @@ let experiment_names =
     "mlips"; "timing"; "timing-integrated"; "annotation"; "ablation-tags";
     "ablation-sched"; "ablation-line"; "ablation-alloc";
     "ablation-granularity"; "tracecheck"; "costan"; "server"; "refmap";
-    "detan";
+    "detan"; "availability";
   ]
 
 let rec pairs_for setup = function
@@ -1758,4 +1815,5 @@ let all setup =
   costan setup;
   refmap setup;
   detan setup;
-  server setup
+  server setup;
+  availability setup

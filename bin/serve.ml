@@ -1,24 +1,30 @@
-(* serve: the concurrent query server, driven by a deterministic
-   zipfian traffic generator.
+(* serve: the supervised concurrent query server, driven by a
+   deterministic zipfian traffic generator.
 
      serve --quick
      serve --mix deriv:24,qsort:24 --requests 2000 --workers 4
      serve --benchmark qsort --memo-mb 16 --json BENCH_server.json
-     serve --quick --faults 'cell-start:crash@50'   # dies with exit 70
+     serve --quick --faults 'sim-step:eio@3' --deadline-ms 5000 --retries 2
+     serve --quick --snapshot memo.snap        # save the table after the run
+     serve --quick --restore memo.snap         # warm-start from it
+     serve --quick --lethal-crash --faults 'cell-start:crash@50'  # exit 70
 
    Three phases run over the same request stream — memo off, cold
-   table, warm table — then every distinct query is cross-checked
-   against a direct engine run and the memo-off latency is compared
-   with the M/G/1 model.  --json writes the BENCH_server.json
-   artifact; the process exits 0 only if every acceptance invariant
-   holds (1 otherwise, 70 on an injected crash fault). *)
+   table, warm table — under a supervision policy (deadline + retries,
+   circuit breaker, load shedding, crash containment).  Then every
+   distinct query is cross-checked against a direct engine run and the
+   memo-off latency is compared with the M/G/1 model.  --json writes
+   the BENCH_server.json artifact; the process exits 0 only if every
+   acceptance invariant holds (1 otherwise, 70 on an injected crash
+   fault under --lethal-crash). *)
 
 (* Typed exit codes, shared vocabulary with cache_sweep. *)
 let exit_crash = 70 (* injected crash fault: "process killed" (EX_SOFTWARE) *)
 let exit_invariant = 4 (* an acceptance invariant failed *)
 
 let run_cmd mix_spec benchmark pes workers memo_mb shards requests batch
-    zipf_s seed threshold max_queue max_solutions faults json_out quick
+    zipf_s seed threshold max_queue max_solutions faults deadline_ms retries
+    breaker_spec shed_watermark snapshot restore lethal_crash json_out quick
     quiet =
   let mix =
     match (mix_spec, benchmark) with
@@ -30,6 +36,25 @@ let run_cmd mix_spec benchmark pes workers memo_mb shards requests batch
         exit 2)
     | None, Some name -> [ (name, 24) ]
     | None, None -> (Server.Harness.default_params ~quick ()).Server.Harness.mix
+  in
+  let breaker =
+    match breaker_spec with
+    | None -> None
+    | Some spec -> (
+      match Server.Supervise.breaker_of_spec spec with
+      | Ok cfg -> Some cfg
+      | Error msg ->
+        Printf.eprintf "serve: bad --breaker: %s\n" msg;
+        exit 2)
+  in
+  if retries < 0 then begin
+    Printf.eprintf "serve: --retries must be >= 0 (got %d)\n" retries;
+    exit 2
+  end;
+  let policy =
+    Server.Supervise.policy
+      ?deadline_s:(Option.map (fun ms -> float_of_int ms /. 1000.) deadline_ms)
+      ~retries ?breaker ?shed_watermark ~lethal_crash ()
   in
   let defaults = Server.Harness.default_params ~quick () in
   let params =
@@ -47,6 +72,9 @@ let run_cmd mix_spec benchmark pes workers memo_mb shards requests batch
       max_queue;
       max_solutions;
       faults;
+      policy;
+      snapshot;
+      restore;
     }
   in
   let progress = if quiet then fun _ -> () else Printf.eprintf "%s\n%!" in
@@ -199,8 +227,73 @@ let faults_arg =
         ~doc:
           "Inject deterministic faults into the cold phase \
            ($(b,SITE:KIND\\@N) items or $(b,seed:N); admission passes \
-           cell-start, execution passes sim-step; a planned crash kills \
-           the server with exit 70).")
+           cell-start, execution passes sim-step).  The supervisor \
+           contains a planned crash to its request unless \
+           $(b,--lethal-crash) is set.")
+
+let deadline_ms_arg =
+  Arg.(
+    value
+    & opt (some pos_int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-attempt execution deadline; a request whose attempts all \
+           exceed it answers with a typed timeout instead of wedging a \
+           worker.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Extra attempts for transiently faulted executions \
+           (deterministic exponential backoff).")
+
+let breaker_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "breaker" ] ~docv:"SPEC"
+        ~doc:
+          "Per-predicate circuit breaker: $(b,on) (or $(b,default)) for \
+           the defaults, or $(b,window=N,trip=R,min=N,cooldown=N).  A \
+           predicate whose recent pooled runs keep failing is fast-failed \
+           until a probe succeeds.")
+
+let shed_watermark_arg =
+  Arg.(
+    value
+    & opt (some pos_int) None
+    & info [ "shed-watermark" ] ~docv:"N"
+        ~doc:
+          "Load shedding: refuse pooled backlog beyond this depth, \
+           cheapest-to-refuse first (memo hits and inline work are never \
+           shed).")
+
+let snapshot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ] ~docv:"FILE"
+        ~doc:"Save the answer table here after the warm phase (atomic, \
+              CRC-framed).")
+
+let restore_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "restore" ] ~docv:"FILE"
+        ~doc:
+          "Warm-start the answer table from a snapshot before the cold \
+           phase (damaged frames are skipped and recomputed).")
+
+let lethal_crash_arg =
+  Arg.(
+    value & flag
+    & info [ "lethal-crash" ]
+        ~doc:
+          "Compatibility: an injected crash fault aborts the whole run \
+           with exit 70 instead of being contained to its request.")
 
 let json_arg =
   Arg.(
@@ -226,7 +319,9 @@ let cmd =
       const run_cmd $ mix_arg $ benchmark_arg $ pes_arg $ workers_arg
       $ memo_mb_arg $ shards_arg $ requests_arg $ batch_arg $ zipf_arg
       $ seed_arg $ threshold_arg $ max_queue_arg $ max_solutions_arg
-      $ faults_arg $ json_arg $ quick_arg $ quiet_arg)
+      $ faults_arg $ deadline_ms_arg $ retries_arg $ breaker_arg
+      $ shed_watermark_arg $ snapshot_arg $ restore_arg $ lethal_crash_arg
+      $ json_arg $ quick_arg $ quiet_arg)
 
 let () =
   match Cmd.eval_value cmd with

@@ -58,6 +58,7 @@ let run ?jobs ?(echo = false) ?(retries = 1) ?watchdog ?on_consumed
             outcome = Error (Printf.sprintf "no producer for %S" dep);
             wall_s = 0.0;
             attempts = 0;
+            timed_out = false;
           }
         | Some (Error e) ->
           {
@@ -66,6 +67,7 @@ let run ?jobs ?(echo = false) ?(retries = 1) ?watchdog ?on_consumed
               Error (Printf.sprintf "producer %S failed: %s" dep e);
             wall_s = 0.0;
             attempts = 0;
+            timed_out = false;
           }
         | Some (Ok artifact) ->
           Job.run ~retries ?watchdog (Job.make ~key (fun () -> consumer artifact)))

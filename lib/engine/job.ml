@@ -9,6 +9,7 @@ type 'a completed = {
   outcome : ('a, string) result;
   wall_s : float;
   attempts : int;
+  timed_out : bool;
 }
 
 type watchdog = {
@@ -88,24 +89,24 @@ let run_guarded ~timeout_s ~poll_s thunk =
 
 let run ?(retries = 1) ?watchdog:w job =
   let t0 = Unix.gettimeofday () in
-  let outcome, attempts =
+  let outcome, attempts, timed_out =
     match w with
     | None ->
       let rec attempt n =
         match job.thunk () with
-        | v -> (Ok v, n)
+        | v -> (Ok v, n, false)
         | exception e when lethal e ->
           Printexc.raise_with_backtrace e (Printexc.get_raw_backtrace ())
         | exception exn ->
           let bt = Printexc.get_raw_backtrace () in
           if n <= retries then attempt (n + 1)
-          else (Error (describe_exn exn bt), n)
+          else (Error (describe_exn exn bt), n, false)
       in
       attempt 1
     | Some w ->
       let rec attempt n =
         match run_guarded ~timeout_s:w.timeout_s ~poll_s:w.poll_s job.thunk with
-        | `Done (Ok v) -> (Ok v, n)
+        | `Done (Ok v) -> (Ok v, n, false)
         | `Done (Error (e, bt)) when lethal e ->
           Printexc.raise_with_backtrace e bt
         | `Done (Error (e, bt)) ->
@@ -113,7 +114,7 @@ let run ?(retries = 1) ?watchdog:w job =
             Unix.sleepf (backoff_delay w ~key:job.key n);
             attempt (n + 1)
           end
-          else (Error (describe_exn e bt), n)
+          else (Error (describe_exn e bt), n, false)
         | `Timed_out ->
           if n < w.max_attempts then begin
             Unix.sleepf (backoff_delay w ~key:job.key n);
@@ -124,10 +125,17 @@ let run ?(retries = 1) ?watchdog:w job =
                 (Printf.sprintf
                    "watchdog: %S stalled beyond %.2fs on all %d attempts"
                    job.key w.timeout_s n),
-              n )
+              n,
+              true )
       in
       attempt 1
   in
-  { key = job.key; outcome; wall_s = Unix.gettimeofday () -. t0; attempts }
+  {
+    key = job.key;
+    outcome;
+    wall_s = Unix.gettimeofday () -. t0;
+    attempts;
+    timed_out;
+  }
 
 let ok c = Result.is_ok c.outcome

@@ -20,6 +20,10 @@ type 'a completed = {
   outcome : ('a, string) result;
   wall_s : float;  (** wall clock summed over all attempts *)
   attempts : int;
+  timed_out : bool;
+      (** the final attempt was abandoned by the watchdog — the typed
+          signal a deadline layer needs to distinguish a timeout from
+          an ordinary failure *)
 }
 
 type watchdog = private {

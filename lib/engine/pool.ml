@@ -15,21 +15,12 @@
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-let map ?jobs ?on_done f items =
-  let n = Array.length items in
-  let jobs =
-    match jobs with Some j -> max 1 j | None -> default_jobs ()
-  in
-  let jobs = min jobs (max 1 n) in
-  let results = Array.make n None in
+(* Shared worker loop: hand out indices from one atomic counter until
+   the queue drains or [poison] is set.  The poison value records which
+   item raised, so a supervisor can blame exactly one item and respawn
+   a pool for the rest. *)
+let run_workers ~jobs ~n ~results ~poison ~notify f (items : 'a array) =
   let next = Atomic.make 0 in
-  let poison = Atomic.make None in
-  let hook_lock = Mutex.create () in
-  let notify r =
-    match on_done with
-    | None -> ()
-    | Some hook -> Mutex.protect hook_lock (fun () -> hook r)
-  in
   let worker () =
     let rec loop () =
       if Atomic.get poison = None then begin
@@ -41,7 +32,7 @@ let map ?jobs ?on_done f items =
             notify r
           | exception e ->
             let bt = Printexc.get_raw_backtrace () in
-            ignore (Atomic.compare_and_set poison None (Some (e, bt))));
+            ignore (Atomic.compare_and_set poison None (Some (i, e, bt))));
           loop ()
         end
       end
@@ -58,10 +49,37 @@ let map ?jobs ?on_done f items =
         | () -> ()
         | exception e ->
           let bt = Printexc.get_raw_backtrace () in
-          ignore (Atomic.compare_and_set poison None (Some (e, bt))))
+          ignore (Atomic.compare_and_set poison None (Some (-1, e, bt))))
       helpers
-  end;
+  end
+
+let map ?jobs ?on_done f items =
+  let n = Array.length items in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let jobs = min jobs (max 1 n) in
+  let results = Array.make n None in
+  let poison = Atomic.make None in
+  let hook_lock = Mutex.create () in
+  let notify r =
+    match on_done with
+    | None -> ()
+    | Some hook -> Mutex.protect hook_lock (fun () -> hook r)
+  in
+  run_workers ~jobs ~n ~results ~poison ~notify f items;
   (match Atomic.get poison with
-  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ());
   Array.map (function Some r -> r | None -> assert false) results
+
+let map_salvage ?jobs f items =
+  let n = Array.length items in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let jobs = min jobs (max 1 n) in
+  let results = Array.make n None in
+  let poison = Atomic.make None in
+  run_workers ~jobs ~n ~results ~poison ~notify:ignore f items;
+  (results, Atomic.get poison)

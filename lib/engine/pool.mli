@@ -20,3 +20,16 @@ val default_jobs : unit -> int
 val map : ?jobs:int -> ?on_done:('b -> unit) -> ('a -> 'b) -> 'a array -> 'b array
 (** [on_done] is invoked after each completed element under a single
     mutex (serialized across domains) — safe for progress counters. *)
+
+val map_salvage :
+  ?jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b option array * (int * exn * Printexc.raw_backtrace) option
+(** Crash-contained variant of {!map} for supervisors.  Instead of
+    re-raising a poisoning exception, returns the per-item results
+    ([None] = not run, or the item that raised) together with the
+    first poison as [(index, exn, backtrace)] (index [-1] if a helper
+    domain itself died).  All helper domains are joined either way;
+    the caller decides whether to blame the poisoned item and respawn
+    a pool for the abandoned remainder, or to re-raise. *)

@@ -144,6 +144,18 @@ let insert t (key : Canon.key) (answers : Canon.answer list) =
   if evicted > 0 then ignore (Atomic.fetch_and_add t.evictions evicted);
   added
 
+(* Shard order (and hash order within a shard) is arbitrary: callers
+   that need determinism sort the folded list themselves. *)
+let fold t f init =
+  Array.fold_left
+    (fun acc sh ->
+      with_lock sh (fun () ->
+          Hashtbl.fold
+            (fun key_text e acc ->
+              f key_text (List.rev_map snd e.answers) acc)
+            sh.tbl acc))
+    init t.shards_
+
 type totals = {
   hits : int;
   misses : int;

@@ -37,6 +37,13 @@ val insert : t -> Canon.key -> Canon.answer list -> int
 val mem : t -> Canon.key -> bool
 (** Lookup without touching counters or stamps. *)
 
+val fold : t -> (string -> Canon.answer list -> 'acc -> 'acc) -> 'acc -> 'acc
+(** [fold t f init] folds [f key_text answers acc] over every live
+    entry, answers in first-insert order, holding one shard lock at a
+    time.  Entry order is arbitrary (shard/hash order) — sort the
+    result if determinism matters.  Counters and stamps are not
+    touched; this is the snapshot walk, not a lookup. *)
+
 type totals = {
   hits : int;
   misses : int;

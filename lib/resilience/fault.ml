@@ -25,7 +25,10 @@ let kind_name = function
 let kind_of_name n = List.find_opt (fun k -> kind_name k = n) kinds
 
 let sites =
-  [ "trace-write"; "block-flush"; "cell-start"; "sim-step"; "journal-append" ]
+  [
+    "trace-write"; "block-flush"; "cell-start"; "sim-step"; "journal-append";
+    "snapshot-write"; "breaker-probe";
+  ]
 
 exception Injected of { site : string; kind : kind; occurrence : int }
 
@@ -139,13 +142,38 @@ let of_spec spec =
       | Ok acc -> go acc rest
       | Error _ as e -> e)
   in
+  (* Two entries pinned to the same site and occurrence are
+     contradictory: a site's Nth visit happens once, so at most one of
+     them could ever fire and the rest are silently dead.  Reject the
+     spec instead of accepting a plan that cannot mean what it says. *)
+  let duplicate triples =
+    let seen = Hashtbl.create 8 in
+    List.find_map
+      (fun (site, kind, at) ->
+        match Hashtbl.find_opt seen (site, at) with
+        | Some prior_kind ->
+          Some
+            (Printf.sprintf
+               "duplicate fault %s:%s@%d: occurrence %d of site %s is \
+                already taken by %s:%s@%d (a site occurrence happens once, \
+                so only one planned fault can fire there)"
+               site (kind_name kind) at at site site (kind_name prior_kind)
+               at)
+        | None ->
+          Hashtbl.add seen (site, at) kind;
+          None)
+      triples
+  in
   match go ([], None, None) items with
   | Error e -> Error e
   | Ok (triples, stall_s, seed) -> (
     match (seed, triples) with
     | Some n, [] -> Ok (of_seed ?stall_s n)
     | Some _, _ :: _ -> Error "seed:N cannot be combined with explicit faults"
-    | None, triples -> Ok { (make ?stall_s (List.rev triples)) with spec })
+    | None, triples -> (
+      match duplicate (List.rev triples) with
+      | Some e -> Error e
+      | None -> Ok { (make ?stall_s (List.rev triples)) with spec }))
 
 let to_string p = p.spec
 

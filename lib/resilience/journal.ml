@@ -103,14 +103,7 @@ let find_marker s pos =
   in
   go pos
 
-let replay path =
-  let s = In_channel.with_open_bin path In_channel.input_all in
-  let header_len = String.length magic + 8 in
-  if String.length s < header_len || String.sub s 0 (String.length magic) <> magic
-  then raise (Journal_error (path ^ ": not a RAP-WAM journal"));
-  let v = Int64.to_int (String.get_int64_le s (String.length magic)) in
-  if v <> version then
-    raise (Journal_error (Printf.sprintf "%s: unsupported journal version %d" path v));
+let scan ?(pos = 0) s =
   let n = String.length s in
   let entries = ref [] and frames = ref 0 and skipped = ref 0 in
   let torn = ref false in
@@ -146,10 +139,20 @@ let replay path =
       end
     end
   in
-  go header_len;
+  go pos;
   {
     entries = List.rev !entries;
     frames = !frames;
     skipped_frames = !skipped;
     torn_tail = !torn;
   }
+
+let replay path =
+  let s = In_channel.with_open_bin path In_channel.input_all in
+  let header_len = String.length magic + 8 in
+  if String.length s < header_len || String.sub s 0 (String.length magic) <> magic
+  then raise (Journal_error (path ^ ": not a RAP-WAM journal"));
+  let v = Int64.to_int (String.get_int64_le s (String.length magic)) in
+  if v <> version then
+    raise (Journal_error (Printf.sprintf "%s: unsupported journal version %d" path v));
+  scan ~pos:header_len s

@@ -26,6 +26,12 @@ val append : writer -> string -> unit
 
 val close : writer -> unit
 
+val frame : string -> string
+(** [frame payload] is the marked, length-prefixed, CRC-checksummed
+    encoding of one payload — the exact bytes {!append} writes.
+    Exposed so other durable formats (e.g. memo snapshots) can reuse
+    the framing and have {!scan} salvage them. *)
+
 type replay = {
   entries : string list;  (** payloads of the frames that verified *)
   frames : int;
@@ -33,6 +39,14 @@ type replay = {
   torn_tail : bool;  (** the file ended mid-frame *)
 }
 
+val scan : ?pos:int -> string -> replay
+(** Walk a string of {!frame}s starting at [pos] (default 0), trusting
+    exactly the frames whose CRCs verify and resynchronizing on the
+    marker past anything corrupt.  Never raises — damage shows up as
+    [skipped_frames]/[torn_tail]. *)
+
 val replay : string -> replay
-(** @raise Journal_error if the file is not a journal (bad magic or
+(** Read a journal file: check magic and version, then {!scan} the
+    rest.
+    @raise Journal_error if the file is not a journal (bad magic or
     version); frame-level damage never raises. *)

@@ -15,6 +15,9 @@ type params = {
   max_queue : int;
   max_solutions : int;
   faults : Resilience.Fault.plan option;
+  policy : Supervise.policy;
+  snapshot : string option;
+  restore : string option;
 }
 
 let default_params ?(quick = false) () =
@@ -35,6 +38,9 @@ let default_params ?(quick = false) () =
     max_queue = 256;
     max_solutions = 1;
     faults = None;
+    policy = Supervise.default_policy;
+    snapshot = None;
+    restore = None;
   }
 
 type phase = {
@@ -46,6 +52,8 @@ type phase = {
   ph_service : Metrics.summary;
   ph_hit_rate : float;
   ph_stats : Serve.stats;
+  ph_sup : Supervise.stats;
+  ph_availability : float;
 }
 
 type mg1_check = {
@@ -65,6 +73,7 @@ type outcome = {
   o_cold : phase;
   o_warm : phase;
   o_memo : Memo.Table.totals;
+  o_snapshot_entries : int option;
   o_answers_checked : int;
   o_answers_equal : bool;
   o_mismatches : (string * string * string) list;
@@ -121,29 +130,47 @@ let batches ~batch requests =
   done;
   List.rev !out
 
-(* Serve the whole stream on [server], batch by batch, and summarize
-   the phase from the server's own accounting (each phase uses a fresh
-   Serve.t, so stats and metrics are per-phase even when the memo
-   table is shared). *)
-let run_phase ~name server requests ~batch =
+(* The supervisor's view of a phase, shaped like the classic server
+   stats so existing consumers keep reading: unavailable outcomes
+   (timeouts, contained crashes, faults) all land in [faulted]. *)
+let serve_shape (s : Supervise.stats) : Serve.stats =
+  {
+    Serve.served = s.Supervise.served;
+    hits = s.Supervise.hits;
+    inline_ = s.Supervise.inline_;
+    pooled = s.Supervise.pooled;
+    waves = s.Supervise.waves;
+    max_depth = s.Supervise.max_depth;
+    faulted =
+      s.Supervise.faulted + s.Supervise.crashed + s.Supervise.timeouts;
+    errors = s.Supervise.errors;
+  }
+
+(* Serve the whole stream on a supervised server, batch by batch, and
+   summarize the phase from the supervisor's accounting (each phase
+   uses a fresh Serve.t + Supervise.t, so stats and metrics are
+   per-phase even when the memo table is shared). *)
+let run_phase ~name sup requests ~batch =
   let t0 = Unix.gettimeofday () in
   List.iter
-    (fun b -> ignore (Serve.serve server b))
+    (fun b -> ignore (Supervise.serve sup b))
     (batches ~batch requests);
   let wall = Unix.gettimeofday () -. t0 in
-  let st = Serve.stats server in
+  let st = Supervise.stats sup in
+  let served = st.Supervise.served in
   {
     ph_name = name;
-    ph_requests = st.Serve.served;
+    ph_requests = served;
     ph_wall_s = wall;
-    ph_qps =
-      (if wall <= 0.0 then 0.0 else float_of_int st.Serve.served /. wall);
-    ph_latency = Metrics.summary (Serve.latencies server);
-    ph_service = Metrics.summary (Serve.services server);
+    ph_qps = (if wall <= 0.0 then 0.0 else float_of_int served /. wall);
+    ph_latency = Metrics.summary (Supervise.latencies sup);
+    ph_service = Metrics.summary (Supervise.services sup);
     ph_hit_rate =
-      (if st.Serve.served = 0 then 0.0
-       else float_of_int st.Serve.hits /. float_of_int st.Serve.served);
-    ph_stats = st;
+      (if served = 0 then 0.0
+       else float_of_int st.Supervise.hits /. float_of_int served);
+    ph_stats = serve_shape st;
+    ph_sup = st;
+    ph_availability = Supervise.availability st;
   }
 
 (* Served answers vs the direct engine: every distinct pool query,
@@ -193,6 +220,40 @@ let mg1_of ~service ~cs2 ~off ~workers =
     q_ratio = (if measured > 0.0 then predicted /. measured else 0.0);
   }
 
+let make_table p =
+  Memo.Table.create ~shards:p.memo_shards ~capacity_words:p.memo_words ()
+
+let restore_into ~progress p memo =
+  match p.restore with
+  | None -> None
+  | Some path ->
+    let st = Memo.Snapshot.restore memo path in
+    progress
+      (Printf.sprintf "restored %d entries from %s (%d skipped%s)"
+         st.Memo.Snapshot.entries path st.Memo.Snapshot.skipped
+         (if st.Memo.Snapshot.torn then ", torn tail" else ""));
+    Some st
+
+(* Save the table, arming the ["snapshot-write"] site if the plan has
+   anything left for it.  An injected non-crash write failure is
+   contained — the snapshot is simply lost or torn, which is the
+   scenario restore salvages — while a planned [Crash] under the
+   lethal policy keeps the classic abort contract. *)
+let save_snapshot ~progress p memo path =
+  match Memo.Snapshot.save ?plan:p.faults memo path with
+  | entries ->
+    progress (Printf.sprintf "snapshot: %d entries to %s" entries path);
+    entries
+  | exception
+      (Resilience.Fault.Injected { kind = Resilience.Fault.Crash; _ } as e)
+    when p.policy.Supervise.lethal_crash ->
+    raise e
+  | exception Resilience.Fault.Injected { site; kind; occurrence } ->
+    progress
+      (Printf.sprintf "snapshot lost: injected %s at %s#%d"
+         (Resilience.Fault.kind_name kind) site occurrence);
+    0
+
 let run ?(progress = fun _ -> ()) p =
   (match validate p with
   | Ok () -> ()
@@ -208,36 +269,40 @@ let run ?(progress = fun _ -> ()) p =
          ~threshold:p.threshold ~max_queue:p.max_queue
          ~max_solutions:p.max_solutions ?faults ~src ())
   in
+  let sup server = Supervise.create ~policy:p.policy server in
   progress
     (Printf.sprintf "pool %d distinct queries, %d requests, zipf s=%.2f"
        (Array.length pool) p.requests p.zipf_s);
   (* phase 1: no table *)
   let off_server = mk () in
-  let off = run_phase ~name:"memo_off" off_server requests ~batch:p.batch in
+  let off_sup = sup off_server in
+  let off = run_phase ~name:"memo_off" off_sup requests ~batch:p.batch in
   progress
     (Printf.sprintf "memo_off: %.0f q/s, p99 %.2f ms" off.ph_qps
        (off.ph_latency.Metrics.p99_s *. 1000.0));
-  (* phase 2: cold table; the chaos phase *)
-  let memo =
-    Memo.Table.create ~shards:p.memo_shards ~capacity_words:p.memo_words ()
-  in
+  (* phase 2: cold table (warm-started when restoring); the chaos phase *)
+  let memo = make_table p in
+  ignore (restore_into ~progress p memo);
   let cold_server = mk ~memo ?faults:p.faults () in
-  let cold = run_phase ~name:"cold" cold_server requests ~batch:p.batch in
+  let cold = run_phase ~name:"cold" (sup cold_server) requests ~batch:p.batch in
   progress
-    (Printf.sprintf "cold: %.0f q/s, hit rate %.2f" cold.ph_qps
-       cold.ph_hit_rate);
+    (Printf.sprintf "cold: %.0f q/s, hit rate %.2f, availability %.3f"
+       cold.ph_qps cold.ph_hit_rate cold.ph_availability);
   (* phase 3: same table, fresh accounting *)
   let warm_server = mk ~memo () in
-  let warm = run_phase ~name:"warm" warm_server requests ~batch:p.batch in
+  let warm = run_phase ~name:"warm" (sup warm_server) requests ~batch:p.batch in
   progress
     (Printf.sprintf "warm: %.0f q/s, hit rate %.2f" warm.ph_qps
        warm.ph_hit_rate);
+  let snapshot_entries =
+    Option.map (save_snapshot ~progress p memo) p.snapshot
+  in
   (* cross-check through yet another server sharing the table: answers
      must survive memoing; the oracle runs direct *)
   let checked, mismatches =
     cross_check off_server (mk ~memo ()) pool
   in
-  let service, cs2 = Metrics.mean_and_cs2 (Serve.services off_server) in
+  let service, cs2 = Metrics.mean_and_cs2 (Supervise.services off_sup) in
   {
     o_params = p;
     o_pool_size = Array.length pool;
@@ -245,6 +310,7 @@ let run ?(progress = fun _ -> ()) p =
     o_cold = cold;
     o_warm = warm;
     o_memo = Memo.Table.totals memo;
+    o_snapshot_entries = snapshot_entries;
     o_answers_checked = checked;
     o_answers_equal = mismatches = [];
     o_mismatches = mismatches;
@@ -260,3 +326,109 @@ let p99_finite o =
 
 let mg1_ratio_ok o =
   Float.is_finite o.o_mg1.q_ratio && o.o_mg1.q_ratio > 0.0
+
+(* ------------------------------------------------------------------ *)
+(* The availability experiment: one stream served under faults + full
+   supervision, then warm, then snapshot -> kill -> restore -> serve
+   again.  The claims: the supervised server stays >= 95% available
+   through the chaos, answers survive it, and a hot restart from the
+   snapshot warm-starts the hit rate to within 5 points of the
+   pre-restart table. *)
+
+type chaos = {
+  c_params : params;
+  c_pool_size : int;
+  c_chaos : phase;
+  c_warm : phase;
+  c_restart : phase;
+  c_snapshot_entries : int;
+  c_restore : Memo.Snapshot.restore_stats;
+  c_hit_delta : float;
+  c_answers_checked : int;
+  c_answers_equal : bool;
+  c_mismatches : (string * string * string) list;
+}
+
+let run_chaos ?(progress = fun _ -> ()) ?snapshot_path p =
+  (match validate p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Server.Harness.run_chaos: " ^ msg));
+  let src = Traffic.database p.mix in
+  let pool = Traffic.pool p.mix ~seed:p.seed in
+  let requests =
+    Traffic.requests p.mix ~seed:p.seed ~s:p.zipf_s ~n:p.requests
+  in
+  let mk ?memo ?faults () =
+    Serve.create
+      (Serve.config ~pes:p.pes ~workers:p.workers ?memo
+         ~threshold:p.threshold ~max_queue:p.max_queue
+         ~max_solutions:p.max_solutions ?faults ~src ())
+  in
+  let sup server = Supervise.create ~policy:p.policy server in
+  let snapshot_path, temp_snapshot =
+    match (snapshot_path, p.snapshot) with
+    | Some path, _ -> (path, false)
+    | None, Some path -> (path, false)
+    | None, None -> (Filename.temp_file "rapwam-memo" ".snapshot", true)
+  in
+  progress
+    (Printf.sprintf "pool %d distinct queries, %d requests, faults [%s]"
+       (Array.length pool) p.requests
+       (match p.faults with
+       | None -> ""
+       | Some plan -> Resilience.Fault.to_string plan));
+  (* phase 1: the chaos phase — fresh (or restored) table, fault plan
+     armed, full supervision *)
+  let memo = make_table p in
+  ignore (restore_into ~progress p memo);
+  let chaos_server = mk ~memo ?faults:p.faults () in
+  let chaos =
+    run_phase ~name:"chaos" (sup chaos_server) requests ~batch:p.batch
+  in
+  progress
+    (Printf.sprintf "chaos: %.0f q/s, availability %.3f, hit rate %.2f"
+       chaos.ph_qps chaos.ph_availability chaos.ph_hit_rate);
+  (* phase 2: same table, faults spent — the pre-restart baseline *)
+  let warm = run_phase ~name:"warm" (sup (mk ~memo ())) requests ~batch:p.batch in
+  progress
+    (Printf.sprintf "warm: %.0f q/s, hit rate %.2f" warm.ph_qps
+       warm.ph_hit_rate);
+  (* snapshot, "kill", restore into a brand-new table *)
+  let snapshot_entries = save_snapshot ~progress p memo snapshot_path in
+  let memo2 = make_table p in
+  let restore_stats =
+    if Sys.file_exists snapshot_path then
+      Memo.Snapshot.restore memo2 snapshot_path
+    else { Memo.Snapshot.entries = 0; skipped = 0; torn = false }
+  in
+  if temp_snapshot && Sys.file_exists snapshot_path then
+    Sys.remove snapshot_path;
+  progress
+    (Printf.sprintf "restart: restored %d/%d entries"
+       restore_stats.Memo.Snapshot.entries snapshot_entries);
+  (* phase 3: the restarted server, warm from the snapshot alone *)
+  let restart =
+    run_phase ~name:"restart" (sup (mk ~memo:memo2 ())) requests
+      ~batch:p.batch
+  in
+  progress
+    (Printf.sprintf "restart: %.0f q/s, hit rate %.2f" restart.ph_qps
+       restart.ph_hit_rate);
+  let checked, mismatches = cross_check (mk ()) (mk ~memo:memo2 ()) pool in
+  {
+    c_params = p;
+    c_pool_size = Array.length pool;
+    c_chaos = chaos;
+    c_warm = warm;
+    c_restart = restart;
+    c_snapshot_entries = snapshot_entries;
+    c_restore = restore_stats;
+    c_hit_delta = Float.abs (warm.ph_hit_rate -. restart.ph_hit_rate);
+    c_answers_checked = checked;
+    c_answers_equal = mismatches = [];
+    c_mismatches = mismatches;
+  }
+
+let availability_ok c = c.c_chaos.ph_availability >= 0.95
+let warm_restart_ok c = c.c_hit_delta <= 0.05
+let chaos_answers_ok c = c.c_answers_equal

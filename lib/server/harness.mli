@@ -32,6 +32,9 @@ type params = {
   max_queue : int;
   max_solutions : int;
   faults : Resilience.Fault.plan option;
+  policy : Supervise.policy;  (** supervision for every phase *)
+  snapshot : string option;  (** save the table here after the run *)
+  restore : string option;  (** warm-start the table from here *)
 }
 
 val default_params : ?quick:bool -> unit -> params
@@ -54,6 +57,10 @@ type phase = {
   ph_service : Metrics.summary;
   ph_hit_rate : float;  (** memo hits / served, this phase *)
   ph_stats : Serve.stats;
+      (** classic shape: timeouts and contained crashes fold into
+          [faulted] *)
+  ph_sup : Supervise.stats;  (** the supervisor's full outcome counts *)
+  ph_availability : float;
 }
 
 type mg1_check = {
@@ -73,6 +80,7 @@ type outcome = {
   o_cold : phase;
   o_warm : phase;
   o_memo : Memo.Table.totals;  (** cumulative, after the warm pass *)
+  o_snapshot_entries : int option;  (** when [params.snapshot] is set *)
   o_answers_checked : int;
   o_answers_equal : bool;
   o_mismatches : (string * string * string) list;
@@ -81,8 +89,10 @@ type outcome = {
 }
 
 val run : ?progress:(string -> unit) -> params -> outcome
-(** Re-raises a planned [Crash] fault ({!Resilience.Fault.Injected});
-    the CLIs map it to exit 70.
+(** Every phase runs through a {!Supervise.t} built from
+    [params.policy].  Under the default policy a planned [Crash] is
+    contained to its request; with [lethal_crash] it re-raises
+    ({!Resilience.Fault.Injected}) and the CLIs map it to exit 70.
     @raise Invalid_argument when {!validate} rejects the params. *)
 
 (** Acceptance invariants, derived (also serialized into the JSON so
@@ -97,3 +107,38 @@ val warm_speedup_ok : outcome -> bool
 val p99_finite : outcome -> bool
 val mg1_ratio_ok : outcome -> bool
 (** Finite and > 0. *)
+
+(** {2 The availability experiment}
+
+    One stream served under a fault plan with full supervision, then
+    warm, then snapshot → kill → restore → serve again. *)
+
+type chaos = {
+  c_params : params;
+  c_pool_size : int;
+  c_chaos : phase;  (** faults armed, policy in force *)
+  c_warm : phase;  (** same table, faults spent — pre-restart baseline *)
+  c_restart : phase;  (** fresh table warm-started from the snapshot *)
+  c_snapshot_entries : int;
+  c_restore : Memo.Snapshot.restore_stats;
+  c_hit_delta : float;  (** |warm hit rate − restart hit rate| *)
+  c_answers_checked : int;
+  c_answers_equal : bool;
+  c_mismatches : (string * string * string) list;
+}
+
+val run_chaos :
+  ?progress:(string -> unit) -> ?snapshot_path:string -> params -> chaos
+(** [snapshot_path] (or [params.snapshot]) is where the restart
+    snapshot lands; defaults to a temp file that is removed after the
+    restore.  [params.restore], when set, warm-starts the {e chaos}
+    phase's table.  Raises like {!run}.
+    @raise Invalid_argument when {!validate} rejects the params. *)
+
+val availability_ok : chaos -> bool
+(** Chaos-phase availability >= 0.95. *)
+
+val warm_restart_ok : chaos -> bool
+(** Restart hit rate within 5 points of the pre-restart warm rate. *)
+
+val chaos_answers_ok : chaos -> bool

@@ -13,6 +13,11 @@ let add t x =
   t.samples.(t.n) <- x;
   t.n <- t.n + 1
 
+let of_samples xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
 let count t = t.n
 
 let mean t =

@@ -6,6 +6,10 @@ type t
 
 val create : unit -> t
 val add : t -> float -> unit
+
+val of_samples : float list -> t
+(** A buffer pre-loaded with the given samples, in order. *)
+
 val count : t -> int
 val mean : t -> float
 (** 0 when empty. *)

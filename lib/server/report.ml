@@ -32,6 +32,7 @@ let add_latency buf (s : Metrics.summary) =
 
 let add_phase buf (ph : phase) =
   let st = ph.ph_stats in
+  let sv = ph.ph_sup in
   Buffer.add_string buf
     (Printf.sprintf
        "    {\"phase\": %S, \"requests\": %d, \"wall_s\": %s, \
@@ -45,9 +46,16 @@ let add_phase buf (ph : phase) =
     (Printf.sprintf
        ", \"lanes\": {\"hits\": %d, \"inline\": %d, \"pooled\": %d}, \
         \"waves\": %d, \"max_queue_depth\": %d, \"faulted\": %d, \
-        \"errors\": %d}"
+        \"errors\": %d, \"availability\": %s, \"outcomes\": {\"ok\": %d, \
+        \"retried\": %d, \"timeout\": %d, \"shed\": %d, \"crashed\": %d, \
+        \"faulted\": %d}, \"breaker\": {\"opens\": %d, \"fastfails\": %d}, \
+        \"pool_respawns\": %d}"
        st.Serve.hits st.Serve.inline_ st.Serve.pooled st.Serve.waves
-       st.Serve.max_depth st.Serve.faulted st.Serve.errors)
+       st.Serve.max_depth st.Serve.faulted st.Serve.errors
+       (fl ph.ph_availability) sv.Supervise.ok sv.Supervise.retried
+       sv.Supervise.timeouts sv.Supervise.shed sv.Supervise.crashed
+       sv.Supervise.faulted sv.Supervise.breaker_opens
+       sv.Supervise.breaker_fastfails sv.Supervise.pool_respawns)
 
 let to_json_string (o : outcome) =
   let p = o.o_params in
@@ -124,6 +132,130 @@ let to_json_string (o : outcome) =
 
 let write_json path o =
   Resilience.Atomic_io.write_string path (to_json_string o)
+
+(* ---------------------------------------------------------------- *)
+(* BENCH_chaos.json: the availability experiment.  Same grep-friendly
+   shape — the gates CI watches are pre-evaluated booleans. *)
+
+let add_policy buf (pol : Supervise.policy) =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"deadline_s\": %s, \"retries\": %d, \"breaker\": %s, \
+        \"shed_watermark\": %s, \"lethal_crash\": %b}"
+       (match pol.Supervise.deadline_s with Some d -> fl d | None -> "null")
+       pol.Supervise.retries
+       (match pol.Supervise.breaker with
+       | None -> "null"
+       | Some b ->
+         Printf.sprintf
+           "{\"window\": %d, \"trip_ratio\": %s, \"min_samples\": %d, \
+            \"cooldown\": %d}"
+           b.Supervise.window (fl b.Supervise.trip_ratio)
+           b.Supervise.min_samples b.Supervise.cooldown)
+       (match pol.Supervise.shed_watermark with
+       | Some w -> string_of_int w
+       | None -> "null")
+       pol.Supervise.lethal_crash)
+
+let chaos_to_json_string (c : chaos) =
+  let p = c.c_params in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"rapwam-chaos/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"params\": {\"mix\": %S, \"seed\": %d, \"zipf_s\": %s, \
+        \"requests\": %d, \"batch\": %d, \"pes\": %d, \"workers\": %d, \
+        \"threshold\": %d, \"max_queue\": %d, \"faults\": %S, \"policy\": "
+       (Traffic.mix_to_string p.mix) p.seed (fl p.zipf_s) p.requests p.batch
+       p.pes p.workers p.threshold p.max_queue
+       (match p.faults with
+       | None -> ""
+       | Some plan -> Resilience.Fault.to_string plan));
+  add_policy buf p.policy;
+  Buffer.add_string buf "},\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"pool_size\": %d,\n" c.c_pool_size);
+  Buffer.add_string buf "  \"phases\": [\n";
+  List.iteri
+    (fun i ph ->
+      add_phase buf ph;
+      Buffer.add_string buf (if i = 2 then "\n" else ",\n"))
+    [ c.c_chaos; c.c_warm; c.c_restart ];
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"snapshot\": {\"saved_entries\": %d, \"restored_entries\": %d, \
+        \"skipped\": %d, \"torn\": %b},\n"
+       c.c_snapshot_entries c.c_restore.Memo.Snapshot.entries
+       c.c_restore.Memo.Snapshot.skipped c.c_restore.Memo.Snapshot.torn);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"availability\": %s,\n"
+       (fl c.c_chaos.ph_availability));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"hit_rate_delta\": %s,\n" (fl c.c_hit_delta));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"answers_checked\": %d,\n" c.c_answers_checked);
+  (match c.c_mismatches with
+  | [] -> ()
+  | ms ->
+    Buffer.add_string buf "  \"mismatches\": [\n";
+    List.iteri
+      (fun i (query, served, want) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"query\": \"%s\", \"served\": \"%s\", \"direct\": \
+              \"%s\"}%s\n"
+             (json_escape query) (json_escape served) (json_escape want)
+             (if i = List.length ms - 1 then "" else ",")))
+      ms;
+    Buffer.add_string buf "  ],\n");
+  Buffer.add_string buf
+    (Printf.sprintf "  \"answers_equal\": %b,\n" c.c_answers_equal);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"availability_ok\": %b,\n" (availability_ok c));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"warm_restart_ok\": %b\n" (warm_restart_ok c));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_chaos_json path c =
+  Resilience.Atomic_io.write_string path (chaos_to_json_string c)
+
+let pp_chaos fmt (c : chaos) =
+  let p = c.c_params in
+  Format.fprintf fmt "mix %s, %d requests over %d distinct queries@."
+    (Traffic.mix_to_string p.mix) p.requests c.c_pool_size;
+  Format.fprintf fmt "%-9s %9s %10s %10s %7s %8s@." "phase" "q/s" "p50" "p99"
+    "hit%" "avail";
+  List.iter
+    (fun ph ->
+      let l = ph.ph_latency in
+      Format.fprintf fmt "%-9s %9.0f %9.2fms %9.2fms %6.1f%% %8.3f@."
+        ph.ph_name ph.ph_qps
+        (l.Metrics.p50_s *. 1000.0)
+        (l.Metrics.p99_s *. 1000.0)
+        (100.0 *. ph.ph_hit_rate)
+        ph.ph_availability)
+    [ c.c_chaos; c.c_warm; c.c_restart ];
+  let sv = c.c_chaos.ph_sup in
+  Format.fprintf fmt
+    "chaos outcomes: %d ok (%d retried), %d timeout, %d shed, %d crashed, \
+     %d faulted; breaker %d opens, %d fast-fails; %d pool respawns@."
+    sv.Supervise.ok sv.Supervise.retried sv.Supervise.timeouts
+    sv.Supervise.shed sv.Supervise.crashed sv.Supervise.faulted
+    sv.Supervise.breaker_opens sv.Supervise.breaker_fastfails
+    sv.Supervise.pool_respawns;
+  Format.fprintf fmt
+    "snapshot: %d entries saved, %d restored (%d skipped); hit-rate delta \
+     %.3f@."
+    c.c_snapshot_entries c.c_restore.Memo.Snapshot.entries
+    c.c_restore.Memo.Snapshot.skipped c.c_hit_delta;
+  Format.fprintf fmt
+    "answers: %d/%d checked, equal = %b; availability %.3f (>= 0.95: %b); \
+     warm restart ok = %b@."
+    c.c_answers_checked c.c_pool_size c.c_answers_equal
+    c.c_chaos.ph_availability (availability_ok c) (warm_restart_ok c)
 
 let pp fmt (o : outcome) =
   let p = o.o_params in

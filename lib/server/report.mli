@@ -9,3 +9,12 @@
 val write_json : string -> Harness.outcome -> unit
 val to_json_string : Harness.outcome -> string
 val pp : Format.formatter -> Harness.outcome -> unit
+
+(** The availability experiment's artifact, BENCH_chaos.json: phases
+    with per-outcome counts, snapshot/restore accounting, and the
+    pre-evaluated gates [availability_ok], [warm_restart_ok], and
+    [answers_equal]. *)
+
+val write_chaos_json : string -> Harness.chaos -> unit
+val chaos_to_json_string : Harness.chaos -> string
+val pp_chaos : Format.formatter -> Harness.chaos -> unit

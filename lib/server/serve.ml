@@ -17,7 +17,10 @@ let config ?(pes = 1) ?(workers = Engine.Pool.default_jobs ())
     ~src () =
   if pes < 1 then invalid_arg "Serve.config: pes must be >= 1";
   if workers < 1 then invalid_arg "Serve.config: workers must be >= 1";
+  if threshold < 1 then invalid_arg "Serve.config: threshold must be >= 1";
   if max_queue < 1 then invalid_arg "Serve.config: max_queue must be >= 1";
+  if max_solutions < 1 then
+    invalid_arg "Serve.config: max_solutions must be >= 1";
   { src; pes; workers; memo; threshold; max_queue; max_solutions; faults }
 
 type t = {
@@ -54,6 +57,8 @@ let create cfg =
     svc = Metrics.create ();
   }
 
+let config_of t = t.cfg
+
 type request = { rq_id : int; rq_query : string }
 type lane = Hit | Inline | Pooled
 
@@ -63,6 +68,7 @@ type response = {
   rs_answers : Memo.Canon.answer list;
   rs_lane : lane;
   rs_error : string option;
+  rs_fault : bool;
   rs_latency_s : float;
   rs_service_s : float;
   rs_inferences : int;
@@ -127,6 +133,30 @@ let run_direct t query =
 
 let now () = Unix.gettimeofday ()
 
+(* A memo hit as a finished response; [None] when the table has no
+   answer (or memoing is off) and the query must actually run. *)
+let lookup_hit t ~t0 ~key (rq : request) : response option =
+  match (t.cfg.memo, key) with
+  | Some memo, Some k -> (
+    match Memo.Table.find memo k with
+    | Some answers ->
+      Atomic.incr t.hits_;
+      let fin = now () in
+      Some
+        {
+          rs_id = rq.rq_id;
+          rs_query = rq.rq_query;
+          rs_answers = answers;
+          rs_lane = Hit;
+          rs_error = None;
+          rs_fault = false;
+          rs_latency_s = fin -. t0;
+          rs_service_s = 0.0;
+          rs_inferences = 0;
+        }
+    | None -> None)
+  | _ -> None
+
 (* Compute a miss on whatever domain this runs on, publish the answer
    set, and time the work.  [recheck] is the pooled lane's
    double-checked lookup: by the time a queued request reaches a
@@ -134,24 +164,9 @@ let now () = Unix.gettimeofday ()
    consulting the table again turns the duplicate into a hit instead
    of a redundant run. *)
 let rec compute ?(recheck = false) t ~t0 ~key (rq : request) : response =
-  match (recheck, t.cfg.memo, key) with
-  | true, Some memo, Some k -> (
-    match Memo.Table.find memo k with
-    | Some answers ->
-      Atomic.incr t.hits_;
-      let fin = now () in
-      {
-        rs_id = rq.rq_id;
-        rs_query = rq.rq_query;
-        rs_answers = answers;
-        rs_lane = Hit;
-        rs_error = None;
-        rs_latency_s = fin -. t0;
-        rs_service_s = 0.0;
-        rs_inferences = 0;
-      }
-    | None -> compute ~recheck:false t ~t0 ~key rq)
-  | _ -> compute_miss t ~t0 ~key rq
+  match if recheck then lookup_hit t ~t0 ~key rq else None with
+  | Some rs -> rs
+  | None -> compute_miss t ~t0 ~key rq
 
 and compute_miss t ~t0 ~key (rq : request) : response =
   let start = now () in
@@ -167,6 +182,7 @@ and compute_miss t ~t0 ~key (rq : request) : response =
       rs_answers = answers;
       rs_lane = Inline;
       rs_error = None;
+      rs_fault = false;
       rs_latency_s = fin -. t0;
       rs_service_s = fin -. start;
       rs_inferences = inferences;
@@ -182,6 +198,7 @@ and compute_miss t ~t0 ~key (rq : request) : response =
       rs_answers = [];
       rs_lane = Inline;
       rs_error = Some msg;
+      rs_fault = (cls = `Fault);
       rs_latency_s = fin -. t0;
       rs_service_s = fin -. start;
       rs_inferences = 0;
@@ -206,26 +223,8 @@ let serve t (requests : request list) : response list =
           | Ok key -> Some key
           | Error _ -> None
         in
-        let hit =
-          match (t.cfg.memo, key) with
-          | Some memo, Some key -> Memo.Table.find memo key
-          | _ -> None
-        in
-        match hit with
-        | Some answers ->
-          Atomic.incr t.hits_;
-          let fin = now () in
-          `Done
-            {
-              rs_id = rq.rq_id;
-              rs_query = rq.rq_query;
-              rs_answers = answers;
-              rs_lane = Hit;
-              rs_error = None;
-              rs_latency_s = fin -. t0;
-              rs_service_s = 0.0;
-              rs_inferences = 0;
-            }
+        match lookup_hit t ~t0 ~key rq with
+        | Some rs -> `Done rs
         | None -> (
           match verdict t rq.rq_query with
           | Costan.Analyze.Small ->

@@ -43,7 +43,9 @@ val config :
   ?faults:Resilience.Fault.plan -> src:string -> unit -> config
 (** Defaults: [pes = 1], [workers = Engine.Pool.default_jobs ()],
     no memo, [threshold = 150], [max_queue = 256],
-    [max_solutions = 1], no faults. *)
+    [max_solutions = 1], no faults.
+    @raise Invalid_argument if [pes], [workers], [threshold],
+    [max_queue] or [max_solutions] is not positive. *)
 
 type t
 
@@ -51,6 +53,8 @@ val create : config -> t
 (** Parses the database and runs the cost analysis once.
     @raise Prolog.Parser.Error or {!Prolog.Database.Load_error} on a
     bad source. *)
+
+val config_of : t -> config
 
 type request = { rq_id : int; rq_query : string }
 type lane = Hit | Inline | Pooled
@@ -61,6 +65,9 @@ type response = {
   rs_answers : Memo.Canon.answer list;  (** solutions, [] on failure *)
   rs_lane : lane;
   rs_error : string option;  (** parse/runtime error, or injected fault *)
+  rs_fault : bool;
+      (** [rs_error] came from an injected (transient) fault, not from
+          the program — the retry signal a supervisor keys on *)
   rs_latency_s : float;  (** batch arrival to completion *)
   rs_service_s : float;  (** execution only; 0 for memo hits *)
   rs_inferences : int;  (** 0 for memo hits *)
@@ -73,6 +80,31 @@ val serve : t -> request list -> response list
 val run_direct : t -> string -> Memo.Canon.answer list
 (** One query straight through the engine — no memo, no admission, no
     faults.  The cross-check oracle. *)
+
+(** {2 Lane primitives}
+
+    The pieces {!serve} is built from, exposed so a supervisor
+    ({!Supervise}) can drive the same lanes under its own deadline,
+    retry, and crash-containment discipline. *)
+
+val verdict : t -> string -> Costan.Analyze.verdict
+(** Admission verdict for one query text ([Keep] on a parse error —
+    the engine will produce the real error message). *)
+
+val lookup_hit :
+  t -> t0:float -> key:Memo.Canon.key option -> request -> response option
+(** The memo-hit lane: a finished [Hit] response, or [None] when the
+    query must actually run.  Counts the hit. *)
+
+val compute :
+  ?recheck:bool ->
+  t -> t0:float -> key:Memo.Canon.key option -> request -> response
+(** Run one request to a response on the calling domain, publishing
+    the answers to the memo table.  [~recheck:true] is the pooled
+    lane's double-checked lookup.  The response comes back with
+    [rs_lane = Inline] (or [Hit]); the caller relabels pooled work.
+    Injected non-[Crash] faults become [rs_fault] responses; a planned
+    [Crash] is re-raised. *)
 
 type stats = {
   served : int;

@@ -16,6 +16,7 @@ let bin name =
 
 let repl_exe = bin "repl.exe"
 let rapwam_run_exe = bin "rapwam_run.exe"
+let serve_exe = bin "serve.exe"
 
 let small name =
   List.find
@@ -117,10 +118,47 @@ let parity_check name =
 let test_parity_deriv () = parity_check "deriv"
 let test_parity_qsort () = parity_check "qsort"
 
+(* Bad input to serve must die with exit 2 (a usage error, distinct
+   from the invariant-failure 4 and the injected-crash 70) and say
+   what was wrong. *)
+let run_expect_failure cmd =
+  let ic = Unix.open_process_in (cmd ^ " 2>&1") in
+  let b = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel b ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status, Buffer.contents b)
+
+let test_serve_rejects_duplicate_faults () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  match
+    run_expect_failure
+      (Printf.sprintf
+         "%s --quick --requests 10 --faults 'sim-step:eio@3,sim-step:crash@3'"
+         serve_exe)
+  with
+  | Unix.WEXITED code, out ->
+    Alcotest.(check bool) "non-zero usage-error exit" true
+      (code = 1 || code = 2);
+    Alcotest.(check bool) "stderr says duplicate" true
+      (contains out "duplicate");
+    Alcotest.(check bool) "stderr names the site" true
+      (contains out "sim-step")
+  | _, out -> Alcotest.failf "serve did not exit normally:\n%s" out
+
 let suite =
   [
     Alcotest.test_case "repl/rapwam_run agree on deriv" `Quick
       test_parity_deriv;
     Alcotest.test_case "repl/rapwam_run agree on qsort" `Quick
       test_parity_qsort;
+    Alcotest.test_case "serve rejects duplicate --faults entries" `Quick
+      test_serve_rejects_duplicate_faults;
   ]

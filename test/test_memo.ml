@@ -268,6 +268,106 @@ let test_unbounded_never_evicts () =
   Alcotest.(check int) "no evictions" 0 s.Memo.Table.evictions;
   Alcotest.(check int) "all entries live" 100 s.Memo.Table.entries
 
+(* ---------------- snapshots ---------------- *)
+
+let with_temp ext f =
+  let path = Filename.temp_file "memo" ext in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let read_all path = In_channel.with_open_bin path In_channel.input_all
+
+let overwrite path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let snap_table () =
+  let t = Memo.Table.create ~capacity_words:0 () in
+  ignore (Memo.Table.insert t (key "qsort([3,1,2], S)")
+      [ [ ("S", term "[1,2,3]") ] ]);
+  ignore (Memo.Table.insert t (key "deriv(x*x, x, D)")
+      [ [ ("D", term "1*x+x*1") ] ]);
+  ignore (Memo.Table.insert t (key "append(A, B, [1,2])")
+      [
+        [ ("A", term "[]"); ("B", term "[1,2]") ];
+        [ ("A", term "[1]"); ("B", term "[2]") ];
+        [ ("A", term "[1,2]"); ("B", term "[]") ];
+      ]);
+  ignore (Memo.Table.insert t (key "impossible(X)") []);
+  t
+
+let entry_texts t =
+  Memo.Table.fold t
+    (fun key_text answers acc ->
+      (key_text, List.map Memo.Canon.answer_text answers) :: acc)
+    []
+  |> List.sort compare
+
+let test_snapshot_roundtrip () =
+  let t = snap_table () in
+  with_temp ".snap" (fun path ->
+      let saved = Memo.Snapshot.save t path in
+      Alcotest.(check int) "all entries written" 4 saved;
+      (* equal tables produce equal bytes *)
+      with_temp ".snap2" (fun path2 ->
+          ignore (Memo.Snapshot.save (snap_table ()) path2);
+          Alcotest.(check string) "snapshot is canonical" (read_all path)
+            (read_all path2));
+      let fresh = Memo.Table.create ~capacity_words:0 () in
+      let st = Memo.Snapshot.restore fresh path in
+      Alcotest.(check int) "all entries restored" 4 st.Memo.Snapshot.entries;
+      Alcotest.(check int) "none skipped" 0 st.Memo.Snapshot.skipped;
+      Alcotest.(check bool) "not torn" false st.Memo.Snapshot.torn;
+      Alcotest.(check
+                  (list (pair string (list string))))
+        "restored table holds the same answers" (entry_texts t)
+        (entry_texts fresh);
+      (* restoring over a live table dedupes instead of duplicating *)
+      let st2 = Memo.Snapshot.restore fresh path in
+      Alcotest.(check int) "re-restore inserts nothing new" 4
+        st2.Memo.Snapshot.entries;
+      Alcotest.(check (list (pair string (list string))))
+        "table unchanged by re-restore" (entry_texts t) (entry_texts fresh))
+
+let test_snapshot_salvage () =
+  let t = snap_table () in
+  with_temp ".snap" (fun path ->
+      let saved = Memo.Snapshot.save t path in
+      let full = read_all path in
+      (* tear the image mid-body: the surviving prefix restores *)
+      overwrite path (String.sub full 0 (String.length full * 2 / 3));
+      let fresh = Memo.Table.create ~capacity_words:0 () in
+      let st = Memo.Snapshot.restore fresh path in
+      Alcotest.(check bool) "tear detected" true st.Memo.Snapshot.torn;
+      Alcotest.(check bool) "some but not all entries survive" true
+        (st.Memo.Snapshot.entries < saved);
+      let survivors = entry_texts fresh in
+      let original = entry_texts t in
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) "survivor is genuine" true
+            (List.mem e original))
+        survivors;
+      (* not a snapshot at all: the typed error *)
+      overwrite path "RAPWAMJL garbage with the wrong magic";
+      (match Memo.Snapshot.restore fresh path with
+      | exception Memo.Snapshot.Snapshot_error _ -> ()
+      | _ -> Alcotest.fail "expected Snapshot_error on a journal file");
+      (* an unparsable payload inside a valid frame is skipped, not
+         fatal: rebuild the image with one poisoned frame *)
+      let poisoned =
+        String.sub full 0 16
+        ^ Resilience.Journal.frame "K )(not a term"
+        ^ String.sub full 16 (String.length full - 16)
+      in
+      overwrite path poisoned;
+      let fresh2 = Memo.Table.create ~capacity_words:0 () in
+      let st3 = Memo.Snapshot.restore fresh2 path in
+      Alcotest.(check int) "good frames all restored" saved
+        st3.Memo.Snapshot.entries;
+      Alcotest.(check int) "poisoned frame skipped" 1
+        st3.Memo.Snapshot.skipped;
+      Alcotest.(check bool) "no tear" false st3.Memo.Snapshot.torn)
+
 let suite =
   [
     Alcotest.test_case "canon: variant queries collide" `Quick
@@ -288,4 +388,8 @@ let suite =
     Alcotest.test_case "eviction is LRU-ish" `Quick test_eviction_lru_ish;
     Alcotest.test_case "capacity 0 = unbounded" `Quick
       test_unbounded_never_evicts;
+    Alcotest.test_case "snapshot save/restore roundtrip" `Quick
+      test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot salvage under damage" `Quick
+      test_snapshot_salvage;
   ]

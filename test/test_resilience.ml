@@ -142,6 +142,25 @@ let test_fault_fires_once () =
     (F.fire (Some p) "cell-start" = None);
   Alcotest.(check bool) "no plan, no fault" true (F.fire None "sim-step" = None)
 
+let test_fault_spec_rejects_duplicates () =
+  (* a site occurrence happens once, so two planned faults there can
+     never both fire — the spec is rejected, naming both claimants *)
+  (match F.of_spec "sim-step:eio@3,sim-step:crash@3" with
+  | Ok _ -> Alcotest.fail "duplicate (site, occurrence) accepted"
+  | Error e ->
+    Alcotest.(check bool) "error says duplicate" true
+      (contains ~affix:"duplicate" e);
+    Alcotest.(check bool) "error names the site" true
+      (contains ~affix:"sim-step" e));
+  (* the literal same item twice is just as dead *)
+  (match F.of_spec "cell-start:crash@5,cell-start:crash@5" with
+  | Ok _ -> Alcotest.fail "repeated item accepted"
+  | Error _ -> ());
+  (* same occurrence at different sites is fine *)
+  match F.of_spec "sim-step:eio@3,cell-start:eio@3" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "distinct sites rejected: %s" e
+
 (* ---------------- framing under damage ---------------- *)
 
 let prop_truncation_salvage =
@@ -234,6 +253,35 @@ let test_journal_torn_tail_and_corrupt_frame () =
       match Resilience.Journal.replay path with
       | exception Resilience.Journal.Journal_error _ -> ()
       | _ -> Alcotest.fail "expected Journal_error on bad magic")
+
+let test_journal_salvage_edges () =
+  (* degenerate files fail with the typed error, never an exception
+     from the frame scanner *)
+  with_temp ".journal" (fun path ->
+      overwrite path "";
+      (match Resilience.Journal.replay path with
+      | exception Resilience.Journal.Journal_error msg ->
+        Alcotest.(check bool) "zero-length: typed error" true
+          (contains ~affix:"not a RAP-WAM journal" msg)
+      | _ -> Alcotest.fail "zero-length file accepted as a journal");
+      (* a tear inside the 16-byte header: magic + half the version *)
+      let w = Resilience.Journal.create path in
+      Resilience.Journal.append w "payload";
+      Resilience.Journal.close w;
+      let full = read_all path in
+      overwrite path (String.sub full 0 12);
+      (match Resilience.Journal.replay path with
+      | exception Resilience.Journal.Journal_error msg ->
+        Alcotest.(check bool) "mid-header tear: typed error" true
+          (contains ~affix:"not a RAP-WAM journal" msg)
+      | _ -> Alcotest.fail "mid-header tear accepted as a journal");
+      (* a tear just past the header is an empty, clean journal *)
+      overwrite path (String.sub full 0 16);
+      let r = Resilience.Journal.replay path in
+      Alcotest.(check (list string)) "header-only: no entries" []
+        r.Resilience.Journal.entries;
+      Alcotest.(check bool) "header-only: not torn" false
+        r.Resilience.Journal.torn_tail)
 
 let test_cell_codec_roundtrip () =
   let buf = make_trace 2000 in
@@ -408,6 +456,60 @@ let test_site_kind_matrix () =
                       (not (Trace.Tracefile.clean damage))
                   | F.Eio | F.Crash ->
                     Alcotest.failf "%s: fault did not fire" label))
+          | "snapshot-write" ->
+            (* memo snapshot site: exercised by saving a two-entry table *)
+            let mkey s =
+              match Memo.Canon.key_of_query s with
+              | Ok k -> k
+              | Error e -> Alcotest.failf "%s: bad key %S: %s" label s e
+            in
+            let table = Memo.Table.create ~capacity_words:0 () in
+            ignore
+              (Memo.Table.insert table
+                 (mkey "qsort([3,1,2], S)")
+                 [ [ ("S", Prolog.Parser.term_of_string "[1,2,3]") ] ]);
+            ignore
+              (Memo.Table.insert table
+                 (mkey "deriv(x*x, x, D)")
+                 [ [ ("D", Prolog.Parser.term_of_string "1*x+x*1") ] ]);
+            with_temp ".snap" (fun path ->
+                Sys.remove path;
+                match Memo.Snapshot.save ~plan table path with
+                | exception F.Injected { site = fired; _ } ->
+                  (* typed failure: the atomic write never committed *)
+                  Alcotest.(check string) (label ^ " site") site fired;
+                  Alcotest.(check bool)
+                    (label ^ " destination untouched")
+                    false (Sys.file_exists path)
+                | saved -> (
+                  let fresh = Memo.Table.create ~capacity_words:0 () in
+                  let st = Memo.Snapshot.restore fresh path in
+                  match kind with
+                  | F.Stall ->
+                    Alcotest.(check bool) (label ^ " clean after stall") true
+                      (st.Memo.Snapshot.entries = saved
+                      && st.Memo.Snapshot.skipped = 0
+                      && not st.Memo.Snapshot.torn)
+                  | F.Truncate | F.Bit_flip ->
+                    (* salvage loses only damaged entries, and says so *)
+                    Alcotest.(check bool)
+                      (label ^ " damage detected and contained") true
+                      (st.Memo.Snapshot.entries < saved
+                      && (st.Memo.Snapshot.skipped > 0
+                         || st.Memo.Snapshot.torn))
+                  | F.Eio | F.Crash ->
+                    Alcotest.failf "%s: fault did not fire" label))
+          | "breaker-probe" ->
+            (* in-memory site: the supervisor's half-open probe either
+               stalls (and proceeds) or raises the typed exception *)
+            (match F.hit ~plan site with
+            | () ->
+              Alcotest.(check bool) (label ^ " stall proceeds") true
+                (kind = F.Stall)
+            | exception F.Injected { site = fired; kind = k; _ } ->
+              Alcotest.(check string) (label ^ " site") site fired;
+              Alcotest.(check string) (label ^ " kind") (F.kind_name kind)
+                (F.kind_name k))
           | _ ->
             (* engine sites: exercised through a journaled sweep *)
             with_temp ".journal" (fun journal ->
@@ -446,12 +548,16 @@ let suite =
     Alcotest.test_case "fault spec parse/seed determinism" `Quick
       test_fault_spec_roundtrip;
     Alcotest.test_case "fault fires exactly once" `Quick test_fault_fires_once;
+    Alcotest.test_case "fault spec rejects duplicate occurrences" `Quick
+      test_fault_spec_rejects_duplicates;
     qt prop_truncation_salvage;
     Alcotest.test_case "bit-flip salvage resyncs" `Quick
       test_bitflip_salvage_resyncs;
     Alcotest.test_case "journal roundtrip" `Quick test_journal_roundtrip;
     Alcotest.test_case "journal survives tears and corruption" `Quick
       test_journal_torn_tail_and_corrupt_frame;
+    Alcotest.test_case "journal salvage edges (empty, mid-header tear)" `Quick
+      test_journal_salvage_edges;
     Alcotest.test_case "cell codec roundtrip" `Quick test_cell_codec_roundtrip;
     Alcotest.test_case "watchdog recovers a stalled job" `Quick
       test_watchdog_recovers_stalled_job;

@@ -235,11 +235,29 @@ let test_param_validation () =
   | _ -> Alcotest.fail "run must raise Invalid_argument on bad params"
 
 let test_harness_crash_is_lethal () =
+  (* compatibility mode: --lethal-crash restores the old die-on-crash
+     behavior *)
   let faults = Resilience.Fault.make [ ("cell-start", Resilience.Fault.Crash, 5) ] in
-  match Server.Harness.run (tiny_params ~faults ()) with
+  let p =
+    {
+      (tiny_params ~faults ()) with
+      Server.Harness.policy = Server.Supervise.policy ~lethal_crash:true ();
+    }
+  in
+  match Server.Harness.run p with
   | exception Resilience.Fault.Injected { kind = Resilience.Fault.Crash; _ } ->
     ()
-  | _ -> Alcotest.fail "a planned Crash must abort the run"
+  | _ -> Alcotest.fail "a planned Crash must abort the run under --lethal-crash"
+
+let test_harness_contains_crash_by_default () =
+  (* the supervisor's default: the crash poisons one request, the run
+     completes, and the rest of the answers stay correct *)
+  let faults = Resilience.Fault.make [ ("cell-start", Resilience.Fault.Crash, 5) ] in
+  let o = Server.Harness.run (tiny_params ~faults ()) in
+  Alcotest.(check int) "one request crashed (cold phase)" 1
+    o.Server.Harness.o_cold.Server.Harness.ph_sup.Server.Supervise.crashed;
+  Alcotest.(check bool) "answers still equal" true
+    o.Server.Harness.o_answers_equal
 
 let test_harness_degrades_on_eio () =
   (* a non-lethal fault marks one request and the run completes *)
@@ -249,6 +267,301 @@ let test_harness_degrades_on_eio () =
     o.Server.Harness.o_cold.Server.Harness.ph_stats.Server.Serve.faulted;
   Alcotest.(check bool) "answers still equal" true
     o.Server.Harness.o_answers_equal
+
+(* ---------------- config validation & metrics ---------------- *)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let test_serve_config_validation () =
+  let mk ?pes ?workers ?threshold ?max_queue ?max_solutions () =
+    Server.Serve.config ?pes ?workers ?threshold ?max_queue ?max_solutions
+      ~src:"a." ()
+  in
+  ignore (mk ());
+  let rejects field f =
+    match f () with
+    | exception Invalid_argument msg ->
+      Alcotest.(check bool) (field ^ " error names the field") true
+        (contains ~affix:field msg)
+    | _ -> Alcotest.failf "config with bad %s accepted" field
+  in
+  rejects "pes" (fun () -> mk ~pes:0 ());
+  rejects "workers" (fun () -> mk ~workers:0 ());
+  rejects "threshold" (fun () -> mk ~threshold:0 ());
+  rejects "max_queue" (fun () -> mk ~max_queue:(-1) ());
+  rejects "max_solutions" (fun () -> mk ~max_solutions:0 ())
+
+let test_metrics_percentile_edges () =
+  let feq name a b = Alcotest.(check (float 1e-12)) name a b in
+  (* empty buffer: everything reads 0, nothing raises *)
+  let empty = Server.Metrics.create () in
+  feq "empty mean" 0. (Server.Metrics.mean empty);
+  feq "empty p99" 0. (Server.Metrics.percentile empty 99.);
+  let s = Server.Metrics.summary empty in
+  Alcotest.(check int) "empty count" 0 s.Server.Metrics.n;
+  feq "empty max" 0. s.Server.Metrics.max_s;
+  feq "empty cs2" 0. (snd (Server.Metrics.mean_and_cs2 empty));
+  (* one sample: every percentile is that sample *)
+  let one = Server.Metrics.of_samples [ 0.25 ] in
+  List.iter
+    (fun p ->
+      feq (Printf.sprintf "single sample p%g" p) 0.25
+        (Server.Metrics.percentile one p))
+    [ 0.; 50.; 95.; 99.; 100. ];
+  (* all-equal samples: flat percentiles, zero variance *)
+  let eq = Server.Metrics.of_samples [ 2.0; 2.0; 2.0; 2.0; 2.0 ] in
+  let s = Server.Metrics.summary eq in
+  feq "all-equal p50" 2.0 s.Server.Metrics.p50_s;
+  feq "all-equal p99" 2.0 s.Server.Metrics.p99_s;
+  feq "all-equal max" 2.0 s.Server.Metrics.max_s;
+  let mean, cs2 = Server.Metrics.mean_and_cs2 eq in
+  feq "all-equal mean" 2.0 mean;
+  feq "all-equal cs2" 0. cs2
+
+let prop_metrics_percentiles_monotone =
+  QCheck.Test.make ~count:200
+    ~name:"metrics: p50 <= p95 <= p99 <= max over any samples"
+    QCheck.(list_of_size Gen.(int_range 1 60) small_nat)
+    (fun ints ->
+      let xs = List.map (fun i -> float_of_int i /. 7.) ints in
+      let s = Server.Metrics.summary (Server.Metrics.of_samples xs) in
+      let lo = List.fold_left min infinity xs
+      and hi = List.fold_left max neg_infinity xs in
+      s.Server.Metrics.n = List.length xs
+      && s.Server.Metrics.p50_s <= s.Server.Metrics.p95_s
+      && s.Server.Metrics.p95_s <= s.Server.Metrics.p99_s
+      && s.Server.Metrics.p99_s <= s.Server.Metrics.max_s
+      && s.Server.Metrics.max_s = hi
+      && s.Server.Metrics.p50_s >= lo
+      && s.Server.Metrics.mean_s >= lo
+      && s.Server.Metrics.mean_s <= hi)
+
+(* ---------------- the supervisor ---------------- *)
+
+let sup ?policy ?faults ?memo ?(workers = 2) () =
+  Server.Supervise.create ?policy
+    (Server.Serve.create (Server.Serve.config ?memo ?faults ~workers ~src ()))
+
+let outcome_of (r : Server.Supervise.response) = r.Server.Supervise.sv_outcome
+
+let test_supervise_retry_heals_transient () =
+  let faults = Resilience.Fault.make [ ("sim-step", Resilience.Fault.Eio, 0) ] in
+  let t = sup ~policy:(Server.Supervise.policy ~retries:2 ()) ~faults () in
+  let direct =
+    Server.Serve.run_direct (Server.Supervise.server t) qsort_query
+  in
+  (match Server.Supervise.serve t [ request 0 qsort_query ] with
+  | [ r ] ->
+    (match outcome_of r with
+    | Server.Supervise.Retried n ->
+      Alcotest.(check int) "healed on the first retry" 1 n
+    | o -> Alcotest.failf "expected Retried, got %s"
+             (Server.Supervise.outcome_name o));
+    Alcotest.(check int) "two attempts" 2 r.Server.Supervise.sv_attempts;
+    Alcotest.(check (option string)) "no error after healing" None
+      r.Server.Supervise.sv.Server.Serve.rs_error;
+    Alcotest.(check string) "answers equal direct"
+      (answers_text direct)
+      (answers_text r.Server.Supervise.sv.Server.Serve.rs_answers)
+  | _ -> Alcotest.fail "expected one response");
+  let s = Server.Supervise.stats t in
+  Alcotest.(check int) "retried counted" 1 s.Server.Supervise.retried;
+  Alcotest.(check int) "still ok" 1 s.Server.Supervise.ok;
+  Alcotest.(check (float 1e-9)) "fully available" 1.0
+    (Server.Supervise.availability s)
+
+let test_supervise_deadline_times_out () =
+  let faults =
+    Resilience.Fault.make ~stall_s:0.5
+      [ ("sim-step", Resilience.Fault.Stall, 0) ]
+  in
+  let t =
+    sup ~policy:(Server.Supervise.policy ~deadline_s:0.05 ()) ~faults ()
+  in
+  (match Server.Supervise.serve t [ request 0 qsort_query ] with
+  | [ r ] ->
+    Alcotest.(check string) "typed timeout" "timeout"
+      (Server.Supervise.outcome_name (outcome_of r));
+    (match r.Server.Supervise.sv.Server.Serve.rs_error with
+    | Some msg ->
+      Alcotest.(check bool) "error says deadline" true
+        (contains ~affix:"deadline" msg)
+    | None -> Alcotest.fail "timeout must carry an error")
+  | _ -> Alcotest.fail "expected one response");
+  let s = Server.Supervise.stats t in
+  Alcotest.(check int) "timeout counted" 1 s.Server.Supervise.timeouts;
+  Alcotest.(check bool) "availability dented" true
+    (Server.Supervise.availability s < 1.0)
+
+let test_supervise_contains_pooled_crash () =
+  (* workers=1 makes the wave deterministic: the first pooled
+     execution crashes its domain, abandoning the rest of the wave,
+     which must be respawned and complete *)
+  let faults =
+    Resilience.Fault.make [ ("sim-step", Resilience.Fault.Crash, 0) ]
+  in
+  let t = sup ~faults ~workers:1 () in
+  let queries =
+    [ qsort_query; "qsort([2,1], S)"; "qsort([5,4,3], S)" ]
+  in
+  let batch = List.mapi request queries in
+  let responses = Server.Supervise.serve t batch in
+  Alcotest.(check int) "all answered" 3 (List.length responses);
+  let crashed, rest =
+    List.partition
+      (fun r -> outcome_of r = Server.Supervise.Crashed)
+      responses
+  in
+  Alcotest.(check int) "exactly one crashed" 1 (List.length crashed);
+  List.iter
+    (fun (r : Server.Supervise.response) ->
+      Alcotest.(check string)
+        (Printf.sprintf "request %d correct despite the crash"
+           r.Server.Supervise.sv.Server.Serve.rs_id)
+        (answers_text
+           (Server.Serve.run_direct (Server.Supervise.server t)
+              r.Server.Supervise.sv.Server.Serve.rs_query))
+        (answers_text r.Server.Supervise.sv.Server.Serve.rs_answers))
+    rest;
+  let s = Server.Supervise.stats t in
+  Alcotest.(check int) "crashed counted" 1 s.Server.Supervise.crashed;
+  Alcotest.(check bool) "pool respawned for the abandoned wave" true
+    (s.Server.Supervise.pool_respawns >= 1)
+
+let test_supervise_lethal_crash_reraises () =
+  let faults =
+    Resilience.Fault.make [ ("sim-step", Resilience.Fault.Crash, 0) ]
+  in
+  let t =
+    sup ~policy:(Server.Supervise.policy ~lethal_crash:true ()) ~faults ()
+  in
+  match Server.Supervise.serve t [ request 0 qsort_query ] with
+  | exception Resilience.Fault.Injected { kind = Resilience.Fault.Crash; _ }
+    -> ()
+  | _ -> Alcotest.fail "lethal_crash must re-raise the planned Crash"
+
+let test_supervise_breaker_trips_and_probes () =
+  let breaker =
+    {
+      Server.Supervise.window = 4;
+      trip_ratio = 0.5;
+      min_samples = 2;
+      cooldown = 2;
+    }
+  in
+  let faults =
+    Resilience.Fault.make
+      [
+        ("sim-step", Resilience.Fault.Eio, 0);
+        ("sim-step", Resilience.Fault.Eio, 1);
+      ]
+  in
+  let t = sup ~policy:(Server.Supervise.policy ~breaker ()) ~faults () in
+  let one i =
+    match Server.Supervise.serve t [ request i qsort_query ] with
+    | [ r ] -> r
+    | _ -> Alcotest.fail "expected one response"
+  in
+  (* two consecutive failures trip the circuit... *)
+  let names = List.map (fun i ->
+      Server.Supervise.outcome_name (outcome_of (one i)))
+      [ 0; 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list string))
+    "fail, fail+trip, fast-fail, probe heals, closed"
+    [ "faulted"; "faulted"; "shed"; "ok"; "ok" ]
+    names;
+  let s = Server.Supervise.stats t in
+  Alcotest.(check int) "circuit opened once" 1
+    s.Server.Supervise.breaker_opens;
+  Alcotest.(check int) "one fast-fail while open" 1
+    s.Server.Supervise.breaker_fastfails;
+  Alcotest.(check int) "fast-fail counted as shed" 1 s.Server.Supervise.shed
+
+let test_supervise_shed_watermark () =
+  let t = sup ~policy:(Server.Supervise.policy ~shed_watermark:1 ()) () in
+  let queries =
+    [ qsort_query; "qsort([2,1], S)"; "qsort([5,4,3], S)" ]
+  in
+  let responses = Server.Supervise.serve t (List.mapi request queries) in
+  (match List.map outcome_of responses with
+  | [ Server.Supervise.Ok; Server.Supervise.Shed; Server.Supervise.Shed ] ->
+    ()
+  | outcomes ->
+    Alcotest.failf "expected [ok; shed; shed], got [%s]"
+      (String.concat "; "
+         (List.map Server.Supervise.outcome_name outcomes)));
+  List.iter
+    (fun (r : Server.Supervise.response) ->
+      if outcome_of r = Server.Supervise.Shed then
+        match r.Server.Supervise.sv.Server.Serve.rs_error with
+        | Some msg ->
+          Alcotest.(check bool) "shed error names the watermark" true
+            (contains ~affix:"watermark" msg)
+        | None -> Alcotest.fail "a shed response must carry an error")
+    responses;
+  let s = Server.Supervise.stats t in
+  Alcotest.(check int) "two shed" 2 s.Server.Supervise.shed;
+  Alcotest.(check int) "backlog depth recorded" 3
+    s.Server.Supervise.max_depth;
+  (* memo hits are never shed: re-ask the query that ran *)
+  let memo = Memo.Table.create ~capacity_words:0 () in
+  let t2 =
+    sup ~policy:(Server.Supervise.policy ~shed_watermark:1 ()) ~memo ()
+  in
+  ignore (Server.Supervise.serve t2 [ request 0 qsort_query ]);
+  let responses2 =
+    Server.Supervise.serve t2 (List.mapi request [ qsort_query; qsort_query ])
+  in
+  List.iter
+    (fun (r : Server.Supervise.response) ->
+      Alcotest.(check string) "hit lane stays live under shedding" "ok"
+        (Server.Supervise.outcome_name (outcome_of r)))
+    responses2
+
+let test_run_chaos_smoke () =
+  (* eio + retry heals; snapshot -> restore keeps the hit rate *)
+  let faults =
+    Resilience.Fault.make [ ("sim-step", Resilience.Fault.Eio, 3) ]
+  in
+  let p =
+    {
+      (tiny_params ~faults ()) with
+      Server.Harness.policy = Server.Supervise.policy ~retries:2 ();
+    }
+  in
+  let c = Server.Harness.run_chaos p in
+  Alcotest.(check bool) "availability >= 0.95" true
+    (Server.Harness.availability_ok c);
+  Alcotest.(check bool) "retry healed the fault" true
+    (c.Server.Harness.c_chaos.Server.Harness.ph_sup.Server.Supervise.retried
+     >= 1);
+  Alcotest.(check bool) "snapshot non-empty" true
+    (c.Server.Harness.c_snapshot_entries > 0);
+  Alcotest.(check int) "restore got every entry"
+    c.Server.Harness.c_snapshot_entries
+    c.Server.Harness.c_restore.Memo.Snapshot.entries;
+  Alcotest.(check bool) "warm restart keeps the hit rate" true
+    (Server.Harness.warm_restart_ok c);
+  Alcotest.(check bool) "answers equal" true
+    (Server.Harness.chaos_answers_ok c);
+  (* the chaos report serializes with greppable gates *)
+  let json = Server.Report.chaos_to_json_string c in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "chaos JSON mentions %s" needle)
+        true
+        (contains ~affix:needle json))
+    [
+      "\"schema\": \"rapwam-chaos/1\"";
+      "\"availability_ok\": true";
+      "\"warm_restart_ok\": true";
+      "\"answers_equal\": true";
+    ]
 
 let suite =
   [
@@ -270,6 +583,27 @@ let suite =
       test_harness_invariants;
     Alcotest.test_case "harness: planned crash is lethal" `Quick
       test_harness_crash_is_lethal;
+    Alcotest.test_case "harness: crash contained by default" `Quick
+      test_harness_contains_crash_by_default;
     Alcotest.test_case "harness: non-lethal fault degrades gracefully" `Slow
       test_harness_degrades_on_eio;
+    Alcotest.test_case "serve config: each field validated" `Quick
+      test_serve_config_validation;
+    Alcotest.test_case "metrics: percentile edges" `Quick
+      test_metrics_percentile_edges;
+    QCheck_alcotest.to_alcotest prop_metrics_percentiles_monotone;
+    Alcotest.test_case "supervise: retry heals a transient fault" `Quick
+      test_supervise_retry_heals_transient;
+    Alcotest.test_case "supervise: deadline becomes a typed timeout" `Quick
+      test_supervise_deadline_times_out;
+    Alcotest.test_case "supervise: pooled crash contained, pool respawned"
+      `Quick test_supervise_contains_pooled_crash;
+    Alcotest.test_case "supervise: lethal_crash re-raises" `Quick
+      test_supervise_lethal_crash_reraises;
+    Alcotest.test_case "supervise: breaker trips, fast-fails, probes closed"
+      `Quick test_supervise_breaker_trips_and_probes;
+    Alcotest.test_case "supervise: shedding spares hits and the watermark"
+      `Quick test_supervise_shed_watermark;
+    Alcotest.test_case "harness: chaos pipeline end to end" `Slow
+      test_run_chaos_smoke;
   ]
