@@ -1736,6 +1736,166 @@ let detan setup =
      with bit-identical answers.  Recorded to BENCH_detan.json.@."
 
 (* ------------------------------------------------------------------ *)
+(* Bindan: static binding & instantiation analysis driving trail-check *)
+(* elision and deref-free specialized unification.  Certified          *)
+(* argument registers compile to _u/_r get variants, no-trail binds    *)
+(* and uninitialized-output passing; answers must stay bit-identical,  *)
+(* the baseline-trace replay oracle must find no uncertified window,   *)
+(* and the trail area must shed references at every PE count.  The     *)
+(* cache simulator prices the saving as a Figure-4 traffic-ratio       *)
+(* delta.  Recorded to BENCH_bindan.json.                              *)
+
+let bindan_pes = [ 1; 4; 8 ]
+
+let bindan setup =
+  section "Bindan: binding-driven trail elision and deref-free unification";
+  let reports =
+    List.map (fun b -> Bindan.Driver.run ~pes:bindan_pes b) setup.benchmarks
+  in
+  let t =
+    Stats.Table.create ~title:"certificates, oracle and trail elision (8 PEs)"
+      ~headers:
+        [ "bench"; "uninit"; "rigid"; "value-nt"; "nt-bi"; "trail refs";
+          "heap refs"; "elided"; "deref"; "oracle"; "answers" ]
+      ~aligns:
+        [ Stats.Table.Left; Stats.Table.Right; Stats.Table.Right;
+          Stats.Table.Right; Stats.Table.Right; Stats.Table.Right;
+          Stats.Table.Right; Stats.Table.Right; Stats.Table.Right;
+          Stats.Table.Right; Stats.Table.Right ]
+      ()
+  in
+  let area_refs (run : Bindan.Driver.pe_run) ar =
+    let d =
+      List.find
+        (fun (d : Bindan.Driver.area_delta) -> d.Bindan.Driver.ad_area = ar)
+        run.Bindan.Driver.areas
+    in
+    ( d.Bindan.Driver.ad_base_reads + d.Bindan.Driver.ad_base_writes,
+      d.Bindan.Driver.ad_bind_reads + d.Bindan.Driver.ad_bind_writes )
+  in
+  List.iter
+    (fun (r : Bindan.Driver.report) ->
+      let a = r.Bindan.Driver.a in
+      let p = a.Bindan.Driver.plan in
+      let last =
+        List.nth r.Bindan.Driver.runs (List.length r.Bindan.Driver.runs - 1)
+      in
+      let tb, ts = area_refs last Trace.Area.Trail in
+      let hb, hs = area_refs last Trace.Area.Heap in
+      Stats.Table.add_row t
+        [
+          a.Bindan.Driver.bench.Benchlib.Programs.name;
+          Stats.Table.cell_int p.Bindan.Plan.n_uninit;
+          Stats.Table.cell_int p.Bindan.Plan.n_rigid;
+          Stats.Table.cell_int p.Bindan.Plan.n_value_nt;
+          Stats.Table.cell_int p.Bindan.Plan.n_nt_builtin;
+          Printf.sprintf "%d -> %d" tb ts;
+          Printf.sprintf "%d -> %d" hb hs;
+          Stats.Table.cell_int last.Bindan.Driver.trail_elided;
+          Stats.Table.cell_int last.Bindan.Driver.deref_skipped;
+          (if r.Bindan.Driver.oracle_ok then "ok" else "VIOLATED");
+          (if r.Bindan.Driver.answers_ok then "ok" else "DIFFER");
+        ])
+    reports;
+  Stats.Table.print t;
+  (* Figure-4 pricing: base (det-plan only) vs bind traces through the
+     hybrid protocol at 1024-word caches (best allocation), at each PE
+     count.  Recomputed here because transformed programs bypass the
+     run memo. *)
+  let traffic =
+    List.map
+      (fun b ->
+        let a = Bindan.Driver.analyze b in
+        let det_a = a.Bindan.Driver.det_a in
+        let point n_pes bind =
+          let r =
+            Benchlib.Runner.run_rapwam ~keep_trace:true
+              ~transform:det_a.Detan.Driver.transform
+              ~det:det_a.Detan.Driver.plan ?bind ~n_pes b
+          in
+          let m, _ =
+            Cachesim.Multi.simulate_best ~kind:Cachesim.Protocol.Hybrid
+              ~cache_words:1024 ~n_pes:(max n_pes 1)
+              r.Benchlib.Runner.trace
+          in
+          (Cachesim.Metrics.traffic_ratio m, m.Cachesim.Metrics.bus_words)
+        in
+        ( b.Benchlib.Programs.name,
+          List.map
+            (fun n_pes ->
+              ( n_pes,
+                point n_pes None,
+                point n_pes (Some a.Bindan.Driver.plan.Bindan.Plan.plan) ))
+            bindan_pes ))
+      setup.benchmarks
+  in
+  Format.printf
+    "@.Figure-4 traffic ratios (hybrid, 1024 words, best allocation);@.\
+     bus words in brackets -- elided trail checks were the@.\
+     best-cached references, so the ratio can rise while traffic falls:@.";
+  List.iter
+    (fun (name, points) ->
+      Format.printf "  %-12s %s@." name
+        (String.concat "  "
+           (List.map
+              (fun (n_pes, (base, bbus), (bind, sbus)) ->
+                Printf.sprintf "%dpe %.3f -> %.3f [%d -> %dw]" n_pes base
+                  bind bbus sbus)
+              points)))
+    traffic;
+  let named = [ "deriv"; "qsort"; "tak" ] in
+  let named_reports =
+    List.filter
+      (fun (r : Bindan.Driver.report) ->
+        List.mem r.Bindan.Driver.a.Bindan.Driver.bench.Benchlib.Programs.name
+          named)
+      reports
+  in
+  Format.printf
+    "invariants: oracle_ok %b, answers_ok %b, tracecheck_ok %b, \
+     lint_clean %b, trail_drop_deriv_qsort_tak %b@."
+    (List.for_all
+       (fun (r : Bindan.Driver.report) -> r.Bindan.Driver.oracle_ok)
+       reports)
+    (List.for_all
+       (fun (r : Bindan.Driver.report) -> r.Bindan.Driver.answers_ok)
+       reports)
+    (List.for_all
+       (fun (r : Bindan.Driver.report) -> r.Bindan.Driver.trace_ok)
+       reports)
+    (List.for_all
+       (fun (r : Bindan.Driver.report) -> r.Bindan.Driver.lint_clean)
+       reports)
+    (named_reports <> []
+    && List.for_all
+         (fun (r : Bindan.Driver.report) -> r.Bindan.Driver.trail_drop)
+         named_reports);
+  let traffic_json =
+    String.concat ",\n    "
+      (List.map
+         (fun (name, points) ->
+           Printf.sprintf "{\"bench\": %S, \"points\": [%s]}" name
+             (String.concat ", "
+                (List.map
+                   (fun (n_pes, (base, bbus), (bind, sbus)) ->
+                     Printf.sprintf
+                       "{\"pes\": %d, \"base_traffic_ratio\": %.6f, \
+                        \"bind_traffic_ratio\": %.6f, \"delta\": %.6f, \
+                        \"base_bus_words\": %d, \"bind_bus_words\": %d}"
+                       n_pes base bind (bind -. base) bbus sbus)
+                   points)))
+         traffic)
+  in
+  Resilience.Atomic_io.write_string "BENCH_bindan.json"
+    ("{\n  \"schema\": \"rapwam-bindan/1\",\n  \"benchmarks\": "
+    ^ Bindan.Driver.json_of_reports reports
+    ^ ",\n  \"traffic\": [\n    " ^ traffic_json ^ "\n  ]\n}\n");
+  Format.printf
+    "Certified binds run trail-check free and certified gets skip the@.\
+     dereference loop: the trail area sheds references at every PE@.\
+     count with bit-identical answers.  Recorded to BENCH_bindan.json.@."
+
+(* ------------------------------------------------------------------ *)
 (* Pre-warming: the (benchmark, PE-count) emulation runs each          *)
 (* experiment reads through [rapwam_run]/[wam_run] (0 = WAM), so the   *)
 (* harness can generate them on the engine's domain pool before the    *)
@@ -1747,7 +1907,7 @@ let experiment_names =
     "mlips"; "timing"; "timing-integrated"; "annotation"; "ablation-tags";
     "ablation-sched"; "ablation-line"; "ablation-alloc";
     "ablation-granularity"; "tracecheck"; "costan"; "server"; "refmap";
-    "detan"; "availability";
+    "detan"; "bindan"; "availability";
   ]
 
 let rec pairs_for setup = function
@@ -1785,9 +1945,9 @@ let rec pairs_for setup = function
     List.map (fun b -> (b, 0)) (setup.benchmarks @ Benchlib.Large.population ())
   (* "tracecheck" deliberately contributes nothing: it times fresh
      generation, so pre-warming would make the overhead ratio lie.
-     "refmap" and "detan" contribute nothing either: their runs use an
-     annotation transform, and transformed programs bypass the run
-     memo *)
+     "refmap", "detan" and "bindan" contribute nothing either: their
+     runs use an annotation transform, and transformed programs bypass
+     the run memo *)
   | _ -> []
 
 let prewarm setup names =
@@ -1815,5 +1975,6 @@ let all setup =
   costan setup;
   refmap setup;
   detan setup;
+  bindan setup;
   server setup;
   availability setup

@@ -9,7 +9,7 @@
    Experiments: table1 table2 table3 figure2 figure4 mlips timing
                 ablation-tags ablation-sched ablation-line ablation-alloc
                 ablation-granularity tracecheck costan server refmap detan
-                availability
+                bindan availability
 
    The emulation runs and cache sweeps the experiments share are
    pre-generated on the engine's domain pool (--jobs N, default the
@@ -25,7 +25,7 @@ let usage () =
     "usage: main.exe [--quick] [--perf] [--jobs N] [table1|table2|table3|\n\
     \       figure2|figure4|mlips|ablation-tags|ablation-sched|\n\
     \       ablation-line|ablation-alloc|tracecheck|costan|server|\n\
-    \       refmap|detan|availability]...";
+    \       refmap|detan|bindan|availability]...";
   exit 1
 
 let parse_args args =
@@ -93,6 +93,7 @@ let () =
       | "costan" -> Experiments.costan setup
       | "refmap" -> Experiments.refmap setup
       | "detan" -> Experiments.detan setup
+      | "bindan" -> Experiments.bindan setup
       | "server" -> Experiments.server setup
       | "availability" -> Experiments.availability setup
       | "all" -> Experiments.all setup

@@ -77,18 +77,7 @@ let run_cmd bench_names pes quick defect counts verbose json_out =
      else Benchlib.Inputs.default_benchmarks ())
     @ Detan.Fixtures.all
   in
-  let benchmarks =
-    match bench_names with
-    | [] -> pool
-    | names ->
-      List.map
-        (fun n ->
-          List.find
-            (fun (b : Benchlib.Programs.benchmark) ->
-              b.Benchlib.Programs.name = n)
-            pool)
-        names
-  in
+  let benchmarks = Benchlib.Cli.select ~pool bench_names in
   if counts then List.iter pp_counts benchmarks
   else begin
     match defect with
@@ -110,13 +99,7 @@ let run_cmd bench_names pes quick defect counts verbose json_out =
             r)
           benchmarks
       in
-      Option.iter
-        (fun path ->
-          let oc = open_out path in
-          Fun.protect
-            ~finally:(fun () -> close_out oc)
-            (fun () -> output_string oc (Detan.Driver.json_of_reports reports)))
-        json_out;
+      Benchlib.Cli.write_json json_out (Detan.Driver.json_of_reports reports);
       if !dirty > 0 then exit 1
     | Some dname ->
       let d =
@@ -153,75 +136,14 @@ let run_cmd bench_names pes quick defect counts verbose json_out =
 
 open Cmdliner
 
-let pos_int =
-  let parse s =
-    match int_of_string_opt s with
-    | Some n when n >= 1 -> Ok n
-    | Some n ->
-      Error
-        (`Msg (Printf.sprintf "%d is not a positive count (expected >= 1)" n))
-    | None -> Error (`Msg (Printf.sprintf "expected a positive count, got %S" s))
-  in
-  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
-
 let bench_names =
-  Benchlib.Programs.all_names
-  @ List.map
-      (fun (b : Benchlib.Programs.benchmark) -> b.Benchlib.Programs.name)
-      Detan.Fixtures.all
-
-let bench_arg =
-  Arg.(
-    value
-    & opt (list (enum (List.map (fun n -> (n, n)) bench_names))) []
-    & info [ "b"; "bench" ] ~docv:"NAME[,NAME...]"
-        ~doc:"Benchmark(s) to analyze (default: all, plus the fixtures).")
-
-let benchmarks_flag =
-  Arg.(
-    value & flag
-    & info [ "benchmarks" ] ~doc:"Analyze every shipped benchmark (default).")
-
-let pes_arg =
-  Arg.(
-    value
-    & opt (list pos_int) Detan.Driver.default_pes
-    & info [ "p"; "pes" ] ~docv:"LIST"
-        ~doc:"PE counts both machines run and the oracle is checked at.")
-
-let quick_arg =
-  Arg.(
-    value & flag
-    & info [ "quick" ]
-        ~doc:"Use the reduced benchmark inputs (CI-sized traces).")
-
-let defect_arg =
-  Arg.(
-    value
-    & opt (some (enum (List.map (fun n -> (n, n)) Detan.Defects.names))) None
-    & info [ "defect" ] ~docv:"NAME"
-        ~doc:
-          "Weaken the analysis with the named seeded defect first and \
-           expect its detector (oracle, answer comparison or wamlint) \
-           to flag it; exit 1 on detection, 0 when it escapes.")
+  Benchlib.Programs.all_names @ Benchlib.Cli.names_of Detan.Fixtures.all
 
 let counts_flag =
   Arg.(
     value & flag
     & info [ "counts" ]
         ~doc:"Print the per-predicate success-count grades and stop.")
-
-let verbose_flag =
-  Arg.(
-    value & flag
-    & info [ "v"; "verbose" ]
-        ~doc:"Print per-predicate elision decisions and all violations.")
-
-let json_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "json" ] ~docv:"FILE" ~doc:"Write the reports as JSON.")
 
 let cmd =
   let doc =
@@ -233,10 +155,20 @@ let cmd =
     Term.(
       const (fun bench _benchmarks pes quick defect counts verbose json ->
           run_cmd bench pes quick defect counts verbose json)
-      $ bench_arg $ benchmarks_flag $ pes_arg $ quick_arg $ defect_arg
-      $ counts_flag $ verbose_flag $ json_arg)
+      $ Benchlib.Cli.bench_arg
+          ~doc:"Benchmark(s) to analyze (default: all, plus the fixtures)."
+          bench_names
+      $ Benchlib.Cli.benchmarks_flag
+      $ Benchlib.Cli.pes_arg
+          ~doc:"PE counts both machines run and the oracle is checked at."
+          Detan.Driver.default_pes
+      $ Benchlib.Cli.quick_arg
+      $ Benchlib.Cli.defect_arg
+          ~doc:
+            "Weaken the analysis with the named seeded defect first and \
+             expect its detector (oracle, answer comparison or wamlint) \
+             to flag it; exit 1 on detection, 0 when it escapes."
+          Detan.Defects.names
+      $ counts_flag $ Benchlib.Cli.verbose_flag $ Benchlib.Cli.json_arg)
 
-let () =
-  match Cmd.eval_value cmd with
-  | Ok _ -> ()
-  | Error _ -> exit 1
+let () = Benchlib.Cli.eval cmd

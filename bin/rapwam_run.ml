@@ -13,23 +13,49 @@ let read_file path =
   s
 
 let run_cmd src_path query pes sequential stats listing disasm_only prelude
-    json_out profile det =
+    json_out profile det bind =
   let src = match src_path with Some p -> read_file p | None -> "" in
   let src = if prelude then Prolog.Prelude.source ^ "\n" ^ src else src in
-  let det_plan =
-    if det then begin
+  (* --bind rides on the det plan: the binding analysis seeds its
+     conditionality half from the det compile's chain certificates *)
+  let analysis =
+    if det || bind then begin
       let db = Prolog.Database.of_string src in
       let summary =
         Analysis.Analyze.database
           ~entries:[ Analysis.Analyze.entry_of_string query ]
           db
       in
-      Some (Detan.Exclusion.plan ~patterns:(Analysis.Summary.patterns summary) ())
+      Some (db, Analysis.Summary.patterns summary)
     end
     else None
   in
+  let det_plan =
+    Option.map
+      (fun (_, patterns) -> Detan.Exclusion.plan ~patterns ())
+      analysis
+  in
+  let bind_plan =
+    match (bind, analysis) with
+    | true, Some (db, patterns) ->
+      let chains = ref [] in
+      let (_ : Wam.Program.t) =
+        Wam.Program.prepare ~parallel:(not sequential) ?det:det_plan ~chains
+          ~src ~query ()
+      in
+      let query_db =
+        Prolog.Database.of_string ("'$bindan_query' :- " ^ query ^ ".")
+      in
+      let absr =
+        Bindan.Absint.analyze ~db ~query_db ~patterns ~chains:(List.rev !chains)
+          ()
+      in
+      Some (Bindan.Plan.of_result absr).Bindan.Plan.plan
+    | _ -> None
+  in
   let prog =
-    Wam.Program.prepare ~parallel:(not sequential) ?det:det_plan ~src ~query ()
+    Wam.Program.prepare ~parallel:(not sequential) ?det:det_plan ?bind:bind_plan
+      ~src ~query ()
   in
   if listing || disasm_only then begin
     Format.printf "%a@." Wam.Program.pp_listing prog;
@@ -61,6 +87,8 @@ let run_cmd src_path query pes sequential stats listing disasm_only prelude
     Printf.bprintf b "  \"goals_stolen\": %d,\n" m.Wam.Machine.goals_stolen;
     Printf.bprintf b "  \"cp_created\": %d,\n" m.Wam.Machine.cp_created;
     Printf.bprintf b "  \"cp_elided\": %d,\n" m.Wam.Machine.cp_elided;
+    Printf.bprintf b "  \"trail_elided\": %d,\n" m.Wam.Machine.trail_elided;
+    Printf.bprintf b "  \"deref_skipped\": %d,\n" m.Wam.Machine.deref_skipped;
     Printf.bprintf b "  \"rounds\": %d" rounds;
     (match profiler with
     | None -> Buffer.add_string b "\n"
@@ -88,6 +116,8 @@ let run_cmd src_path query pes sequential stats listing disasm_only prelude
       Format.printf "goals stolen : %d@." m.Wam.Machine.goals_stolen;
       Format.printf "cp created   : %d@." m.Wam.Machine.cp_created;
       Format.printf "cp elided    : %d@." m.Wam.Machine.cp_elided;
+      Format.printf "trail elided : %d@." m.Wam.Machine.trail_elided;
+      Format.printf "deref skipped: %d@." m.Wam.Machine.deref_skipped;
       Format.printf "rounds       : %d@." rounds;
       Format.printf "%a@." Trace.Areastats.pp area_stats;
       if Wam.Machine.n_workers m > 1 then begin
@@ -219,6 +249,17 @@ let det_arg =
            shallow backtracking).  The per-predicate profile and the \
            cp_created/cp_elided counters quantify the effect.")
 
+let bind_arg =
+  Arg.(
+    value & flag
+    & info [ "bind" ]
+        ~doc:
+          "Run the static binding analysis on top of $(b,--det) (implied) \
+           and compile certified head arguments, puts and builtins with \
+           the specialized trail-free / deref-free forms.  The \
+           trail_elided/deref_skipped counters and the per-predicate \
+           profile quantify the effect.")
+
 let cmd =
   let doc = "run annotated Prolog on the RAP-WAM simulator" in
   Cmd.v
@@ -226,7 +267,7 @@ let cmd =
     Term.(
       const run_cmd $ src_arg $ query_arg $ pes_arg $ seq_arg $ stats_arg
       $ listing_arg $ disasm_arg $ prelude_arg $ json_arg $ profile_arg
-      $ det_arg)
+      $ det_arg $ bind_arg)
 
 let () =
   match Cmd.eval_value cmd with

@@ -59,18 +59,7 @@ let run_cmd bench_names pes quick defect summaries verbose json_out =
     if quick then Benchlib.Inputs.small_benchmarks ()
     else Benchlib.Inputs.default_benchmarks ()
   in
-  let benchmarks =
-    match bench_names with
-    | [] -> pool
-    | names ->
-      List.map
-        (fun n ->
-          List.find
-            (fun (b : Benchlib.Programs.benchmark) ->
-              b.Benchlib.Programs.name = n)
-            pool)
-        names
-  in
+  let benchmarks = Benchlib.Cli.select ~pool bench_names in
   if summaries then
     List.iter
       (fun b ->
@@ -116,13 +105,7 @@ let run_cmd bench_names pes quick defect summaries verbose json_out =
           r)
         benchmarks
     in
-    Option.iter
-      (fun path ->
-        let oc = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () -> output_string oc (Refmap.Driver.json_of_reports reports)))
-      json_out;
+    Benchlib.Cli.write_json json_out (Refmap.Driver.json_of_reports reports);
     if !missed > 0 then
       Format.printf "%d damaged analysis(es) escaped detection@." !missed;
     if !dirty > 0 then exit 1
@@ -130,78 +113,11 @@ let run_cmd bench_names pes quick defect summaries verbose json_out =
 
 open Cmdliner
 
-let pos_int =
-  let parse s =
-    match int_of_string_opt s with
-    | Some n when n >= 1 -> Ok n
-    | Some n ->
-      Error
-        (`Msg (Printf.sprintf "%d is not a positive count (expected >= 1)" n))
-    | None -> Error (`Msg (Printf.sprintf "expected a positive count, got %S" s))
-  in
-  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
-
-let bench_arg =
-  Arg.(
-    value
-    & opt
-        (list (enum (List.map (fun n -> (n, n)) Benchlib.Programs.all_names)))
-        []
-    & info [ "b"; "bench" ] ~docv:"NAME[,NAME...]"
-        ~doc:"Benchmark(s) to analyze (default: all).")
-
-let benchmarks_flag =
-  Arg.(
-    value & flag
-    & info [ "benchmarks" ] ~doc:"Analyze every shipped benchmark (default).")
-
-let pes_arg =
-  Arg.(
-    value
-    & opt (list pos_int) Refmap.Driver.default_pes
-    & info [ "p"; "pes" ] ~docv:"LIST"
-        ~doc:"PE counts the soundness oracle is checked at.")
-
-let quick_arg =
-  Arg.(
-    value & flag
-    & info [ "quick" ]
-        ~doc:"Use the reduced benchmark inputs (CI-sized traces).")
-
-let defect_arg =
-  Arg.(
-    value
-    & opt
-        (some
-           (enum
-              (List.map
-                 (fun (d : Refmap.Defects.defect) ->
-                   (d.Refmap.Defects.name, d.Refmap.Defects.name))
-                 Refmap.Defects.all)))
-        None
-    & info [ "defect" ] ~docv:"NAME"
-        ~doc:
-          "Damage the analysis with the named seeded defect first and \
-           expect the oracle (or the certification audit) to flag it \
-           (exit 1 when the defect escapes detection).")
-
 let summaries_flag =
   Arg.(
     value & flag
     & info [ "summaries" ]
         ~doc:"Print the per-predicate area/mode summaries and stop.")
-
-let verbose_flag =
-  Arg.(
-    value & flag
-    & info [ "v"; "verbose" ]
-        ~doc:"Print per-group certification decisions and all violations.")
-
-let json_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "json" ] ~docv:"FILE" ~doc:"Write the reports as JSON.")
 
 let cmd =
   let doc =
@@ -213,10 +129,20 @@ let cmd =
     Term.(
       const (fun bench _benchmarks pes quick defect summaries verbose json ->
           run_cmd bench pes quick defect summaries verbose json)
-      $ bench_arg $ benchmarks_flag $ pes_arg $ quick_arg $ defect_arg
-      $ summaries_flag $ verbose_flag $ json_arg)
+      $ Benchlib.Cli.bench_arg Benchlib.Programs.all_names
+      $ Benchlib.Cli.benchmarks_flag
+      $ Benchlib.Cli.pes_arg
+          ~doc:"PE counts the soundness oracle is checked at."
+          Refmap.Driver.default_pes
+      $ Benchlib.Cli.quick_arg
+      $ Benchlib.Cli.defect_arg
+          ~doc:
+            "Damage the analysis with the named seeded defect first and \
+             expect the oracle (or the certification audit) to flag it \
+             (exit 1 when the defect escapes detection)."
+          (List.map
+             (fun (d : Refmap.Defects.defect) -> d.Refmap.Defects.name)
+             Refmap.Defects.all)
+      $ summaries_flag $ Benchlib.Cli.verbose_flag $ Benchlib.Cli.json_arg)
 
-let () =
-  match Cmd.eval_value cmd with
-  | Ok _ -> ()
-  | Error _ -> exit 1
+let () = Benchlib.Cli.eval cmd

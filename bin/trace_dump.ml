@@ -3,6 +3,7 @@
    files: one reference per line, `PE op AREA address`.
 
      trace_dump --bench qsort --pes 4 --limit 200
+     trace_dump --bench deriv --area trail
      trace_dump --query 'tak(8,4,2,A)' --src tak.pl --pes 2 -o trace.txt *)
 
 let read_file path =
@@ -13,7 +14,7 @@ let read_file path =
   s
 
 let run_cmd bench_name src_path query pes limit out_path include_code binary
-    quick =
+    quick area =
   let lookup name =
     if quick then
       match
@@ -50,6 +51,10 @@ let run_cmd bench_name src_path query pes limit out_path include_code binary
   in
   let _result, _sim = Rapwam.Sim.run ~sink ~n_workers:pes prog in
   if binary then begin
+    if area <> None then begin
+      prerr_endline "trace_dump: --area filters the text dump, not --binary";
+      exit 1
+    end;
     match out_path with
     | None ->
       prerr_endline "trace_dump: --binary needs --output";
@@ -66,14 +71,17 @@ let run_cmd bench_name src_path query pes limit out_path include_code binary
   (try
      Trace.Sink.Buffer_sink.iter
        (fun r ->
-         if limit > 0 && !count >= limit then raise Exit;
-         incr count;
-         Printf.fprintf oc "%d %c %-18s %d\n" r.Trace.Ref_record.pe
-           (match r.Trace.Ref_record.op with
-           | Trace.Ref_record.Read -> 'R'
-           | Trace.Ref_record.Write -> 'W')
-           (Trace.Area.name r.Trace.Ref_record.area)
-           r.Trace.Ref_record.addr)
+         if match area with Some a -> r.Trace.Ref_record.area = a | None -> true
+         then begin
+           if limit > 0 && !count >= limit then raise Exit;
+           incr count;
+           Printf.fprintf oc "%d %c %-18s %d\n" r.Trace.Ref_record.pe
+             (match r.Trace.Ref_record.op with
+             | Trace.Ref_record.Read -> 'R'
+             | Trace.Ref_record.Write -> 'W')
+             (Trace.Area.name r.Trace.Ref_record.area)
+             r.Trace.Ref_record.addr
+         end)
        buf
    with Exit -> ());
   if out_path <> None then close_out oc;
@@ -133,13 +141,26 @@ let quick_arg =
     & info [ "quick" ]
         ~doc:"Use the reduced benchmark inputs (small, seconds-long runs).")
 
+let area_arg =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum (List.map (fun a -> (Trace.Area.slug a, a)) Trace.Area.all)))
+        None
+    & info [ "area" ] ~docv:"SLUG"
+        ~doc:
+          "Dump only references to the named storage area (e.g. trail, \
+           heap, choice_point, env_pvar); --limit counts the filtered \
+           references.")
+
 let cmd =
   let doc = "dump a tagged RAP-WAM memory-reference trace" in
   Cmd.v
     (Cmd.info "trace_dump" ~doc)
     Term.(
       const run_cmd $ bench_arg $ src_arg $ query_arg $ pes_arg $ limit_arg
-      $ out_arg $ code_arg $ binary_arg $ quick_arg)
+      $ out_arg $ code_arg $ binary_arg $ quick_arg $ area_arg)
 
 let () =
   match Cmd.eval_value cmd with

@@ -53,18 +53,7 @@ let run_cmd bench_names pes_list seq_only par_only quick defect trace_file
       if quick then Benchlib.Inputs.small_benchmarks ()
       else Benchlib.Inputs.default_benchmarks ()
     in
-    let benchmarks =
-      match bench_names with
-      | [] -> pool
-      | names ->
-        List.map
-          (fun n ->
-            List.find
-              (fun (b : Benchlib.Programs.benchmark) ->
-                b.Benchlib.Programs.name = n)
-              pool)
-          names
-    in
+    let benchmarks = Benchlib.Cli.select ~pool bench_names in
     let modes =
       (if par_only then [] else [ `Seq ])
       @ if seq_only then [] else [ `Par ]
@@ -94,16 +83,8 @@ let run_cmd bench_names pes_list seq_only par_only quick defect trace_file
               pes_of_mode)
           modes)
       benchmarks);
-  Option.iter
-    (fun path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
-          output_string oc "[\n  ";
-          output_string oc (String.concat ",\n  " (List.rev !json_rows));
-          output_string oc "\n]\n"))
-    json_out;
+  Benchlib.Cli.write_json json_out
+    ("[\n  " ^ String.concat ",\n  " (List.rev !json_rows) ^ "\n]\n");
   if !missed > 0 then
     Format.printf "%d damaged trace(s) escaped detection@." !missed;
   (* exit is non-zero exactly when violations were found, so a CI
@@ -115,38 +96,6 @@ let run_cmd bench_names pes_list seq_only par_only quick defect trace_file
 
 open Cmdliner
 
-let pos_int =
-  let parse s =
-    match int_of_string_opt s with
-    | Some n when n >= 1 -> Ok n
-    | Some n ->
-      Error
-        (`Msg (Printf.sprintf "%d is not a positive count (expected >= 1)" n))
-    | None -> Error (`Msg (Printf.sprintf "expected a positive count, got %S" s))
-  in
-  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
-
-let bench_arg =
-  Arg.(
-    value
-    & opt
-        (list (enum (List.map (fun n -> (n, n)) Benchlib.Programs.all_names)))
-        []
-    & info [ "b"; "bench" ] ~docv:"NAME[,NAME...]"
-        ~doc:"Benchmark(s) to check (default: all).")
-
-let benchmarks_flag =
-  Arg.(
-    value & flag
-    & info [ "benchmarks" ] ~doc:"Check every shipped benchmark (default).")
-
-let pes_arg =
-  Arg.(
-    value
-    & opt (list pos_int) [ 1; 2; 4; 8 ]
-    & info [ "p"; "pes" ] ~docv:"LIST"
-        ~doc:"PE counts for the parallel (RAP-WAM) traces.")
-
 let seq_arg =
   Arg.(
     value & flag
@@ -157,28 +106,6 @@ let par_arg =
     value & flag
     & info [ "par-only" ] ~doc:"Check only the parallel RAP-WAM traces.")
 
-let quick_arg =
-  Arg.(
-    value & flag
-    & info [ "quick" ]
-        ~doc:"Use the reduced benchmark inputs (CI-sized traces).")
-
-let defect_arg =
-  Arg.(
-    value
-    & opt
-        (some
-           (enum
-              (List.map
-                 (fun (d : Tracecheck.Defects.defect) -> (d.name, d.name))
-                 Tracecheck.Defects.all)))
-        None
-    & info [ "defect" ] ~docv:"NAME"
-        ~doc:
-          "Damage each trace with the named seeded defect first and \
-           expect the checker to flag it (exit 1 when a damaged trace \
-           comes back clean).")
-
 let trace_file_arg =
   Arg.(
     value
@@ -188,15 +115,9 @@ let trace_file_arg =
 
 let max_violations_arg =
   Arg.(
-    value & opt pos_int 50
+    value & opt Benchlib.Cli.pos_int 50
     & info [ "max-violations" ] ~docv:"N"
         ~doc:"Retain at most N violations per trace in the output.")
-
-let json_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "json" ] ~docv:"FILE" ~doc:"Write the summaries as JSON.")
 
 let cmd =
   let doc =
@@ -208,11 +129,20 @@ let cmd =
       const
         (fun bench _benchmarks pes seq par quick defect trace_file maxv json ->
           run_cmd bench pes seq par quick defect trace_file maxv json)
-      $ bench_arg $ benchmarks_flag $ pes_arg $ seq_arg $ par_arg
-      $ quick_arg $ defect_arg $ trace_file_arg $ max_violations_arg
-      $ json_arg)
+      $ Benchlib.Cli.bench_arg ~doc:"Benchmark(s) to check (default: all)."
+          Benchlib.Programs.all_names
+      $ Benchlib.Cli.benchmarks_flag
+      $ Benchlib.Cli.pes_arg
+          ~doc:"PE counts for the parallel (RAP-WAM) traces." [ 1; 2; 4; 8 ]
+      $ seq_arg $ par_arg $ Benchlib.Cli.quick_arg
+      $ Benchlib.Cli.defect_arg
+          ~doc:
+            "Damage each trace with the named seeded defect first and \
+             expect the checker to flag it (exit 1 when a damaged trace \
+             comes back clean)."
+          (List.map
+             (fun (d : Tracecheck.Defects.defect) -> d.name)
+             Tracecheck.Defects.all)
+      $ trace_file_arg $ max_violations_arg $ Benchlib.Cli.json_arg)
 
-let () =
-  match Cmd.eval_value cmd with
-  | Ok _ -> ()
-  | Error _ -> exit 1
+let () = Benchlib.Cli.eval cmd

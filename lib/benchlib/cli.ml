@@ -1,0 +1,91 @@
+(* Shared cmdliner vocabulary of the analysis CLIs.
+
+   Every analysis binary (detan, refmap, tracecheck, bindan, ...)
+   parses the same argument families: a benchmark selection drawn
+   from a pool, PE-count lists, the --quick trace-size switch, a
+   seeded-defect selector, --verbose and --json FILE.  This module
+   holds the converters, the argument builders (parameterized on the
+   name pool and defaults) and the two helpers every tool repeats:
+   resolving a selection against its pool and writing a JSON report
+   file. *)
+
+open Cmdliner
+
+(* A strictly positive count (PE counts, violation caps). *)
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n ->
+      Error
+        (`Msg (Printf.sprintf "%d is not a positive count (expected >= 1)" n))
+    | None -> Error (`Msg (Printf.sprintf "expected a positive count, got %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let names_of pool =
+  List.map (fun (b : Programs.benchmark) -> b.Programs.name) pool
+
+let bench_arg ?(doc = "Benchmark(s) to analyze (default: all).") names =
+  Arg.(
+    value
+    & opt (list (enum (List.map (fun n -> (n, n)) names))) []
+    & info [ "b"; "bench" ] ~docv:"NAME[,NAME...]" ~doc)
+
+let benchmarks_flag =
+  Arg.(
+    value & flag
+    & info [ "benchmarks" ] ~doc:"Analyze every shipped benchmark (default).")
+
+let pes_arg ?(doc = "PE counts the analysis is checked at.") default =
+  Arg.(value & opt (list pos_int) default & info [ "p"; "pes" ] ~docv:"LIST" ~doc)
+
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ] ~doc:"Use the reduced benchmark inputs (CI-sized traces).")
+
+let defect_arg ~doc names =
+  Arg.(
+    value
+    & opt (some (enum (List.map (fun n -> (n, n)) names))) None
+    & info [ "defect" ] ~docv:"NAME" ~doc)
+
+let verbose_flag =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:"Print per-item decisions and all violations.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the reports as JSON.")
+
+(* Resolve a --bench selection against the tool's pool (cmdliner's
+   enum already rejected unknown names, but a name can still miss the
+   pool when --quick swaps input sizes). *)
+let select ~pool = function
+  | [] -> pool
+  | names ->
+    List.map
+      (fun n ->
+        match
+          List.find_opt (fun (b : Programs.benchmark) -> b.Programs.name = n) pool
+        with
+        | Some b -> b
+        | None -> invalid_arg ("unknown benchmark " ^ n))
+      names
+
+(* Write a report file when --json was given. *)
+let write_json json_out contents =
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc contents))
+    json_out
+
+let eval cmd = match Cmd.eval_value cmd with Ok _ -> () | Error _ -> exit 1

@@ -21,6 +21,8 @@ type result = {
   goals_stolen : int;
   cp_created : int; (* choice points pushed (try) *)
   cp_elided : int; (* certified chains entered shallow (det_try) *)
+  trail_elided : int; (* certified bindings made without a trail check *)
+  deref_skipped : int; (* certified argument reads made without a deref *)
   idle_cycles : int;
   wait_cycles : int;
   trace : Trace.Sink.Buffer_sink.t; (* packed references (I+D) *)
@@ -65,6 +67,8 @@ let of_machine bench ~n_pes ~succeeded ~answer ~rounds m stats buf =
     goals_stolen = m.Wam.Machine.goals_stolen;
     cp_created = m.Wam.Machine.cp_created;
     cp_elided = m.Wam.Machine.cp_elided;
+    trail_elided = m.Wam.Machine.trail_elided;
+    deref_skipped = m.Wam.Machine.deref_skipped;
     idle_cycles = sum_high_water m (fun w -> w.Wam.Machine.idle_cycles);
     wait_cycles = sum_high_water m (fun w -> w.Wam.Machine.wait_cycles);
     trace = buf;
@@ -78,21 +82,24 @@ let of_machine bench ~n_pes ~succeeded ~answer ~rounds m stats buf =
 
 (* Compile the benchmark, optionally rewriting the parsed database
    first (e.g. re-annotation with granularity control).  [det] turns
-   on determinacy-driven choice-point elision; [chains] logs the
+   on determinacy-driven choice-point elision; [bind] turns on
+   binding-certified instruction specialization; [chains] logs the
    emitted try chains for the elision stats and the detan oracle. *)
-let prepare ~parallel ?det ?chains ?transform (bench : Programs.benchmark) =
+let prepare ~parallel ?det ?bind ?chains ?transform
+    (bench : Programs.benchmark) =
   match transform with
   | None ->
-    Wam.Program.prepare ~parallel ?det ?chains ~src:bench.Programs.src
+    Wam.Program.prepare ~parallel ?det ?bind ?chains ~src:bench.Programs.src
       ~query:bench.Programs.query ()
   | Some f ->
     let db = f (Prolog.Database.of_string bench.Programs.src) in
-    Wam.Program.of_database ~parallel ?det ?chains db
+    Wam.Program.of_database ~parallel ?det ?bind ?chains db
       ~query:bench.Programs.query ()
 
 (* Sequential WAM run (the paper's baseline). *)
-let run_wam ?(keep_trace = true) ?det ?transform (bench : Programs.benchmark) =
-  let prog = prepare ~parallel:false ?det ?transform bench in
+let run_wam ?(keep_trace = true) ?det ?bind ?transform
+    (bench : Programs.benchmark) =
+  let prog = prepare ~parallel:false ?det ?bind ?transform bench in
   let stats, buf, sink = collectors ~keep_trace in
   let result, m = Wam.Seq.run ~sink prog in
   let succeeded, answer = answer_of bench.Programs.answer_var result in
@@ -100,9 +107,9 @@ let run_wam ?(keep_trace = true) ?det ?transform (bench : Programs.benchmark) =
     stats buf
 
 (* RAP-WAM run on [n_pes] workers. *)
-let run_rapwam ?(keep_trace = true) ?det ?steal ?allow_steal ?transform ~n_pes
-    (bench : Programs.benchmark) =
-  let prog = prepare ~parallel:true ?det ?transform bench in
+let run_rapwam ?(keep_trace = true) ?det ?bind ?steal ?allow_steal ?transform
+    ~n_pes (bench : Programs.benchmark) =
+  let prog = prepare ~parallel:true ?det ?bind ?transform bench in
   let stats, buf, sink = collectors ~keep_trace in
   let sim = Rapwam.Sim.create ~sink ?steal ?allow_steal ~n_workers:n_pes prog in
   let result = Rapwam.Sim.run_prepared sim prog in

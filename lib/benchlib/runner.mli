@@ -20,6 +20,10 @@ type result = {
   goals_stolen : int;
   cp_created : int;  (** choice points pushed (try) *)
   cp_elided : int;  (** certified chains entered shallow (det_try) *)
+  trail_elided : int;
+      (** certified bindings made without a trail check (lib/bindan) *)
+  deref_skipped : int;
+      (** certified argument reads made without a deref (lib/bindan) *)
   idle_cycles : int;
   wait_cycles : int;
   trace : Trace.Sink.Buffer_sink.t;  (** packed references (I+D) *)
@@ -34,6 +38,7 @@ type result = {
 val prepare :
   parallel:bool ->
   ?det:Wam.Compile.det_plan ->
+  ?bind:Wam.Compile.bind_plan ->
   ?chains:Wam.Compile.chain_info list ref ->
   ?transform:(Prolog.Database.t -> Prolog.Database.t) ->
   Programs.benchmark ->
@@ -41,12 +46,14 @@ val prepare :
 (** Compile the benchmark exactly as {!run_wam} / {!run_rapwam} would
     (compilation is deterministic, so static analyses built over this
     program line up with the code addresses in the run's trace).
-    [det] enables choice-point elision; [chains] logs the emitted try
+    [det] enables choice-point elision; [bind] enables
+    binding-certified specialization; [chains] logs the emitted try
     chains. *)
 
 val run_wam :
   ?keep_trace:bool ->
   ?det:Wam.Compile.det_plan ->
+  ?bind:Wam.Compile.bind_plan ->
   ?transform:(Prolog.Database.t -> Prolog.Database.t) ->
   Programs.benchmark ->
   result
@@ -56,6 +63,7 @@ val run_wam :
 
 val run_rapwam :
   ?keep_trace:bool -> ?det:Wam.Compile.det_plan ->
+  ?bind:Wam.Compile.bind_plan ->
   ?steal:Rapwam.Sim.steal_policy -> ?allow_steal:bool ->
   ?transform:(Prolog.Database.t -> Prolog.Database.t) ->
   n_pes:int -> Programs.benchmark -> result

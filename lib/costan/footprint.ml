@@ -166,6 +166,33 @@ let instr ~nargs (i : Wam.Instr.t) : t =
       trail (itv 0 2)
     | Arg_b -> heap (itv 2 4)
     | Univ -> heap (itv 2 (4 + (2 * max 1 ar))))
+  (* binding-certified specializations (lib/bindan): no deref hop, no
+     trail entry on the certified argument *)
+  | Get_structure_r _ -> heap (point 1) (* functor read only *)
+  | Get_list_r _ -> ()
+  | Get_value_r (r, _) ->
+    env_read r fp;
+    heap unify_heap;
+    trail unify_trail;
+    pdl unify_pdl
+  | Get_value_u (r, _) ->
+    (* full unification, trail entries elided *)
+    env_read r fp;
+    heap unify_heap;
+    pdl unify_pdl
+  | Get_structure_u _ -> heap (point 2) (* functor push + cell overwrite *)
+  | Get_list_u _ | Get_constant_u _ | Get_integer_u _ | Get_nil_u _ ->
+    (* one direct overwrite of the certified-free cell *)
+    heap (itv 0 1);
+    add_area fp Trace.Area.Env_pvar (itv 0 1)
+  | Builtin_nt (b, _) -> (
+    match b with
+    | Is -> heap (itv 1 6)
+    | Unify ->
+      heap (itv 1 6);
+      pdl (itv 0 4)
+    | _ -> ())
+  | Put_uninit _ -> () (* the self-reference init is untraced *)
   | Check_ground _ -> heap (itv 1 16)
   | Check_indep _ -> heap (itv 2 24)
   | Check_size (_, k, _) -> heap (itv 1 (max 1 k))

@@ -152,6 +152,31 @@ let step st (i : Wam.Instr.t) =
       write_reg st (X a) Any;
       st.sm <- Su
     end
+  (* binding-certified specializations behave like their baseline
+     forms for groundness purposes *)
+  | Get_value_r (r, a) | Get_value_u (r, a) ->
+    let g =
+      if read_reg st r = Ground || read_reg st (X a) = Ground then Ground
+      else Any
+    in
+    write_reg st r g;
+    write_reg st (X a) g
+  | Get_constant_u (_, a) | Get_integer_u (_, a) | Get_nil_u a ->
+    write_reg st (X a) Ground
+  | Get_structure_r (_, a) ->
+    (* rigid depth-0 certificate: the argument is bound, not ground *)
+    write_reg st (X a) Any;
+    st.sm <- Su
+  | Get_list_r a ->
+    write_reg st (X a) Any;
+    st.sm <- Su
+  | Get_structure_u (_, a) | Get_list_u a ->
+    (* certified free: the head term is built in write mode *)
+    write_reg st (X a) Any;
+    st.sm <- Sw
+  | Put_uninit (r, a) ->
+    write_reg st r Free;
+    write_reg st (X a) Free
   | Unify_variable r ->
     write_reg st r (match st.sm with Sg -> Ground | Sw -> Free | Su -> Any)
   | Unify_value r | Unify_local_value r ->
@@ -162,7 +187,7 @@ let step st (i : Wam.Instr.t) =
   | Deallocate -> Array.fill st.y 0 (Array.length st.y) Any
   | Call _ -> degrade_after_call st
   | Par_join -> degrade_after_call st
-  | Builtin (b, n) ->
+  | Builtin (b, n) | Builtin_nt (b, n) ->
     (* builtins may bind their arguments in place *)
     for i = 1 to min n (max_x - 1) do
       if st.x.(i) <> Ground then st.x.(i) <- Any

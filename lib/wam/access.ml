@@ -133,6 +133,32 @@ let of_instr ?(ctx = conservative) (i : Instr.t) =
   | Instr.Cut_to _ -> [ rd Env_pvar; rd Choice_point ]
   (* escapes *)
   | Instr.Builtin (b, _) -> builtin b
+  | Instr.Builtin_nt (b, _) ->
+    (* certified-unconditional bindings: the trail write is elided *)
+    List.filter (fun a -> a.area <> Trail) (builtin b)
+  (* binding-certified specializations: no deref reads ([_r]/[_u] skip
+     the Ref chase), and the [_u] binds skip the trail write *)
+  | Instr.Get_structure_r _ -> [ rd Heap ]
+  | Instr.Get_list_r _ -> []
+  | Instr.Get_value_r (r, _) ->
+    (* the elision is the argument's deref loop; the unification that
+       follows can still bind (and trail) subterm variables *)
+    if ctx.ground r then get_reg r @ deref @ pdl @ [ rd Heap ]
+    else get_reg r @ unify_full
+  | Instr.Get_structure_u _ | Instr.Get_list_u _ ->
+    [ wr Heap; wr Env_pvar ]
+  | Instr.Get_constant_u _ | Instr.Get_integer_u _ | Instr.Get_nil_u _ ->
+    [ wr Heap; wr Env_pvar ]
+  | Instr.Put_uninit _ ->
+    (* the dead self-reference init is an untraced store *)
+    []
+  | Instr.Get_value_u (r, _) ->
+    (* full unification, certified-unconditional bindings: the trail
+       write is elided *)
+    List.filter
+      (fun a -> a.area <> Trail)
+      (if ctx.ground r then get_reg r @ deref @ pdl @ [ rd Heap ]
+       else get_reg r @ unify_full)
   (* parallel extensions *)
   | Instr.Check_ground (r, _) -> get_reg r @ deref @ [ rd Heap ]
   | Instr.Check_indep (r1, r2, _) ->
@@ -161,9 +187,12 @@ let may_fail (i : Instr.t) =
   | Instr.Unify_value _ | Instr.Unify_local_value _ | Instr.Unify_constant _
   | Instr.Unify_integer _ | Instr.Unify_nil | Instr.Switch_on_term _
   | Instr.Switch_on_constant _ | Instr.Switch_on_integer _
-  | Instr.Switch_on_structure _ | Instr.Par_join ->
+  | Instr.Switch_on_structure _ | Instr.Par_join
+  | Instr.Get_structure_r _ | Instr.Get_list_r _ | Instr.Get_value_r _
+  | Instr.Get_structure_u _ | Instr.Get_list_u _ | Instr.Get_constant_u _
+  | Instr.Get_integer_u _ | Instr.Get_nil_u _ | Instr.Get_value_u _ ->
     true
-  | Instr.Builtin (b, _) -> begin
+  | Instr.Builtin (b, _) | Instr.Builtin_nt (b, _) -> begin
     match b with
     | Builtin.True_b | Builtin.Write_t | Builtin.Print_t | Builtin.Nl
     | Builtin.Halt_b ->

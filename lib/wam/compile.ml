@@ -93,6 +93,46 @@ let goal_kind db g =
     end
 
 (* ------------------------------------------------------------------ *)
+(* Binding-certified specialization (lib/bindan supplies the plan).
+
+   The binding analysis proves per-argument instantiation facts about
+   every call to a predicate: that an argument is always a
+   first-occurrence free variable whose binding is unconditional
+   (no choice point or parcall redo can ever untrail it), or that it
+   is always bound rigid with dereference depth 0.  The compiler
+   rewrites head instructions 1:1 into the [_u] / [_r] specializations
+   of {!Instr}, swaps certified builtins to [builtin_nt], and turns a
+   certified first-occurrence argument put into [put_uninit].  Every
+   rewrite replaces exactly one instruction, so a plan-compiled code
+   area stays address-aligned with the baseline — the trace-replay
+   oracle in lib/bindan diffs the two arrays to find the certified
+   sites and audits each against a baseline trace. *)
+type arg_cert =
+  | Cert_none
+  | Cert_rigid  (** always bound, deref depth 0 at the head *)
+  | Cert_uninit  (** always free, binding certified unconditional *)
+  | Cert_value_nt
+      (** repeat-variable argument whose head unification makes only
+          certified-unconditional bindings: [get_value] runs with the
+          trail test and write elided *)
+
+type bind_plan = {
+  bind_head : pred:string * int -> arg:int -> arg_cert;
+  bind_uninit : callee:string * int -> arg:int -> bool;
+  bind_builtin : pred:string * int -> Builtin.t -> bool;
+}
+
+let arg_cert bind ~pred ~arg =
+  match bind with Some p -> p.bind_head ~pred ~arg | None -> Cert_none
+
+let no_uninit _ = false
+
+let uninit_of bind callee : int -> bool =
+  match bind with
+  | Some p -> fun arg -> p.bind_uninit ~callee ~arg
+  | None -> no_uninit
+
+(* ------------------------------------------------------------------ *)
 (* Register allocation.                                               *)
 
 let alloc_temp ctx =
@@ -135,8 +175,11 @@ let is_void ctx v = (Hashtbl.find ctx.vars v).occurrences = 1
 (* Head compilation.                                                  *)
 
 (* Structures nested inside head arguments are processed breadth-first
-   through a queue of (temp register, term) pairs, as in the WAM. *)
-let compile_head ctx head =
+   through a queue of (temp register, term) pairs, as in the WAM.
+   Binding certificates apply only to the top-level argument
+   registers: the nested-structure drain reads cells the clause built
+   itself, so it always uses the baseline instructions. *)
+let compile_head ctx ?bind head =
   let emit i = ignore (Code.emit ctx.code i) in
   let seen = Hashtbl.create 16 in
   let first_occ v =
@@ -162,29 +205,46 @@ let compile_head ctx head =
       emit (Instr.Unify_variable (Instr.X t_reg));
       Queue.add (t_reg, t) queue
   in
-  let get_term ~into t =
-    match t with
-    | Prolog.Term.Var v ->
+  let get_term ?(spec = Cert_none) ~into t =
+    match (t, spec) with
+    | Prolog.Term.Var v, _ ->
       (* A void head argument needs no instruction. *)
       if not (is_void ctx v) then
         if first_occ v then emit (Instr.Get_variable (reg_of ctx v, into))
+        else if spec = Cert_rigid then
+          emit (Instr.Get_value_r (reg_of ctx v, into))
+        else if spec = Cert_value_nt then
+          emit (Instr.Get_value_u (reg_of ctx v, into))
         else emit (Instr.Get_value (reg_of ctx v, into))
-    | Prolog.Term.Int n -> emit (Instr.Get_integer (n, into))
-    | Prolog.Term.Atom "[]" -> emit (Instr.Get_nil into)
-    | Prolog.Term.Atom a ->
+    | Prolog.Term.Int n, Cert_uninit -> emit (Instr.Get_integer_u (n, into))
+    | Prolog.Term.Int n, _ -> emit (Instr.Get_integer (n, into))
+    | Prolog.Term.Atom "[]", Cert_uninit -> emit (Instr.Get_nil_u into)
+    | Prolog.Term.Atom "[]", _ -> emit (Instr.Get_nil into)
+    | Prolog.Term.Atom a, Cert_uninit ->
+      emit (Instr.Get_constant_u (Symbols.atom ctx.symbols a, into))
+    | Prolog.Term.Atom a, _ ->
       emit (Instr.Get_constant (Symbols.atom ctx.symbols a, into))
-    | Prolog.Term.Struct (".", [ h; tl ]) ->
-      emit (Instr.Get_list into);
+    | Prolog.Term.Struct (".", [ h; tl ]), _ ->
+      (match spec with
+      | Cert_uninit -> emit (Instr.Get_list_u into)
+      | Cert_rigid -> emit (Instr.Get_list_r into)
+      | Cert_none | Cert_value_nt -> emit (Instr.Get_list into));
       unify_arg h;
       unify_arg tl
-    | Prolog.Term.Struct (f, args) ->
-      emit
-        (Instr.Get_structure
-           (Symbols.functor_ ctx.symbols f (List.length args), into));
+    | Prolog.Term.Struct (f, args), _ ->
+      let fid = Symbols.functor_ ctx.symbols f (List.length args) in
+      (match spec with
+      | Cert_uninit -> emit (Instr.Get_structure_u (fid, into))
+      | Cert_rigid -> emit (Instr.Get_structure_r (fid, into))
+      | Cert_none | Cert_value_nt -> emit (Instr.Get_structure (fid, into)));
       List.iter unify_arg args
   in
-  let _, head_args = goal_parts head in
-  List.iteri (fun i arg -> get_term ~into:(i + 1) arg) head_args;
+  let name, head_args = goal_parts head in
+  let pred = (name, List.length head_args) in
+  List.iteri
+    (fun i arg ->
+      get_term ~spec:(arg_cert bind ~pred ~arg:(i + 1)) ~into:(i + 1) arg)
+    head_args;
   (* Drain nested structures. *)
   let rec drain () =
     if not (Queue.is_empty queue) then begin
@@ -248,8 +308,11 @@ and prepare_unify_arg ctx seen t =
    tracks variables already materialized in this clause (head pass plus
    previous goals).  [last] switches permanent-variable puts to
    put_unsafe_value when the variable's first occurrence was not a
-   top-level head argument. *)
-let put_args ctx seen ~last args =
+   top-level head argument.  [uninit] marks argument positions the
+   binding plan certifies as uninitialized output of the callee: a
+   first-occurrence variable there is created with [put_uninit]
+   (untraced self-reference) instead of [put_variable]. *)
+let put_args ctx seen ?(uninit = no_uninit) ~last args =
   let emit i = ignore (Code.emit ctx.code i) in
   let put_one i t =
     let into = i + 1 in
@@ -258,7 +321,8 @@ let put_args ctx seen ~last args =
       let info = Hashtbl.find ctx.vars v in
       if not (Hashtbl.mem seen v) then begin
         Hashtbl.add seen v ();
-        emit (Instr.Put_variable (reg_of ctx v, into))
+        if uninit into then emit (Instr.Put_uninit (reg_of ctx v, into))
+        else emit (Instr.Put_variable (reg_of ctx v, into))
       end
       else begin
         match reg_of ctx v with
@@ -342,7 +406,7 @@ let check_var_reg ctx t =
    [parallel = false] every CGE degrades to its sequential reading
    (plain calls in textual order, no checks): this is the WAM-baseline
    compilation mode. *)
-let compile_clause ~parallel symbols code db alloc
+let compile_clause ~parallel ?bind symbols code db alloc
     (clause : Prolog.Database.clause) =
   let ctx =
     {
@@ -356,6 +420,11 @@ let compile_clause ~parallel symbols code db alloc
   in
   let emit i = ignore (Code.emit code i) in
   let { Prolog.Database.head; body } = clause in
+  (* The predicate this clause belongs to, for plan lookups. *)
+  let clause_pred =
+    let name, args = goal_parts head in
+    (name, List.length args)
+  in
   let body =
     if parallel then body
     else
@@ -487,7 +556,7 @@ let compile_clause ~parallel symbols code db alloc
     | Prolog.Term.Struct (_, args) -> List.iter mark_seen args
   in
   List.iter mark_seen head_args;
-  compile_head ctx head;
+  compile_head ctx ?bind head;
   (* Body items. *)
   let n_items = List.length body in
   let calls_emitted = ref 0 in
@@ -513,11 +582,19 @@ let compile_clause ~parallel symbols code db alloc
           emit_items (idx + 1) rest
         | G_builtin b ->
           put_args ctx seen ~last:is_last args;
-          emit (Instr.Builtin (b, arity));
+          let nt =
+            match bind with
+            | Some p -> p.bind_builtin ~pred:clause_pred b
+            | None -> false
+          in
+          emit
+            (if nt then Instr.Builtin_nt (b, arity)
+             else Instr.Builtin (b, arity));
           emit_items (idx + 1) rest
         | G_user ->
           let fid = Symbols.functor_ ctx.symbols name arity in
-          put_args ctx seen ~last:is_last args;
+          put_args ctx seen ~uninit:(uninit_of bind (name, arity))
+            ~last:is_last args;
           if is_last then begin
             if needs_env then emit Instr.Deallocate;
             emit (Instr.Execute fid)
@@ -587,14 +664,17 @@ let compile_clause ~parallel symbols code db alloc
           (fun slot arm ->
             let name, args = goal_parts arm in
             let arity = List.length args in
-            let fid =
+            let fid, uninit =
               match goal_kind db arm with
-              | G_user -> Symbols.functor_ ctx.symbols name arity
-              | G_builtin b -> synth_builtin_pred ctx alloc b arity
+              | G_user ->
+                ( Symbols.functor_ ctx.symbols name arity,
+                  uninit_of bind (name, arity) )
+              | G_builtin b ->
+                (synth_builtin_pred ctx alloc b arity, no_uninit)
               | G_cut | G_true ->
                 error "cut/true cannot be a parallel goal"
             in
-            put_args ctx seen ~last:false args;
+            put_args ctx seen ~uninit ~last:false args;
             emit (Instr.Push_goal (slot, fid, arity)))
           pushed_arms;
         (let name, args = goal_parts inline_arm in
@@ -605,7 +685,8 @@ let compile_clause ~parallel symbols code db alloc
            emit (Instr.Builtin (b, arity))
          | G_user ->
            let fid = Symbols.functor_ ctx.symbols name arity in
-           put_args ctx seen ~last:false args;
+           put_args ctx seen ~uninit:(uninit_of bind (name, arity))
+             ~last:false args;
            emit (Instr.Call fid)
          | G_cut | G_true -> error "cut/true cannot be a parallel goal");
         let join = Code.emit code Instr.Par_join in
@@ -640,7 +721,8 @@ let compile_clause ~parallel symbols code db alloc
                 emit (Instr.Builtin (b, arity))
               | G_user ->
                 let fid = Symbols.functor_ ctx.symbols name arity in
-                put_args ctx seen_before ~last:false args;
+                put_args ctx seen_before
+                  ~uninit:(uninit_of bind (name, arity)) ~last:false args;
                 emit (Instr.Call fid)
               | G_cut | G_true -> error "cut/true cannot be a parallel goal")
             arms;
@@ -744,7 +826,7 @@ let emit_chain ?(det = false) ?(sabotage = false) code addrs =
       addrs;
     start
 
-let compile_predicate ~parallel ?det ?chains symbols code db alloc key =
+let compile_predicate ~parallel ?det ?bind ?chains symbols code db alloc key =
   let clauses = Prolog.Database.clauses db key in
   let name, arity = key in
   let fid = Symbols.functor_ symbols name arity in
@@ -778,7 +860,7 @@ let compile_predicate ~parallel ?det ?chains symbols code db alloc key =
   match clauses with
   | [] -> ()
   | [ clause ] ->
-    let addr = compile_clause ~parallel symbols code db alloc clause in
+    let addr = compile_clause ~parallel ?bind symbols code db alloc clause in
     Code.set_entry code fid addr
   | clauses ->
     let fas = List.map (first_arg_of symbols) clauses in
@@ -796,7 +878,7 @@ let compile_predicate ~parallel ?det ?chains symbols code db alloc key =
           ignore (Code.emit code (chain_instr ~det:is_det ~sabotage i n (-1))))
         clauses;
       let addrs =
-        List.map (fun c -> compile_clause ~parallel symbols code db alloc c) clauses
+        List.map (fun c -> compile_clause ~parallel ?bind symbols code db alloc c) clauses
       in
       List.iteri
         (fun i addr ->
@@ -817,7 +899,7 @@ let compile_predicate ~parallel ?det ?chains symbols code db alloc key =
              { var_l = -1; con_l = -1; int_l = -1; lis_l = -1; str_l = -1 })
       in
       let addrs =
-        List.map (fun c -> compile_clause ~parallel symbols code db alloc c) clauses
+        List.map (fun c -> compile_clause ~parallel ?bind symbols code db alloc c) clauses
       in
       let clause_arr = Array.of_list clauses in
       let tagged =
@@ -927,13 +1009,13 @@ let compile_predicate ~parallel ?det ?chains symbols code db alloc key =
 let halt_addr = 0
 let goal_done_addr = 1
 
-let compile_db ?(parallel = true) ?det ?chains symbols db =
+let compile_db ?(parallel = true) ?det ?bind ?chains symbols db =
   let code = Code.create () in
   assert (Code.emit code Instr.Halt_ok = halt_addr);
   assert (Code.emit code Instr.Goal_done = goal_done_addr);
   let alloc = { synth_count = 0; pending = [] } in
   List.iter
-    (fun key -> compile_predicate ~parallel ?det ?chains symbols code db alloc key)
+    (fun key -> compile_predicate ~parallel ?det ?bind ?chains symbols code db alloc key)
     (Prolog.Database.predicates db);
   flush_synth code alloc;
   code

@@ -47,6 +47,47 @@ type det_plan = {
 (** Determinacy plan supplied by lib/detan; [det_certify] is trusted
     blindly, the dynamic oracle audits it against traces. *)
 
+type arg_cert =
+  | Cert_none
+  | Cert_rigid
+      (** always bound with dereference depth 0 at the head: the [_r]
+          get specializations skip the deref loop *)
+  | Cert_uninit
+      (** always a free first-occurrence variable whose binding is
+          unconditional: the [_u] get specializations bind directly
+          with the trail check elided *)
+  | Cert_value_nt
+      (** repeat-variable argument position in a program certified
+          free of live choice points: the head [get_value] keeps its
+          full unification semantics but elides every trail test and
+          write ([get_value_u]) *)
+
+type bind_plan = {
+  bind_head : pred:string * int -> arg:int -> arg_cert;
+      (** Instantiation certificate for one head argument position;
+          applied to every clause of the predicate, so the certificate
+          must hold across all of them (and [Cert_uninit] additionally
+          requires every multi-clause chain reaching the head to be
+          determinacy-certified — a shallow retry restores elided
+          bindings, a deep backtrack cannot). *)
+  bind_uninit : callee:string * int -> arg:int -> bool;
+      (** [true] when the callee's argument is certified uninitialized
+          output: a first-occurrence variable put compiles to
+          [put_uninit] (untraced self-reference) instead of
+          [put_variable]. *)
+  bind_builtin : pred:string * int -> Builtin.t -> bool;
+      (** [true] when every occurrence of the builtin in the
+          predicate's clause bodies only makes certified-unconditional
+          bindings: those sites compile to [builtin_nt].  Only =/2 and
+          is/2 are eligible (enforced by the wamlint [nt-builtin]
+          rule). *)
+}
+(** Binding/instantiation plan supplied by lib/bindan.  Every rewrite
+    it triggers replaces exactly one baseline instruction, keeping the
+    code address-aligned with a plan-free compilation of the same
+    database — the lib/bindan trace-replay oracle relies on that to
+    locate and audit the certified sites. *)
+
 type chain_info = {
   ci_pred : string * int;
   ci_bucket : string;
@@ -64,11 +105,13 @@ type chain_info = {
 val compile_db :
   ?parallel:bool ->
   ?det:det_plan ->
+  ?bind:bind_plan ->
   ?chains:chain_info list ref ->
   Symbols.t ->
   Prolog.Database.t ->
   Code.t
 (** Compile every predicate.  [parallel = false] flattens CGEs into
     plain conjunctions (the sequential WAM baseline).  [det] enables
-    determinacy-driven choice-point elision; [chains] accumulates a
-    log of every emitted try chain (in reverse emission order). *)
+    determinacy-driven choice-point elision; [bind] enables
+    binding-certified instruction specialization; [chains] accumulates
+    a log of every emitted try chain (in reverse emission order). *)

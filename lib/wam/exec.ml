@@ -84,13 +84,29 @@ let shallow_protects (w : worker) addr =
   else if Layout.is_local_stack_addr addr then addr < sh.sh_lst
   else true
 
-let bind m w addr cell =
+(* Unconditional bind (lib/bindan): the certificate says no live
+   choice point or parcall trail floor predates [addr], so the trail
+   test and write are skipped.  Under an active shallow frame the
+   address still goes to the frame's restore log (a shallow retry must
+   undo the write), but to [sh_nt_log], which commit DROPS instead of
+   flushing — the flush is exactly the trail write the certificate
+   deletes. *)
+let bind_nt m (w : worker) addr cell =
   wr_auto m w addr cell;
-  if w.shallow.sh_active then begin
-    if shallow_protects w addr then
-      w.shallow.sh_log <- addr :: w.shallow.sh_log
+  m.trail_elided <- m.trail_elided + 1;
+  if w.shallow.sh_active && shallow_protects w addr then
+    w.shallow.sh_nt_log <- addr :: w.shallow.sh_nt_log
+
+let bind m w addr cell =
+  if w.no_trail then bind_nt m w addr cell
+  else begin
+    wr_auto m w addr cell;
+    if w.shallow.sh_active then begin
+      if shallow_protects w addr then
+        w.shallow.sh_log <- addr :: w.shallow.sh_log
+    end
+    else if must_trail w addr then trail_push m w addr
   end
-  else if must_trail w addr then trail_push m w addr
 
 (* Bind two unbound variables: stack variables point at heap variables
    (stack cells die first); between same-kind cells the younger (higher
@@ -216,6 +232,8 @@ let shallow_fail m (w : worker) =
   let sh = w.shallow in
   List.iter (fun a -> wr_auto m w a (Cell.ref_ a)) sh.sh_log;
   sh.sh_log <- [];
+  List.iter (fun a -> wr_auto m w a (Cell.ref_ a)) sh.sh_nt_log;
+  sh.sh_nt_log <- [];
   let n = sh.sh_nargs in
   for i = 1 to n do
     w.x.(i) <- sh.sh_args.(i)
@@ -236,7 +254,10 @@ let commit_shallow m (w : worker) =
   let sh = w.shallow in
   sh.sh_active <- false;
   List.iter (fun a -> if must_trail w a then trail_push m w a) sh.sh_log;
-  sh.sh_log <- []
+  sh.sh_log <- [];
+  (* trail-elided bindings survive the commit untrailed: that is the
+     reference the certificate deletes *)
+  sh.sh_nt_log <- []
 
 (* Instructions that end a certified clause's test prefix.  Builtins
    deliberately do not commit: arithmetic guards stay inside the
@@ -258,7 +279,11 @@ let commits = function
   | Instr.Det_retry _ | Instr.Det_trust _ | Instr.Switch_on_term _
   | Instr.Switch_on_constant _ | Instr.Switch_on_integer _
   | Instr.Switch_on_structure _ | Instr.Get_level _ | Instr.Builtin _
-  | Instr.Check_ground _ | Instr.Check_indep _ | Instr.Check_size _ ->
+  | Instr.Check_ground _ | Instr.Check_indep _ | Instr.Check_size _
+  | Instr.Get_structure_r _ | Instr.Get_list_r _ | Instr.Get_value_r _
+  | Instr.Get_structure_u _ | Instr.Get_list_u _ | Instr.Get_constant_u _
+  | Instr.Get_integer_u _ | Instr.Get_nil_u _ | Instr.Builtin_nt _
+  | Instr.Put_uninit _ | Instr.Get_value_u _ ->
     false
 
 let maybe_commit m (w : worker) instr =
@@ -272,6 +297,8 @@ let abandon_shallow m (w : worker) =
   if sh.sh_active then begin
     List.iter (fun a -> wr_auto m w a (Cell.ref_ a)) sh.sh_log;
     sh.sh_log <- [];
+    List.iter (fun a -> wr_auto m w a (Cell.ref_ a)) sh.sh_nt_log;
+    sh.sh_nt_log <- [];
     sh.sh_active <- false
   end
 
@@ -1098,6 +1125,7 @@ let step_core m (w : worker) instr =
     sh.sh_h <- w.h;
     sh.sh_lst <- w.lst;
     sh.sh_log <- [];
+    sh.sh_nt_log <- [];
     m.cp_elided <- m.cp_elided + 1;
     w.p <- l
   | Instr.Det_retry l ->
@@ -1107,6 +1135,7 @@ let step_core m (w : worker) instr =
     (* last alternative: from here a failure is a real failure *)
     w.shallow.sh_active <- false;
     w.shallow.sh_log <- [];
+    w.shallow.sh_nt_log <- [];
     w.p <- l
   (* ---- indexing ---- *)
   | Instr.Switch_on_term { var_l; con_l; int_l; lis_l; str_l } -> begin
@@ -1169,6 +1198,129 @@ let step_core m (w : worker) instr =
   (* ---- escapes ---- *)
   | Instr.Builtin (b, arity) ->
     if not (exec_builtin m w b arity) then fail m w
+  | Instr.Builtin_nt (b, arity) ->
+    (* bindings certified unconditional: [bind] skips trailing for the
+       builtin's duration (the flag is scoped to this one escape) *)
+    w.no_trail <- true;
+    let ok =
+      try exec_builtin m w b arity
+      with e ->
+        w.no_trail <- false;
+        raise e
+    in
+    w.no_trail <- false;
+    if not ok then fail m w
+  (* ---- binding-certified specializations (lib/bindan) ---- *)
+  | Instr.Get_structure_r (f, ai) -> begin
+    (* rigid at depth 0: the register holds the final cell, no deref.
+       A Ref contradicts the certificate: fail rather than mis-read *)
+    m.deref_skipped <- m.deref_skipped + 1;
+    match Cell.view w.x.(ai) with
+    | Cell.Str sa ->
+      if rd_auto m w sa = Cell.fun_ f then begin
+        w.s <- sa + 1;
+        w.mode_write <- false
+      end
+      else fail m w
+    | Cell.Ref _ | Cell.Con _ | Cell.Lis _ | Cell.Num _ | Cell.Fun _
+    | Cell.Raw _ ->
+      fail m w
+  end
+  | Instr.Get_list_r ai -> begin
+    m.deref_skipped <- m.deref_skipped + 1;
+    match Cell.view w.x.(ai) with
+    | Cell.Lis la ->
+      w.s <- la;
+      w.mode_write <- false
+    | Cell.Ref _ | Cell.Con _ | Cell.Str _ | Cell.Num _ | Cell.Fun _
+    | Cell.Raw _ ->
+      fail m w
+  end
+  | Instr.Get_value_r (r, ai) ->
+    m.deref_skipped <- m.deref_skipped + 1;
+    if Cell.is_ref w.x.(ai) then fail m w
+    else if not (unify m w (get_reg m w r) w.x.(ai)) then fail m w
+  | Instr.Get_value_u (r, ai) ->
+    (* full [Get_value] control semantics; every binding the
+       unification makes is certified unconditional, so [bind] skips
+       trailing for the instruction's duration (same scoping as
+       [Builtin_nt]) *)
+    w.no_trail <- true;
+    let ok =
+      try unify m w (get_reg m w r) w.x.(ai)
+      with e ->
+        w.no_trail <- false;
+        raise e
+    in
+    w.no_trail <- false;
+    if not ok then fail m w
+  | Instr.Get_structure_u (f, ai) -> begin
+    (* certified free and unconditional: the register holds a Ref to
+       an unbound depth-0 cell; overwrite it directly (no deref read,
+       no trail test or write).  A non-Ref contradicts the freeness
+       certificate *)
+    m.deref_skipped <- m.deref_skipped + 1;
+    match Cell.view w.x.(ai) with
+    | Cell.Ref a ->
+      let sa = hpush m w (Cell.fun_ f) in
+      bind_nt m w a (Cell.str sa);
+      w.mode_write <- true
+    | Cell.Con _ | Cell.Str _ | Cell.Lis _ | Cell.Num _ | Cell.Fun _
+    | Cell.Raw _ ->
+      fail m w
+  end
+  | Instr.Get_list_u ai -> begin
+    m.deref_skipped <- m.deref_skipped + 1;
+    match Cell.view w.x.(ai) with
+    | Cell.Ref a ->
+      bind_nt m w a (Cell.lis w.h);
+      w.mode_write <- true
+    | Cell.Con _ | Cell.Str _ | Cell.Lis _ | Cell.Num _ | Cell.Fun _
+    | Cell.Raw _ ->
+      fail m w
+  end
+  | Instr.Get_constant_u (c, ai) -> begin
+    m.deref_skipped <- m.deref_skipped + 1;
+    match Cell.view w.x.(ai) with
+    | Cell.Ref a -> bind_nt m w a (Cell.con c)
+    | Cell.Con _ | Cell.Str _ | Cell.Lis _ | Cell.Num _ | Cell.Fun _
+    | Cell.Raw _ ->
+      fail m w
+  end
+  | Instr.Get_nil_u ai -> begin
+    m.deref_skipped <- m.deref_skipped + 1;
+    match Cell.view w.x.(ai) with
+    | Cell.Ref a -> bind_nt m w a (Cell.con m.nil_atom)
+    | Cell.Con _ | Cell.Str _ | Cell.Lis _ | Cell.Num _ | Cell.Fun _
+    | Cell.Raw _ ->
+      fail m w
+  end
+  | Instr.Get_integer_u (n, ai) -> begin
+    m.deref_skipped <- m.deref_skipped + 1;
+    match Cell.view w.x.(ai) with
+    | Cell.Ref a -> bind_nt m w a (Cell.num n)
+    | Cell.Con _ | Cell.Str _ | Cell.Lis _ | Cell.Num _ | Cell.Fun _
+    | Cell.Raw _ ->
+      fail m w
+  end
+  | Instr.Put_uninit (Instr.X n, ai) ->
+    (* uninitialized output: the self-reference init of the fresh heap
+       cell is dead (every consumer reaches it through a certified _u
+       overwrite before any read), so the cell is allocated with an
+       untraced store -- the heap write the baseline put_variable pays
+       is the reference this instruction deletes *)
+    if w.h >= Layout.heap_limit w.id then
+      runtime_error "heap overflow (PE %d)" w.id;
+    let a = w.h in
+    Memory.poke m.mem a (Cell.ref_ a);
+    w.h <- w.h + 1;
+    if w.h > w.max_h then w.max_h <- w.h;
+    w.x.(n) <- Cell.ref_ a;
+    w.x.(ai) <- Cell.ref_ a
+  | Instr.Put_uninit (Instr.Y n, ai) ->
+    let addr = w.e + 3 + n in
+    Memory.poke m.mem addr (Cell.ref_ addr);
+    w.x.(ai) <- Cell.ref_ addr
   (* ---- CGE checks ---- *)
   | Instr.Check_ground (r, l) ->
     if not (is_ground m w (get_reg m w r)) then w.p <- l

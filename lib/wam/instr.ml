@@ -52,6 +52,27 @@ type t =
   | Det_try of int
   | Det_retry of int
   | Det_trust of int
+  (* binding-certified specializations (lib/bindan): the analysis
+     proves an argument's instantiation and binding conditionality at
+     compile time, so the generic deref / trail-test / heap-cell work
+     can be dropped.  [_r] variants read a rigid depth-0 argument (the
+     register already holds a non-reference cell: no deref loop, a Ref
+     is a certified-fact violation and fails).  [_u] variants bind a
+     certified-unconditional free argument (a self-reference the caller
+     created after every enclosing choice point and parcall trail
+     floor): the cell is overwritten directly, no deref read and no
+     trail test or write *)
+  | Get_structure_r of int * int
+  | Get_list_r of int
+  | Get_value_r of reg * int
+  | Get_structure_u of int * int
+  | Get_list_u of int
+  | Get_constant_u of int * int
+  | Get_integer_u of int * int
+  | Get_nil_u of int
+  | Builtin_nt of Builtin.t * int
+  | Put_uninit of reg * int
+  | Get_value_u of reg * int
   (* indexing *)
   | Switch_on_term of {
       var_l : int;
@@ -129,8 +150,19 @@ let opcode = function
   | Det_try _ -> 47
   | Det_retry _ -> 48
   | Det_trust _ -> 49
+  | Get_structure_r _ -> 50
+  | Get_list_r _ -> 51
+  | Get_value_r _ -> 52
+  | Get_structure_u _ -> 53
+  | Get_list_u _ -> 54
+  | Get_constant_u _ -> 55
+  | Get_nil_u _ -> 56
+  | Builtin_nt _ -> 57
+  | Put_uninit _ -> 58
+  | Get_integer_u _ -> 59
+  | Get_value_u _ -> 60
 
-let opcode_count = 50
+let opcode_count = 61
 
 let opcode_name = function
   | 0 -> "put_variable"
@@ -183,6 +215,17 @@ let opcode_name = function
   | 47 -> "det_try"
   | 48 -> "det_retry"
   | 49 -> "det_trust"
+  | 50 -> "get_structure_r"
+  | 51 -> "get_list_r"
+  | 52 -> "get_value_r"
+  | 53 -> "get_structure_u"
+  | 54 -> "get_list_u"
+  | 55 -> "get_constant_u"
+  | 56 -> "get_nil_u"
+  | 57 -> "builtin_nt"
+  | 58 -> "put_uninit"
+  | 59 -> "get_integer_u"
+  | 60 -> "get_value_u"
   | n -> Printf.sprintf "op%d" n
 
 let pp_reg fmt = function
@@ -193,13 +236,17 @@ let pp fmt i =
   let name = opcode_name (opcode i) in
   match i with
   | Put_variable (r, a) | Put_value (r, a) | Get_variable (r, a)
-  | Get_value (r, a) ->
+  | Get_value (r, a) | Get_value_r (r, a) | Get_value_u (r, a)
+  | Put_uninit (r, a) ->
     Format.fprintf fmt "%s %a, A%d" name pp_reg r a
   | Put_unsafe_value (y, a) -> Format.fprintf fmt "%s Y%d, A%d" name y a
   | Put_constant (c, a) | Put_integer (c, a) | Put_structure (c, a)
-  | Get_constant (c, a) | Get_integer (c, a) | Get_structure (c, a) ->
+  | Get_constant (c, a) | Get_integer (c, a) | Get_structure (c, a)
+  | Get_structure_r (c, a) | Get_structure_u (c, a) | Get_constant_u (c, a)
+  | Get_integer_u (c, a) ->
     Format.fprintf fmt "%s %d, A%d" name c a
-  | Put_nil a | Put_list a | Get_nil a | Get_list a ->
+  | Put_nil a | Put_list a | Get_nil a | Get_list a | Get_list_r a
+  | Get_list_u a | Get_nil_u a ->
     Format.fprintf fmt "%s A%d" name a
   | Unify_variable r | Unify_value r | Unify_local_value r ->
     Format.fprintf fmt "%s %a" name pp_reg r
@@ -224,7 +271,8 @@ let pp fmt i =
          (Array.to_list
             (Array.map (fun (k, l) -> Printf.sprintf "%d->%d" k l) tbl)))
       d
-  | Builtin (b, n) -> Format.fprintf fmt "%s %s/%d" name (Builtin.name b) n
+  | Builtin (b, n) | Builtin_nt (b, n) ->
+    Format.fprintf fmt "%s %s/%d" name (Builtin.name b) n
   | Check_ground (r, l) -> Format.fprintf fmt "%s %a, else:%d" name pp_reg r l
   | Check_indep (r1, r2, l) ->
     Format.fprintf fmt "%s %a, %a, else:%d" name pp_reg r1 pp_reg r2 l

@@ -59,6 +59,40 @@ type t =
       (** shallow analogue of [Retry]: update the frame's alternative *)
   | Det_trust of int
       (** deactivate the shallow frame and run the last alternative *)
+  (* binding-certified specializations (lib/bindan) *)
+  | Get_structure_r of int * int
+      (** [Get_structure] for an argument certified rigid at deref
+          depth 0: the register holds a non-reference cell, so the
+          deref loop is skipped entirely.  A Ref cell contradicts the
+          certificate and fails *)
+  | Get_list_r of int
+  | Get_value_r of reg * int
+      (** depth-0 rigid [Get_value]: full unification without first
+          dereferencing the argument register *)
+  | Get_structure_u of int * int
+      (** [Get_structure] for an argument certified free and
+          unconditional (the caller created the cell after every
+          enclosing choice point and parcall trail floor): overwrite
+          the self-reference directly — no deref read, no trail test,
+          no trail write *)
+  | Get_list_u of int
+  | Get_constant_u of int * int
+  | Get_integer_u of int * int
+  | Get_nil_u of int
+  | Builtin_nt of Builtin.t * int
+      (** builtin whose bindings are certified unconditional: the
+          worker's bind skips trailing for the builtin's duration *)
+  | Put_uninit of reg * int
+      (** [Put_variable] for an output argument every consumer reads
+          through a certified [_u] write: the heap cell's
+          self-reference initialization is dead (the first real access
+          is the callee's overwrite), so it is elided — the cell is
+          allocated with an untraced store *)
+  | Get_value_u of reg * int
+      (** [Get_value] whose bindings are certified unconditional (no
+          live choice point can predate any cell the unification
+          touches): full unification semantics, every trail test and
+          write elided for the instruction's duration *)
   (* indexing *)
   | Switch_on_term of {
       var_l : int;

@@ -59,6 +59,12 @@ type shallow = {
   mutable sh_h : int;
   mutable sh_lst : int;
   mutable sh_log : int list; (* bound addresses predating the frame *)
+  mutable sh_nt_log : int list;
+  (* addresses bound by trail-elided (_u / builtin_nt) writes under
+     this frame: restored on a shallow retry like [sh_log], but
+     DROPPED at commit — the certificate says no live choice point or
+     parcall floor predates the cell, so the flush is the write the
+     elision deletes *)
 }
 
 type worker = {
@@ -80,6 +86,10 @@ type worker = {
   mutable gs_top : int; (* goal stack: next free slot (grows up) *)
   mutable gs_bot : int; (* goal stack: oldest live frame *)
   mutable mode_write : bool;
+  mutable no_trail : bool;
+  (* set for the duration of a [builtin_nt] escape: [bind] skips the
+     trail test and write (logging to [sh_nt_log] under an active
+     shallow frame instead) *)
   x : int array; (* X/A registers (1-based use; 4096 of them) *)
   mutable nargs : int; (* arity at last call *)
   mutable status : status;
@@ -122,6 +132,8 @@ type t = {
   mutable goals_stolen : int; (* goals executed by a PE other than pusher *)
   mutable cp_created : int; (* choice points pushed (try) *)
   mutable cp_elided : int; (* certified chains entered shallow (det_try) *)
+  mutable trail_elided : int; (* trail tests+writes skipped (_u, builtin_nt) *)
+  mutable deref_skipped : int; (* deref loops skipped (_r, _u reads) *)
   mutable halted : bool;
   mutable failed : bool;
   out : Format.formatter; (* for write/1, nl/0 *)
@@ -145,6 +157,7 @@ let make_shallow () =
     sh_h = 0;
     sh_lst = 0;
     sh_log = [];
+    sh_nt_log = [];
   }
 
 let make_worker id =
@@ -168,6 +181,7 @@ let make_worker id =
     gs_top = Layout.goal_base id + 3;
     gs_bot = Layout.goal_base id + 3;
     mode_write = false;
+    no_trail = false;
     x = Array.make 4096 0;
     nargs = 0;
     status = Idle;
@@ -207,6 +221,8 @@ let create ?(out = Format.std_formatter) ?(sink = Trace.Sink.null)
     goals_stolen = 0;
     cp_created = 0;
     cp_elided = 0;
+    trail_elided = 0;
+    deref_skipped = 0;
     halted = false;
     failed = false;
     out;

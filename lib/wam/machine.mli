@@ -47,6 +47,11 @@ type shallow = {
   mutable sh_h : int;
   mutable sh_lst : int;
   mutable sh_log : int list;  (** bound addresses predating the frame *)
+  mutable sh_nt_log : int list;
+      (** addresses bound by trail-elided (_u / builtin_nt) writes
+          under this frame: restored on a shallow retry, dropped at
+          commit (the elision's certificate says nothing older needs
+          them trailed) *)
 }
 
 type worker = {
@@ -68,6 +73,9 @@ type worker = {
   mutable gs_top : int;  (** goal stack: next free word *)
   mutable gs_bot : int;  (** goal stack: oldest live frame *)
   mutable mode_write : bool;
+  mutable no_trail : bool;
+      (** set for the duration of a [builtin_nt] escape: [bind] skips
+          trailing (logging to [sh_nt_log] under a shallow frame) *)
   x : int array;  (** X/A registers (1-based use) *)
   mutable nargs : int;
   mutable status : status;
@@ -107,6 +115,11 @@ type t = {
   mutable goals_stolen : int;
   mutable cp_created : int;  (** choice points pushed (try) *)
   mutable cp_elided : int;  (** certified chains entered shallow (det_try) *)
+  mutable trail_elided : int;
+      (** trail tests+writes skipped by binding-certified code
+          (_u gets, builtin_nt) *)
+  mutable deref_skipped : int;
+      (** deref loops skipped by rigid/uninit-certified reads *)
   mutable halted : bool;
   mutable failed : bool;
   out : Format.formatter;  (** for write/1, nl/0 *)

@@ -23,6 +23,11 @@ type counters = {
   mutable instrs : int;  (** instruction fetches in this range *)
   mutable cp_created : int;  (** try fetches: choice points pushed *)
   mutable cp_elided : int;  (** det_try fetches: certified chains *)
+  mutable trail_elided : int;
+      (** fetches of binding-certified instructions that skip the
+          trail check ([_u] gets, builtin_nt, put_uninit) *)
+  mutable deref_skipped : int;
+      (** fetches of [_r]/[_u] gets that skip the argument deref *)
   refs : int array;  (** data references, indexed by [Trace.Area.to_int] *)
 }
 
@@ -55,6 +60,8 @@ let create symbols code =
             instrs = 0;
             cp_created = 0;
             cp_elided = 0;
+            trail_elided = 0;
+            deref_skipped = 0;
             refs = Array.make Trace.Area.count 0;
           })
         entries;
@@ -87,6 +94,15 @@ let on_record t (r : Trace.Ref_record.t) =
         match Code.fetch t.code idx with
         | Instr.Try _ -> p.cp_created <- p.cp_created + 1
         | Instr.Det_try _ -> p.cp_elided <- p.cp_elided + 1
+        | Instr.Get_structure_r _ | Instr.Get_list_r _ | Instr.Get_value_r _
+          ->
+          p.deref_skipped <- p.deref_skipped + 1
+        | Instr.Get_structure_u _ | Instr.Get_list_u _
+        | Instr.Get_constant_u _ | Instr.Get_integer_u _ | Instr.Get_nil_u _ ->
+          p.deref_skipped <- p.deref_skipped + 1;
+          p.trail_elided <- p.trail_elided + 1
+        | Instr.Builtin_nt _ | Instr.Put_uninit _ | Instr.Get_value_u _ ->
+          p.trail_elided <- p.trail_elided + 1
         | _ -> ()
       end
     | None -> t.current.(r.Trace.Ref_record.pe) <- None
@@ -123,8 +139,9 @@ let ranked t =
     active
 
 let pp fmt t =
-  Format.fprintf fmt "%-22s %8s %10s %10s %8s %8s  %s@." "predicate" "calls"
-    "instrs" "data refs" "cp push" "cp elide" "top areas";
+  Format.fprintf fmt "%-22s %8s %10s %10s %8s %8s %8s %8s  %s@." "predicate"
+    "calls" "instrs" "data refs" "cp push" "cp elide" "tr elide" "dr skip"
+    "top areas";
   let areas_of c =
     let pairs =
       List.filter
@@ -141,8 +158,9 @@ let pp fmt t =
   in
   List.iter
     (fun c ->
-      Format.fprintf fmt "%-22s %8d %10d %10d %8d %8d  %s@." (spec t c)
-        c.calls c.instrs (data_refs c) c.cp_created c.cp_elided (areas_of c))
+      Format.fprintf fmt "%-22s %8d %10d %10d %8d %8d %8d %8d  %s@."
+        (spec t c) c.calls c.instrs (data_refs c) c.cp_created c.cp_elided
+        c.trail_elided c.deref_skipped (areas_of c))
     (ranked t);
   let other = Array.fold_left ( + ) 0 t.other in
   if other > 0 then
@@ -156,8 +174,10 @@ let to_json buf t =
       Buffer.add_string buf
         (Printf.sprintf
            "{\"predicate\": %S, \"calls\": %d, \"instrs\": %d, \
-            \"cp_created\": %d, \"cp_elided\": %d, \"refs\": {"
-           (spec t c) c.calls c.instrs c.cp_created c.cp_elided);
+            \"cp_created\": %d, \"cp_elided\": %d, \
+            \"trail_elided\": %d, \"deref_skipped\": %d, \"refs\": {"
+           (spec t c) c.calls c.instrs c.cp_created c.cp_elided
+           c.trail_elided c.deref_skipped);
       let first = ref true in
       List.iter
         (fun a ->

@@ -17,7 +17,7 @@ let query_name = "$query"
 (* [of_database db ~query ()] adds the query as a clause to [db] and
    compiles everything.  [parallel = false] gives the sequential WAM
    baseline (CGEs read as plain conjunctions). *)
-let of_database ?(parallel = true) ?det ?chains ?ops db ~query () =
+let of_database ?(parallel = true) ?det ?bind ?chains ?ops db ~query () =
   let q_term = Prolog.Parser.term_of_string ?ops query in
   let query_vars = Prolog.Term.vars q_term in
   let head =
@@ -29,15 +29,15 @@ let of_database ?(parallel = true) ?det ?chains ?ops db ~query () =
   in
   Prolog.Database.assert_term db (Prolog.Term.Struct (":-", [ head; q_term ]));
   let symbols = Symbols.create () in
-  let code = Compile.compile_db ~parallel ?det ?chains symbols db in
+  let code = Compile.compile_db ~parallel ?det ?bind ?chains symbols db in
   let query_fid =
     Symbols.functor_ symbols query_name (List.length query_vars)
   in
   { db; symbols; code; query_fid; query_vars }
 
 (* [prepare ~src ~query ()] parses and loads [src] first. *)
-let prepare ?parallel ?det ?chains ?ops ~src ~query () =
-  of_database ?parallel ?det ?chains ?ops
+let prepare ?parallel ?det ?bind ?chains ?ops ~src ~query () =
+  of_database ?parallel ?det ?bind ?chains ?ops
     (Prolog.Database.of_string ?ops src)
     ~query ()
 

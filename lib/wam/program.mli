@@ -15,16 +15,18 @@ type t = {
 val query_name : string
 
 val of_database :
-  ?parallel:bool -> ?det:Compile.det_plan ->
+  ?parallel:bool -> ?det:Compile.det_plan -> ?bind:Compile.bind_plan ->
   ?chains:Compile.chain_info list ref -> ?ops:Prolog.Ops.t ->
   Prolog.Database.t -> query:string -> unit -> t
 (** Add the query to the database and compile everything.
     [parallel = false] gives the sequential WAM baseline (CGEs read as
     plain conjunctions).  [det] enables determinacy-driven
-    choice-point elision; [chains] logs every emitted try chain. *)
+    choice-point elision; [bind] enables binding-certified
+    instruction specialization; [chains] logs every emitted try
+    chain. *)
 
 val prepare :
-  ?parallel:bool -> ?det:Compile.det_plan ->
+  ?parallel:bool -> ?det:Compile.det_plan -> ?bind:Compile.bind_plan ->
   ?chains:Compile.chain_info list ref -> ?ops:Prolog.Ops.t ->
   src:string -> query:string -> unit -> t
 (** Parse and load [src] first, then {!of_database}. *)

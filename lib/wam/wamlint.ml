@@ -300,6 +300,38 @@ let check symbols code =
     | Instr.Get_structure (_, a) | Instr.Get_list a ->
       use_x st a;
       next { st with in_struct = true }
+    (* ---- binding-certified specializations (lib/bindan) ---- *)
+    | Instr.Put_uninit (r, a) ->
+      let st = exit_struct st in
+      next (def_x (def_reg st r) a)
+    | Instr.Get_value_r (r, a) | Instr.Get_value_u (r, a) ->
+      let st = exit_struct st in
+      use_reg st r;
+      use_x st a;
+      next st
+    | Instr.Get_constant_u (_, a) | Instr.Get_integer_u (_, a)
+    | Instr.Get_nil_u a ->
+      let st = exit_struct st in
+      use_x st a;
+      next st
+    | Instr.Get_structure_r (_, a) | Instr.Get_list_r a
+    | Instr.Get_structure_u (_, a) | Instr.Get_list_u a ->
+      use_x st a;
+      next { st with in_struct = true }
+    | Instr.Builtin_nt (b, n) ->
+      let st = exit_struct st in
+      use_args st n;
+      (* the trail-elision certificate only covers builtins whose
+         bindings the binding analysis can see: =/2 and is/2.  Anything
+         else here is a compiler-bridge bug (the not-unify trial-undo
+         protocol in particular must never run untrailed) *)
+      (match b with
+      | Builtin.Unify | Builtin.Is -> ()
+      | _ ->
+        report "nt-builtin" "builtin_nt %s/%d: only =/2 and is/2 may run \
+                             with trailing elided"
+          (Builtin.name b) n);
+      next st
     (* ---- unify group ---- *)
     | Instr.Unify_variable r ->
       need_struct st;

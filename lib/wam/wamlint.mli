@@ -43,7 +43,11 @@
       still allocated at [proceed]/[execute] where the path since its
       [allocate] ran only builtins and data instructions -- an
       allocate/deallocate imbalance no call could excuse, so each
-      activation leaks a frame and the stack drifts upward. *)
+      activation leaks a frame and the stack drifts upward.
+    - trail-elision discipline ([nt-builtin]): [builtin_nt] may only
+      name =/2 or is/2 -- the only builtins whose bindings the binding
+      analysis certifies; in particular the \=/2 trial-undo protocol
+      must never run with trailing elided. *)
 
 type diag = {
   addr : int;  (** code address of the offending instruction *)

@@ -209,6 +209,51 @@ let test_sweep_matches_direct_simulation () =
       got.Cachesim.Metrics.bus_words
   | cells -> Alcotest.failf "expected one ok cell, got %d" (List.length cells)
 
+let test_sweep_area_invariant () =
+  (* the per-area ledger the sweep keeps must cover the trace exactly:
+     one row per area, and reads+writes summed across areas equal to
+     the run's total reference count (the same trace replayed through
+     Areastats directly) *)
+  let bench =
+    List.find
+      (fun b -> b.Benchlib.Programs.name = "deriv")
+      (Benchlib.Inputs.small_benchmarks ())
+  in
+  let grid =
+    {
+      (small_grid ()) with
+      Engine.Sweep.benchmarks = [ bench ];
+      protocols = [ Cachesim.Protocol.Hybrid ];
+      cache_sizes = [ 512 ];
+    }
+  in
+  let o = Engine.Sweep.run ~jobs:2 grid in
+  let direct = Benchlib.Runner.run_rapwam ~n_pes:2 bench in
+  match o.Engine.Sweep.areas with
+  | [ ((name, pes), rows) ] ->
+    Alcotest.(check string) "keyed by benchmark" "deriv" name;
+    Alcotest.(check int) "keyed by PE count" 2 pes;
+    Alcotest.(check int)
+      "one row per area" (List.length Trace.Area.all) (List.length rows);
+    let sum = List.fold_left (fun acc (_, (r, w)) -> acc + r + w) 0 rows in
+    Alcotest.(check int)
+      "areas reads+writes sum to total refs"
+      direct.Benchlib.Runner.total_refs sum;
+    List.iter
+      (fun a ->
+        let slug = Trace.Area.slug a in
+        let r, w = List.assoc slug rows in
+        Alcotest.(check int)
+          (slug ^ " reads")
+          (Trace.Areastats.reads direct.Benchlib.Runner.area_stats a)
+          r;
+        Alcotest.(check int)
+          (slug ^ " writes")
+          (Trace.Areastats.writes direct.Benchlib.Runner.area_stats a)
+          w)
+      Trace.Area.all
+  | rows -> Alcotest.failf "expected one area row, got %d" (List.length rows)
+
 (* ---------------- tracefile round-trip (qcheck) ---------------- *)
 
 let record_gen =
@@ -274,5 +319,7 @@ let suite =
       test_sweep_jobs_deterministic;
     Alcotest.test_case "sweep: cell equals direct simulation" `Quick
       test_sweep_matches_direct_simulation;
+    Alcotest.test_case "sweep: per-area ledger covers the trace" `Quick
+      test_sweep_area_invariant;
     qt prop_tracefile_roundtrip;
   ]

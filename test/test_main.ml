@@ -22,6 +22,7 @@ let () =
       ("server", Test_server.suite);
       ("refmap", Test_refmap.suite);
       ("detan", Test_detan.suite);
+      ("bindan", Test_bindan.suite);
       ("cli-parity", Test_cli_parity.suite);
       ("properties", Test_properties.suite);
     ]
